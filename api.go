@@ -1,0 +1,473 @@
+// Package cdb is a crowd-powered database system: a Go reproduction of
+// "CDB: Optimizing Queries with Crowd-Based Selections and Joins"
+// (SIGMOD 2017). It compiles CQL — SQL extended with CROWDJOIN,
+// CROWDEQUAL, FILL, COLLECT and BUDGET — into a tuple-level query
+// graph, selects crowd tasks with graph-based multi-goal optimization
+// (cost via pruning expectations, latency via conflict-free rounds,
+// quality via EM truth inference and entropy-driven task assignment),
+// and executes them against a simulated crowd whose workers have
+// latent accuracies.
+//
+// Quickstart:
+//
+//	db := cdb.Open(cdb.WithDataset("example", 0, 1))
+//	res, err := db.Exec(`SELECT * FROM Paper, Researcher, Citation, University
+//	    WHERE Paper.author CROWDJOIN Researcher.name AND
+//	          Paper.title CROWDJOIN Citation.title AND
+//	          Researcher.affiliation CROWDJOIN University.name;`)
+//
+// See the examples/ directory for runnable programs and cmd/cdbench
+// for the paper's full benchmark suite.
+package cdb
+
+import (
+	"fmt"
+	"strings"
+
+	"cdb/internal/baselines"
+	"cdb/internal/cost"
+	"cdb/internal/cql"
+	"cdb/internal/crowd"
+	"cdb/internal/dataset"
+	"cdb/internal/exec"
+	"cdb/internal/meta"
+	"cdb/internal/quality"
+	"cdb/internal/sim"
+	"cdb/internal/stats"
+	"cdb/internal/table"
+)
+
+// MatchOracle supplies ground truth for the crowd simulation: whether
+// two cell values denote the same real-world entity. Implement it for
+// your own data, or use a generated dataset whose oracle is built in.
+type MatchOracle interface {
+	// JoinMatch reports whether leftVal (of leftTable.leftCol) and
+	// rightVal (of rightTable.rightCol) truly join.
+	JoinMatch(leftTable, leftCol, rightTable, rightCol, leftVal, rightVal string) bool
+	// SelMatch reports whether val (of table.col) truly satisfies the
+	// CROWDEQUAL constant.
+	SelMatch(table, col, val, constant string) bool
+}
+
+// Strategy names accepted by WithStrategy.
+const (
+	StrategyCDB     = "cdb"     // expectation-based selection (the default)
+	StrategyMinCut  = "mincut"  // sampling + min-cut greedy
+	StrategyCrowdDB = "crowddb" // rule-based tree baseline
+	StrategyQurk    = "qurk"    // rule-based tree baseline
+	StrategyDeco    = "deco"    // cost-based tree baseline
+	StrategyOptTree = "opttree" // oracle-optimal tree baseline
+	StrategyTrans   = "trans"   // transitivity entity resolution
+	StrategyACD     = "acd"     // adaptive correlation clustering ER
+)
+
+// DB is a CDB instance: a catalog of relations, a simulated crowd, and
+// the optimizer configuration.
+type DB struct {
+	catalog    *table.Catalog
+	oracle     exec.Oracle
+	pool       *crowd.Pool
+	workers    *quality.WorkerModel
+	rng        *stats.RNG
+	simFunc    sim.Func
+	epsilon    float64
+	redundancy int
+	qualityOn  bool
+	strategy   string
+	samples    int
+	fillTruth  func(tableName string, row int, col string) string
+	universe   map[string][]string // COLLECT universes per table
+	router     *crowd.Router
+	meta       *meta.Store
+	calibrate  bool
+}
+
+// Option configures Open.
+type Option func(*DB)
+
+// WithSeed fixes the random seed (defaults to 1); equal seeds replay
+// identical crowds and answers.
+func WithSeed(seed uint64) Option {
+	return func(db *DB) { db.rng = stats.NewRNG(seed) }
+}
+
+// WithWorkers configures the simulated worker pool: n workers with
+// latent accuracy drawn from N(mean, stddev²), the paper's model.
+func WithWorkers(n int, mean, stddev float64) Option {
+	return func(db *DB) {
+		db.pool = crowd.NewPool(n, mean, stddev, db.rng.Split())
+	}
+}
+
+// WithPerfectWorkers installs an infallible crowd — useful to study
+// cost behaviour in isolation.
+func WithPerfectWorkers(n int) Option {
+	return func(db *DB) { db.pool = crowd.NewPerfectPool(n, db.rng.Split()) }
+}
+
+// WithOracle installs a ground-truth oracle for the simulation.
+func WithOracle(o MatchOracle) Option {
+	return func(db *DB) { db.oracle = oracleAdapter{o} }
+}
+
+// WithDataset loads a built-in dataset: "paper" or "award" (the
+// synthetic Table 2/3 benchmarks; scale 1.0 reproduces the paper's
+// cardinalities) or "example" (the 12-tuple running example of
+// Table 1 / Figure 4). The dataset's ground-truth oracle is installed
+// automatically.
+func WithDataset(name string, scale float64, seed uint64) Option {
+	return func(db *DB) {
+		var d *dataset.Data
+		switch name {
+		case "award":
+			d = dataset.GenAward(dataset.Config{Seed: seed, Scale: scale})
+		case "example":
+			d = dataset.RunningExample()
+		default:
+			d = dataset.GenPaper(dataset.Config{Seed: seed, Scale: scale})
+		}
+		db.catalog = d.Catalog
+		db.oracle = d.Oracle
+	}
+}
+
+// WithSimilarity selects the matching-probability estimator:
+// "2gram" (default), "token", "edit", "cosine" or "none".
+func WithSimilarity(name string) Option {
+	return func(db *DB) {
+		switch name {
+		case "token":
+			db.simFunc = sim.TokenJaccard
+		case "edit":
+			db.simFunc = sim.EditDistance
+		case "cosine":
+			db.simFunc = sim.Cosine
+		case "none":
+			db.simFunc = sim.NoSim
+		default:
+			db.simFunc = sim.Gram2Jaccard
+		}
+	}
+}
+
+// WithEpsilon sets the similarity pruning threshold (default 0.3).
+func WithEpsilon(eps float64) Option {
+	return func(db *DB) { db.epsilon = eps }
+}
+
+// WithRedundancy sets the answers collected per task (default 5).
+func WithRedundancy(k int) Option {
+	return func(db *DB) { db.redundancy = k }
+}
+
+// WithQualityControl toggles CDB+ mode: EM truth inference with a
+// persistent worker model and entropy-driven task assignment, instead
+// of plain majority voting.
+func WithQualityControl(on bool) Option {
+	return func(db *DB) { db.qualityOn = on }
+}
+
+// WithStrategy selects the task-selection strategy (see the Strategy*
+// constants). Unknown names fall back to the CDB default.
+func WithStrategy(name string) Option {
+	return func(db *DB) { db.strategy = strings.ToLower(name) }
+}
+
+// WithFillTruth supplies the ground truth for FILL simulations: the
+// true value of (table, row, column).
+func WithFillTruth(f func(tableName string, row int, col string) string) Option {
+	return func(db *DB) { db.fillTruth = f }
+}
+
+// WithCollectUniverse registers the hidden item universe workers draw
+// from when COLLECTing rows for the named crowd table.
+func WithCollectUniverse(tableName string, items []string) Option {
+	return func(db *DB) { db.universe[strings.ToLower(tableName)] = items }
+}
+
+// WithMetadata enables CDB's relational metadata store (§2.1): every
+// task, worker answer and inferred verdict is recorded into the
+// cdb_tasks / cdb_workers / cdb_assignments relations, retrievable via
+// Metadata().
+func WithMetadata() Option {
+	return func(db *DB) { db.meta = meta.NewStore() }
+}
+
+// WithCalibration enables adaptive similarity→probability calibration
+// (§4.1): answered tasks act as a training set and the optimizer
+// re-weights the remaining edges with isotonic-calibrated
+// probabilities mid-query.
+func WithCalibration(on bool) Option {
+	return func(db *DB) { db.calibrate = on }
+}
+
+// MarketSpec describes one crowdsourcing market for cross-market HIT
+// deployment (the AMT/CrowdFlower/ChinaCrowd feature of §2.2).
+type MarketSpec struct {
+	Name string
+	// AssignControl mirrors AMT's developer model (requester-controlled
+	// task assignment) vs CrowdFlower-style routing.
+	AssignControl bool
+	Workers       int
+	Accuracy      float64
+	Stddev        float64
+}
+
+// WithMarkets deploys HITs across several markets round-robin instead
+// of a single pool.
+func WithMarkets(specs ...MarketSpec) Option {
+	return func(db *DB) {
+		var markets []*crowd.Market
+		for _, s := range specs {
+			pool := crowd.NewPool(s.Workers, s.Accuracy, s.Stddev, db.rng.Split())
+			markets = append(markets, crowd.NewMarket(s.Name, s.AssignControl, pool))
+		}
+		db.router = crowd.NewRouter(markets...)
+	}
+}
+
+// Open creates a CDB instance.
+func Open(options ...Option) *DB {
+	db := &DB{
+		catalog:    table.NewCatalog(),
+		oracle:     exec.ExactOracle{},
+		rng:        stats.NewRNG(1),
+		simFunc:    sim.Gram2Jaccard,
+		epsilon:    0.3,
+		redundancy: 5,
+		strategy:   StrategyCDB,
+		samples:    20,
+		workers:    quality.NewWorkerModel(),
+		universe:   map[string][]string{},
+	}
+	for _, opt := range options {
+		opt(db)
+	}
+	if db.pool == nil {
+		db.pool = crowd.NewPool(50, 0.8, 0.1, db.rng.Split())
+	}
+	return db
+}
+
+type oracleAdapter struct{ o MatchOracle }
+
+func (a oracleAdapter) JoinMatch(lt, lc, rt, rc, lv, rv string) bool {
+	return a.o.JoinMatch(lt, lc, rt, rc, lv, rv)
+}
+func (a oracleAdapter) SelMatch(t, c, v, k string) bool { return a.o.SelMatch(t, c, v, k) }
+
+// Stats summarizes one execution's crowd interaction.
+type Stats struct {
+	Tasks       int     // crowd tasks issued (the paper's cost metric)
+	Rounds      int     // crowd interaction rounds (latency metric)
+	Assignments int     // individual worker answers
+	HITs        int     // priced HITs (10 tasks per HIT)
+	Dollars     float64 // simulated spend ($0.1 per HIT)
+	Precision   float64 // vs the oracle's ground truth
+	Recall      float64
+	F1          float64
+}
+
+// Result is the outcome of one Exec call.
+type Result struct {
+	// Columns and Rows hold the projected answers for SELECT; for DDL
+	// and collection statements Rows is empty and Message explains what
+	// happened.
+	Columns []string
+	Rows    [][]string
+	Message string
+	Stats   Stats
+}
+
+// Exec parses and executes one CQL statement.
+func (db *DB) Exec(q string) (*Result, error) {
+	st, err := cql.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	switch s := st.(type) {
+	case *cql.CreateTable:
+		return db.execCreate(s)
+	case *cql.Select:
+		return db.execSelect(s)
+	case *cql.Fill:
+		return db.execFill(s)
+	case *cql.Collect:
+		return db.execCollect(s)
+	default:
+		return nil, fmt.Errorf("cdb: unsupported statement %T", st)
+	}
+}
+
+// MustExec is Exec that panics on error (for examples and tests).
+func (db *DB) MustExec(q string) *Result {
+	r, err := db.Exec(q)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func (db *DB) execCreate(s *cql.CreateTable) (*Result, error) {
+	if _, exists := db.catalog.Get(s.Name); exists {
+		return nil, fmt.Errorf("cdb: table %s already exists", s.Name)
+	}
+	schema := table.Schema{Name: s.Name, CrowdTable: s.Crowd}
+	for _, c := range s.Cols {
+		kind := table.String
+		switch c.Type {
+		case "int":
+			kind = table.Int
+		case "float":
+			kind = table.Float
+		}
+		schema.Columns = append(schema.Columns, table.Column{Name: c.Name, Kind: kind, Crowd: c.Crowd})
+	}
+	db.catalog.Register(table.New(schema))
+	return &Result{Message: fmt.Sprintf("table %s created", s.Name)}, nil
+}
+
+// Insert appends a row of textual values (parsed per column type;
+// "CNULL" marks a value to be crowd-filled later).
+func (db *DB) Insert(tableName string, values ...string) error {
+	tb, ok := db.catalog.Get(tableName)
+	if !ok {
+		return fmt.Errorf("cdb: unknown table %s", tableName)
+	}
+	if len(values) != len(tb.Schema.Columns) {
+		return fmt.Errorf("cdb: table %s wants %d values, got %d", tableName, len(tb.Schema.Columns), len(values))
+	}
+	row := make(table.Tuple, len(values))
+	for i, v := range values {
+		val, err := table.ParseValue(tb.Schema.Columns[i].Kind, v)
+		if err != nil {
+			return fmt.Errorf("cdb: %w", err)
+		}
+		row[i] = val
+	}
+	return tb.Append(row)
+}
+
+// TableNames lists the registered tables.
+func (db *DB) TableNames() []string { return db.catalog.Names() }
+
+// Metadata returns the metadata store (nil unless WithMetadata was
+// given).
+func (db *DB) Metadata() *meta.Store { return db.meta }
+
+// Dump returns a table's contents as strings (header included).
+func (db *DB) Dump(tableName string) ([][]string, error) {
+	tb, ok := db.catalog.Get(tableName)
+	if !ok {
+		return nil, fmt.Errorf("cdb: unknown table %s", tableName)
+	}
+	header := make([]string, len(tb.Schema.Columns))
+	for i, c := range tb.Schema.Columns {
+		header[i] = c.Name
+	}
+	out := [][]string{header}
+	for _, row := range tb.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		out = append(out, cells)
+	}
+	return out, nil
+}
+
+func (db *DB) strategyFor(p *exec.Plan, budget int) cost.Strategy {
+	if budget > 0 {
+		return cost.NewBudget(budget)
+	}
+	switch db.strategy {
+	case StrategyMinCut:
+		return cost.NewMinCutSampling(db.samples, db.rng.Split())
+	case StrategyCrowdDB:
+		return baselines.NewTreeModel("CrowdDB", baselines.CrowdDBOrder(p.S))
+	case StrategyQurk:
+		return baselines.NewTreeModel("Qurk", baselines.QurkOrder(p.S))
+	case StrategyDeco:
+		return baselines.NewTreeModel("Deco", baselines.DecoOrder(p.G))
+	case StrategyOptTree:
+		return baselines.NewTreeModel("OptTree", baselines.OptTreeOrder(p.G, p.Truth))
+	case StrategyTrans:
+		s := baselines.NewTrans()
+		s.Side = p.ERSideOracle(0.35)
+		return s
+	case StrategyACD:
+		s := baselines.NewACD()
+		s.Side = p.ERSideOracle(0.35)
+		return s
+	default:
+		return &cost.Expectation{}
+	}
+}
+
+func (db *DB) execSelect(s *cql.Select) (*Result, error) {
+	plan, err := exec.BuildPlan(s, db.catalog, db.oracle, exec.PlanConfig{Sim: db.simFunc, Epsilon: db.epsilon})
+	if err != nil {
+		return nil, err
+	}
+	qm := exec.MajorityVoting
+	if db.qualityOn {
+		qm = exec.CDBPlus
+	}
+	rep, err := exec.Run(plan, exec.Options{
+		Strategy:   db.strategyFor(plan, s.Budget),
+		Redundancy: db.redundancy,
+		Quality:    qm,
+		Pool:       db.pool,
+		Workers:    db.workers,
+		Router:     db.router,
+		Meta:       db.meta,
+		Calibrate:  db.calibrate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Stats: Stats{
+			Tasks:       rep.Metrics.Tasks,
+			Rounds:      rep.Metrics.Rounds,
+			Assignments: rep.Assignments,
+			HITs:        rep.HITs,
+			Dollars:     rep.Dollars,
+			Precision:   rep.Metrics.Precision,
+			Recall:      rep.Metrics.Recall,
+			F1:          rep.Metrics.F1(),
+		},
+	}
+	res.Columns = projectionColumns(plan)
+	for _, a := range rep.Answers {
+		row, err := plan.ProjectAnswer(a)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if err := db.applyGroupSort(s, res); err != nil {
+		return nil, err
+	}
+	res.Message = fmt.Sprintf("%d answers, %d tasks, %d rounds", len(res.Rows), res.Stats.Tasks, res.Stats.Rounds)
+	return res, nil
+}
+
+func projectionColumns(p *exec.Plan) []string {
+	var out []string
+	if p.Stmt.Star {
+		for ti, tb := range p.Tables {
+			if tb == nil {
+				continue
+			}
+			for _, c := range tb.Schema.Columns {
+				out = append(out, p.S.Tables[ti]+"."+c.Name)
+			}
+		}
+		return out
+	}
+	for _, ref := range p.Stmt.Cols {
+		out = append(out, ref.String())
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+// Command cdbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	cdbench -exp fig8 -dataset paper -scale 0.12 -reps 3
+//	cdbench -exp all
+//
+// Each experiment prints one or more aligned text tables; see
+// EXPERIMENTS.md for the mapping to the paper and the expected shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cdb/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (fig1, fig8, fig11, fig14, fig17, fig18, fig20, fig21, fig22, fig23, table5) or 'all'")
+		dataset = flag.String("dataset", "paper", "dataset: paper or award")
+		scale   = flag.Float64("scale", 0.12, "dataset scale (1.0 = the paper's Table 2/3 sizes)")
+		reps    = flag.Int("reps", 3, "repetitions per cell (the paper averages 1000)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		red     = flag.Int("redundancy", 5, "answers per task")
+		workerQ = flag.Float64("workerq", 0.8, "mean simulated worker accuracy")
+		samples = flag.Int("samples", 20, "MinCut sampling count")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.Dataset = *dataset
+	cfg.Scale = *scale
+	cfg.Reps = *reps
+	cfg.Seed = *seed
+	cfg.Redundancy = *red
+	cfg.WorkerQ = *workerQ
+	cfg.Samples = *samples
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.ExperimentIDs()
+	}
+	for _, id := range ids {
+		runner, ok := bench.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cdbench: unknown experiment %q; known: %v\n", id, bench.ExperimentIDs())
+			os.Exit(2)
+		}
+		start := time.Now()
+		tables, err := runner(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Render(os.Stdout)
+		}
+		fmt.Printf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

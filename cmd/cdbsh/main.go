@@ -1,0 +1,153 @@
+// Command cdbsh is an interactive CQL shell over a simulated crowd.
+//
+//	cdbsh                       # empty catalog
+//	cdbsh -dataset example      # the paper's Table 1 running example
+//	cdbsh -dataset paper -scale 0.1
+//
+// Statements end with ';'. Besides CQL (CREATE TABLE / SELECT …
+// CROWDJOIN / CROWDEQUAL / FILL / COLLECT / BUDGET) the shell accepts:
+//
+//	\tables          list tables
+//	\dump <table>    print a table
+//	\quit            exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cdb"
+)
+
+func main() {
+	var (
+		datasetName = flag.String("dataset", "", "preload dataset: example, paper or award")
+		scale       = flag.Float64("scale", 0.1, "dataset scale for paper/award")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		workers     = flag.Int("workers", 50, "simulated worker count")
+		accuracy    = flag.Float64("accuracy", 0.85, "mean worker accuracy")
+		strategy    = flag.String("strategy", "cdb", "task selection strategy (cdb, mincut, crowddb, qurk, deco, opttree, trans, acd)")
+		qc          = flag.Bool("quality", false, "enable CDB+ quality control (EM + task assignment)")
+	)
+	flag.Parse()
+
+	opts := []cdb.Option{
+		cdb.WithSeed(*seed),
+		cdb.WithWorkers(*workers, *accuracy, 0.1),
+		cdb.WithStrategy(*strategy),
+		cdb.WithQualityControl(*qc),
+		cdb.WithMetadata(),
+	}
+	if *datasetName != "" {
+		opts = append(opts, cdb.WithDataset(*datasetName, *scale, *seed))
+	}
+	db := cdb.Open(opts...)
+
+	fmt.Println("cdbsh — crowd-powered CQL shell (end statements with ';', \\quit to exit)")
+	if *datasetName != "" {
+		fmt.Printf("loaded dataset %q: tables %v\n", *datasetName, db.TableNames())
+	}
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("cql> ")
+		} else {
+			fmt.Print("...> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !command(db, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.Contains(line, ";") {
+			execute(db, buf.String())
+			buf.Reset()
+		}
+		prompt()
+	}
+}
+
+func command(db *cdb.DB, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\quit", "\\q":
+		return false
+	case "\\tables":
+		fmt.Println(strings.Join(db.TableNames(), ", "))
+	case "\\meta":
+		db.Metadata().WriteReport(os.Stdout)
+	case "\\dump":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\dump <table>")
+			break
+		}
+		rows, err := db.Dump(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		printGrid(rows)
+	default:
+		fmt.Println("unknown command; try \\tables, \\dump <table>, \\meta, \\quit")
+	}
+	return true
+}
+
+func execute(db *cdb.DB, stmt string) {
+	res, err := db.Exec(stmt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if len(res.Rows) > 0 {
+		printGrid(append([][]string{res.Columns}, res.Rows...))
+	}
+	if res.Message != "" {
+		fmt.Println(res.Message)
+	}
+	if res.Stats.Tasks > 0 {
+		fmt.Printf("[crowd: %d tasks, %d rounds, %d answers, $%.2f]\n",
+			res.Stats.Tasks, res.Stats.Rounds, res.Stats.Assignments, res.Stats.Dollars)
+	}
+}
+
+func printGrid(rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, len(rows[0]))
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, r := range rows {
+		var sb strings.Builder
+		for i, c := range r {
+			if i < len(widths) {
+				fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+			}
+		}
+		fmt.Println(strings.TrimRight(sb.String(), " "))
+		if ri == 0 {
+			fmt.Println(strings.Repeat("-", len(strings.TrimRight(sb.String(), " "))))
+		}
+	}
+}

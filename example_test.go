@@ -1,0 +1,75 @@
+package cdb_test
+
+import (
+	"fmt"
+
+	"cdb"
+)
+
+// ExampleOpen runs the paper's running example (Table 1 / Figure 4)
+// end to end with an infallible crowd and prints the three answers.
+func ExampleOpen() {
+	db := cdb.Open(
+		cdb.WithDataset("example", 0, 1),
+		cdb.WithPerfectWorkers(30),
+		cdb.WithSeed(7),
+	)
+	res, err := db.Exec(`SELECT Researcher.name
+		FROM Paper, Researcher, Citation, University
+		WHERE Paper.author CROWDJOIN Researcher.name AND
+		      Paper.title CROWDJOIN Citation.title AND
+		      Researcher.affiliation CROWDJOIN University.name;`)
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Println(row[0])
+	}
+	// Output:
+	// Bruce W Croft
+	// H. Jagadish
+	// S. Chaudhuri
+}
+
+// ExampleDB_Exec_budget shows the BUDGET keyword capping crowd spend.
+func ExampleDB_Exec_budget() {
+	db := cdb.Open(
+		cdb.WithDataset("example", 0, 1),
+		cdb.WithPerfectWorkers(30),
+		cdb.WithSeed(5),
+	)
+	res, err := db.Exec(`SELECT * FROM Paper, Researcher, Citation, University
+		WHERE Paper.author CROWDJOIN Researcher.name AND
+		      Paper.title CROWDJOIN Citation.title AND
+		      Researcher.affiliation CROWDJOIN University.name
+		BUDGET 6;`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("tasks within budget:", res.Stats.Tasks <= 6)
+	// Output:
+	// tasks within budget: true
+}
+
+// ExampleDB_Exec_fill crowd-fills a CROWD column with early-stopping
+// redundancy.
+func ExampleDB_Exec_fill() {
+	db := cdb.Open(
+		cdb.WithPerfectWorkers(20),
+		cdb.WithSeed(13),
+		cdb.WithFillTruth(func(tbl string, row int, col string) string {
+			return "Massachusetts"
+		}),
+	)
+	db.MustExec(`CREATE TABLE Uni (name varchar(64), state CROWD varchar(32));`)
+	if err := db.Insert("Uni", "MIT", "CNULL"); err != nil {
+		panic(err)
+	}
+	res := db.MustExec(`FILL Uni.state;`)
+	fmt.Println(res.Message)
+	rows, _ := db.Dump("Uni")
+	fmt.Println(rows[1][1])
+	// Output:
+	// filled 1 cells of Uni.state
+	// Massachusetts
+}

@@ -1,0 +1,39 @@
+// Budget: the BUDGET keyword caps crowdsourcing spend; CDB's
+// budget-aware selector (§5.1.3) invests each task in the candidate
+// most likely to become an answer, so recall climbs steeply with the
+// budget — the paper's Figure 18 in miniature.
+//
+//	go run ./examples/budget
+package main
+
+import (
+	"fmt"
+
+	"cdb"
+)
+
+func main() {
+	query := `SELECT Paper.title, Citation.number
+	          FROM Paper, Citation, Researcher
+	          WHERE Paper.title CROWDJOIN Citation.title AND
+	                Paper.author CROWDJOIN Researcher.name
+	          BUDGET %d;`
+
+	fmt.Println("budget  tasks  answers  recall  precision")
+	for _, budget := range []int{50, 100, 200, 400, 800} {
+		db := cdb.Open(
+			cdb.WithDataset("paper", 0.12, 7),
+			cdb.WithWorkers(40, 0.9, 0.05),
+			cdb.WithSeed(3),
+		)
+		res, err := db.Exec(fmt.Sprintf(query, budget))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%6d  %5d  %7d  %6.2f  %9.2f\n",
+			budget, res.Stats.Tasks, len(res.Rows), res.Stats.Recall, res.Stats.Precision)
+	}
+	fmt.Println("\nEvery budgeted task lands on a promising candidate: precision")
+	fmt.Println("stays high while recall grows with the budget and flattens out")
+	fmt.Println("once nearly all answers are found.")
+}

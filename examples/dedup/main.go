@@ -1,0 +1,56 @@
+// Dedup: crowd-based entity resolution, single-join vs multi-join.
+//
+// On a SINGLE crowd join (pure deduplication) there is nothing for
+// cross-predicate inference to prune, so the classic transitivity
+// method (Trans) is the specialist: it deduces many pair labels for
+// free. The moment a second join enters the query, CDB's tuple-level
+// graph optimization prunes candidates across predicates and overtakes
+// both the ER methods and the tree-model systems — the core story of
+// the paper's introduction.
+//
+//	go run ./examples/dedup
+package main
+
+import (
+	"fmt"
+
+	"cdb"
+)
+
+func run(label, query string) {
+	fmt.Printf("%s\n", label)
+	fmt.Println("  strategy      tasks  rounds  precision  recall")
+	for _, strat := range []string{cdb.StrategyCDB, cdb.StrategyTrans, cdb.StrategyCrowdDB} {
+		db := cdb.Open(
+			cdb.WithDataset("paper", 0.10, 7), // same data every run (same seed)
+			cdb.WithWorkers(40, 0.9, 0.05),
+			cdb.WithStrategy(strat),
+			cdb.WithSeed(99),
+		)
+		res, err := db.Exec(query)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %-12s  %5d  %6d  %9.2f  %6.2f\n",
+			strat, res.Stats.Tasks, res.Stats.Rounds, res.Stats.Precision, res.Stats.Recall)
+	}
+	fmt.Println()
+}
+
+func main() {
+	run("1 join (pure dedup): transitivity is the specialist",
+		`SELECT Researcher.name, University.name, University.country
+		 FROM Researcher, University
+		 WHERE Researcher.affiliation CROWDJOIN University.name;`)
+
+	run("2 joins: tuple-level pruning across predicates takes over",
+		`SELECT Paper.title, Researcher.affiliation, Citation.number
+		 FROM Paper, Citation, Researcher
+		 WHERE Paper.title CROWDJOIN Citation.title AND
+		       Paper.author CROWDJOIN Researcher.name;`)
+
+	fmt.Println("With one predicate CDB degenerates to asking every candidate")
+	fmt.Println("pair (like the tree systems) while Trans deduces labels via")
+	fmt.Println("transitivity. With two, most candidates die on one side or the")
+	fmt.Println("other, and CDB asks far fewer questions in far fewer rounds.")
+}

@@ -1,0 +1,3 @@
+module cdb
+
+go 1.22

@@ -1,0 +1,234 @@
+package baselines
+
+import (
+	"cdb/internal/graph"
+)
+
+// ER is the crowdsourced entity-resolution family of baselines:
+// processes join predicates one by one (best estimated order); within
+// a join, candidate pairs are asked in descending similarity order
+// across multiple waves, and transitivity over the answers deduces
+// colors of later pairs for free.
+//
+//   - Trans (Wang et al., SIGMOD'13 style) trusts both positive and
+//     negative transitivity: fewer questions, more rounds, and answer
+//     errors propagate through deductions (the ~50% quality drops the
+//     paper reports).
+//   - ACD (correlation-clustering adaptive dedup approximation) trusts
+//     only negative deductions and re-verifies positive ones with the
+//     crowd: costs more than Trans, less than tree models, with better
+//     quality.
+type ER struct {
+	Label string
+	// TrustPositive enables positive-transitivity deductions (Trans).
+	TrustPositive bool
+	// Side supplies the within-side dedup comparisons transitivity
+	// depends on; the ER method pays one task per pair. Nil disables
+	// side dedup (transitivity then only connects through answered
+	// cross pairs).
+	Side SideOracle
+
+	order       []int
+	stage       int
+	pending     []int // pairs of the current join, weight-descending
+	asked       []int // pairs asked in the previous wave
+	uf          map[int]int
+	nonMatch    map[[2]int]bool
+	initialized bool
+	extra       int
+}
+
+// SidePair is one within-table dedup comparison (two values of the
+// same column) that an entity-resolution method crowdsources so that
+// transitivity can propagate across the cross-table pairs. Match is
+// the simulated crowd outcome.
+type SidePair struct {
+	U, V  int // vertex ids
+	Match bool
+}
+
+// SideOracle returns the within-side similar pairs of a predicate
+// restricted to the currently-alive vertices.
+type SideOracle func(pred int, alive map[int]bool) []SidePair
+
+// ExtraTasks reports tasks issued outside the query graph (side
+// dedup); the executor adds them to the cost metric.
+func (t *ER) ExtraTasks() int { return t.extra }
+
+// NewTrans builds the transitivity ER baseline.
+func NewTrans() *ER { return &ER{Label: "Trans", TrustPositive: true} }
+
+// NewACD builds the adaptive correlation-clustering ER baseline.
+func NewACD() *ER { return &ER{Label: "ACD"} }
+
+// Name implements the Strategy contract.
+func (t *ER) Name() string { return t.Label }
+
+func (t *ER) find(x int) int {
+	if _, ok := t.uf[x]; !ok {
+		t.uf[x] = x
+		return x
+	}
+	if t.uf[x] != x {
+		t.uf[x] = t.find(t.uf[x])
+	}
+	return t.uf[x]
+}
+
+func (t *ER) union(a, b int) {
+	ra, rb := t.find(a), t.find(b)
+	if ra == rb {
+		return
+	}
+	t.uf[ra] = rb
+	// Merge non-match constraints onto the surviving root.
+	for key := range t.nonMatch {
+		if key[0] == ra || key[1] == ra {
+			x, y := key[0], key[1]
+			if x == ra {
+				x = rb
+			}
+			if y == ra {
+				y = rb
+			}
+			delete(t.nonMatch, key)
+			t.nonMatch[normPair(x, y)] = true
+		}
+	}
+}
+
+func normPair(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// absorb folds the previous wave's crowd answers into the clustering.
+func (t *ER) absorb(g *graph.Graph) {
+	for _, e := range t.asked {
+		ed := g.Edge(e)
+		switch ed.Color {
+		case graph.Blue:
+			t.union(ed.U, ed.V)
+		case graph.Red:
+			t.nonMatch[normPair(t.find(ed.U), t.find(ed.V))] = true
+		}
+	}
+	t.asked = nil
+}
+
+// startJoin initializes the pending pair list for the predicate,
+// restricted to tuples alive after the previously processed joins.
+func (t *ER) startJoin(g *graph.Graph, p int) {
+	t.uf = map[int]int{}
+	t.nonMatch = map[[2]int]bool{}
+	alive := aliveVertices(g, t.order[:t.stage], liveColor(g))
+	t.pending = nil
+	for _, e := range sortedEdgeIDs(g, p) {
+		ed := g.Edge(e)
+		if ed.Color != graph.Unknown || !alive[ed.U] || !alive[ed.V] {
+			continue
+		}
+		t.pending = append(t.pending, e)
+		t.uf[ed.U] = ed.U
+		t.uf[ed.V] = ed.V
+	}
+	// Pay for and absorb within-side dedup: its answers seed the
+	// clusters (matches) and constraints (non-matches) that transitive
+	// deduction works from.
+	if t.Side != nil && len(t.pending) > 0 {
+		for _, sp := range t.Side(p, alive) {
+			t.extra++
+			if sp.Match {
+				t.union(sp.U, sp.V)
+			} else {
+				t.nonMatch[normPair(t.find(sp.U), t.find(sp.V))] = true
+			}
+		}
+	}
+}
+
+// NextRound implements the Strategy contract: one wave of mutually
+// endpoint-disjoint, non-deducible pairs of the current join.
+func (t *ER) NextRound(g *graph.Graph) []int {
+	if !t.initialized {
+		t.order = DecoOrder(g)
+		t.initialized = true
+		t.startJoin(g, t.order[t.stage])
+	}
+	for {
+		t.absorb(g)
+		// Deduce what transitivity already knows, then build a wave of
+		// endpoint-cluster-disjoint pairs (pairs sharing a cluster must
+		// wait: their outcome may become deducible).
+		var wave []int
+		busy := map[int]bool{}
+		remaining := t.pending[:0]
+		for _, e := range t.pending {
+			ed := g.Edge(e)
+			if ed.Color != graph.Unknown {
+				continue
+			}
+			ra, rb := t.find(ed.U), t.find(ed.V)
+			if ra == rb {
+				if t.TrustPositive {
+					g.SetColor(e, graph.Blue) // deduced, free
+					continue
+				}
+			} else if t.nonMatch[normPair(ra, rb)] {
+				g.SetColor(e, graph.Red) // deduced, free
+				continue
+			}
+			if busy[ra] || busy[rb] {
+				remaining = append(remaining, e)
+				continue
+			}
+			busy[ra], busy[rb] = true, true
+			wave = append(wave, e)
+			remaining = append(remaining, e)
+		}
+		t.pending = append([]int(nil), remaining...)
+		if len(wave) > 0 {
+			t.asked = wave
+			return wave
+		}
+		// Current join finished; advance.
+		t.stage++
+		if t.stage >= len(t.order) {
+			return nil
+		}
+		t.startJoin(g, t.order[t.stage])
+	}
+}
+
+// Flush implements the Strategy contract: everything still pending on
+// this and later joins, without further deduction opportunities.
+func (t *ER) Flush(g *graph.Graph) []int {
+	if !t.initialized {
+		t.order = DecoOrder(g)
+		t.initialized = true
+		t.startJoin(g, t.order[t.stage])
+	}
+	t.absorb(g)
+	var all []int
+	seen := map[int]bool{}
+	add := func(e int) {
+		if !seen[e] && g.Edge(e).Color == graph.Unknown {
+			seen[e] = true
+			all = append(all, e)
+		}
+	}
+	for _, e := range t.pending {
+		add(e)
+	}
+	for s := t.stage + 1; s < len(t.order); s++ {
+		alive := aliveVertices(g, t.order[:s], optimisticColor(g))
+		for _, e := range frontierEdges(g, t.order[s], alive) {
+			add(e)
+		}
+	}
+	t.stage = len(t.order)
+	t.pending = nil
+	return all
+}

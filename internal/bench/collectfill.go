@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"fmt"
+
+	"cdb/internal/dataset"
+	"cdb/internal/quality"
+	"cdb/internal/sim"
+	"cdb/internal/stats"
+)
+
+// Fig17 regenerates the collection-semantics experiments:
+//
+//	(a) COLLECT the top-100 universities: CDB's autocompletion lets
+//	    workers see (and avoid) what is already collected, so the
+//	    number of questions grows near-linearly in the number of
+//	    distinct results, while Deco pays the coupon-collector price
+//	    for uncontrolled duplicates.
+//	(b) FILL the state of 100 universities with 5 assignments each:
+//	    CDB stops early once the first three answers agree, saving
+//	    about a third of the assignments.
+func Fig17(cfg Config) ([]*Table, error) {
+	rng := stats.NewRNG(cfg.Seed + 17)
+
+	collect := &Table{ID: "fig17a", Title: "COLLECT top-100 universities: #questions vs #results",
+		LabelNames: []string{"results", "method"}, ValueNames: []string{"questions"}}
+	fill := &Table{ID: "fig17b", Title: "FILL university states: #assignments vs #results",
+		LabelNames: []string{"results", "method"}, ValueNames: []string{"assignments"}}
+
+	const universe = 100
+	targets := []int{20, 40, 60, 80, 100}
+
+	// Per-method repetition averages.
+	type curve map[int]float64
+	runCollect := func(autocomplete bool, r *stats.RNG) curve {
+		out := curve{}
+		collected := map[int]bool{}
+		questions := 0
+		next := 0
+		for len(collected) < universe && questions < 100000 {
+			questions++
+			var item int
+			if autocomplete && r.Bool(0.9) && len(collected) > 0 && len(collected) < universe {
+				// The worker scans the suggestions and contributes
+				// something not yet present.
+				item = r.Intn(universe - len(collected))
+				idx := 0
+				for cand := 0; cand < universe; cand++ {
+					if collected[cand] {
+						continue
+					}
+					if idx == item {
+						item = cand
+						break
+					}
+					idx++
+				}
+			} else {
+				item = r.Intn(universe)
+			}
+			collected[item] = true
+			if next < len(targets) && len(collected) >= targets[next] {
+				out[targets[next]] = float64(questions)
+				next++
+			}
+		}
+		return out
+	}
+
+	var cdbAgg, decoAgg []curve
+	for rep := 0; rep < cfg.Reps; rep++ {
+		cdbAgg = append(cdbAgg, runCollect(true, rng.Split()))
+		decoAgg = append(decoAgg, runCollect(false, rng.Split()))
+	}
+	avg := func(curves []curve, m int) float64 {
+		var s float64
+		for _, c := range curves {
+			s += c[m]
+		}
+		return s / float64(len(curves))
+	}
+	for _, m := range targets {
+		collect.Rows = append(collect.Rows, Row{
+			Labels: []string{fmt.Sprintf("%03d", m), "CDB"},
+			Values: []float64{avg(cdbAgg, m)},
+		})
+		collect.Rows = append(collect.Rows, Row{
+			Labels: []string{fmt.Sprintf("%03d", m), "Deco"},
+			Values: []float64{avg(decoAgg, m)},
+		})
+	}
+
+	// FILL: 100 universities, each with a true state drawn from 50;
+	// worker answers the truth with probability WorkerQ.
+	states := make([]string, 50)
+	dirty := &dataset.Dirtier{R: rng.Split()}
+	for i := range states {
+		states[i] = dataset.InventName(dirty.R)
+	}
+	simFn := func(a, b string) float64 { return sim.Jaccard2Gram(a, b) }
+
+	runFill := func(earlyStop bool, r *stats.RNG) []float64 {
+		// cumulative assignments after each item
+		cum := make([]float64, universe+1)
+		workerAcc := make([]float64, 25)
+		for i := range workerAcc {
+			workerAcc[i] = r.NormClamped(cfg.WorkerQ, cfg.WorkerSD, 0.05, 0.99)
+		}
+		total := 0.0
+		for item := 1; item <= universe; item++ {
+			truth := states[r.Intn(len(states))]
+			var answers []quality.FillAnswer
+			asked := 0
+			for asked < 5 {
+				w := r.Intn(len(workerAcc))
+				text := truth
+				if !r.Bool(workerAcc[w]) {
+					text = states[r.Intn(len(states))]
+				}
+				answers = append(answers, quality.FillAnswer{Worker: w, Text: text})
+				asked++
+				// CDB stops once the first 3 answers are mutually similar.
+				if earlyStop && asked >= 3 && quality.FillConsistency(answers, simFn) > 0.9 {
+					break
+				}
+			}
+			total += float64(asked)
+			cum[item] = total
+		}
+		return cum
+	}
+
+	var cdbFill, decoFill []float64
+	for rep := 0; rep < cfg.Reps; rep++ {
+		c := runFill(true, rng.Split())
+		d := runFill(false, rng.Split())
+		if cdbFill == nil {
+			cdbFill = make([]float64, len(c))
+			decoFill = make([]float64, len(d))
+		}
+		for i := range c {
+			cdbFill[i] += c[i] / float64(cfg.Reps)
+			decoFill[i] += d[i] / float64(cfg.Reps)
+		}
+	}
+	for _, m := range targets {
+		fill.Rows = append(fill.Rows, Row{
+			Labels: []string{fmt.Sprintf("%03d", m), "CDB"},
+			Values: []float64{cdbFill[m]},
+		})
+		fill.Rows = append(fill.Rows, Row{
+			Labels: []string{fmt.Sprintf("%03d", m), "Deco"},
+			Values: []float64{decoFill[m]},
+		})
+	}
+	return []*Table{collect, fill}, nil
+}

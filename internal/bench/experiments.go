@@ -1,0 +1,448 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"cdb/internal/baselines"
+	"cdb/internal/cost"
+	"cdb/internal/crowd"
+	"cdb/internal/dataset"
+	"cdb/internal/exec"
+	"cdb/internal/graph"
+	"cdb/internal/latency"
+	"cdb/internal/sim"
+	"cdb/internal/stats"
+)
+
+// Fig1 regenerates the motivating example of Figure 1: a three-table
+// instance whose tuples want different join directions, so every
+// table-level order is expensive while the tuple-level optimum asks
+// only the gate edges. It reports the cost of each tree order, the
+// best tree order, and CDB's graph-based cost.
+func Fig1(cfg Config) ([]*Table, error) {
+	// Instance: T2 holds 2 "a-type" tuples (4 blue T1 edges, 1 red T3
+	// edge) and 2 "b-type" tuples (1 red T1 edge, 4 blue T3 edges). No
+	// complete blue chain exists: every candidate dies at a gate.
+	s := &graph.Structure{
+		Tables: []string{"T1", "T2", "T3"},
+		Preds:  []graph.QPred{{A: 0, B: 1, Name: "T1~T2"}, {A: 1, B: 2, Name: "T2~T3"}},
+	}
+	g := graph.MustNewGraph(s, []int{8, 4, 8})
+	truth := map[int]bool{}
+	add := func(pred, a, b int, blue bool) {
+		w := 0.4
+		if blue {
+			w = 0.8
+		}
+		id := g.AddEdge(pred, a, b, w)
+		truth[id] = blue
+	}
+	for t2 := 0; t2 < 2; t2++ { // a-type
+		for k := 0; k < 4; k++ {
+			add(0, t2*4+k, t2, true) // blue T1 edges
+		}
+		add(1, t2, t2, false) // single red T3 gate
+	}
+	for t2 := 2; t2 < 4; t2++ { // b-type
+		add(0, t2*2-3, t2, false) // single red T1 gate
+		for k := 0; k < 4; k++ {
+			add(1, t2, (t2-2)*4+k, true) // blue T3 edges
+		}
+	}
+	truthSlice := make([]bool, g.NumEdges())
+	for e, b := range truth {
+		truthSlice[e] = b
+	}
+
+	table := &Table{
+		ID:         "fig1",
+		Title:      "Motivating example: tuple-level vs table-level optimization (#tasks)",
+		LabelNames: []string{"plan"},
+		ValueNames: []string{"tasks"},
+	}
+	orders := [][]int{{0, 1}, {1, 0}}
+	best := 1 << 30
+	for _, ord := range orders {
+		c := baselines.SimulateOrderCost(g, truthSlice, ord)
+		if c < best {
+			best = c
+		}
+		table.Rows = append(table.Rows, Row{
+			Labels: []string{fmt.Sprintf("tree-order-%v", ord)},
+			Values: []float64{float64(c)},
+		})
+	}
+	// CDB execution with a perfect crowd (cost isolation).
+	strat := &cost.Expectation{}
+	tasks := 0
+	for {
+		batch := strat.NextRound(g)
+		if len(batch) == 0 {
+			break
+		}
+		tasks += len(batch)
+		for _, e := range batch {
+			if truthSlice[e] {
+				g.SetColor(e, graph.Blue)
+			} else {
+				g.SetColor(e, graph.Red)
+			}
+		}
+	}
+	table.Rows = append(table.Rows, Row{Labels: []string{"tree-best"}, Values: []float64{float64(best)}})
+	table.Rows = append(table.Rows, Row{Labels: []string{"CDB-graph"}, Values: []float64{float64(tasks)}})
+	return []*Table{table}, nil
+}
+
+// Fig8to10 regenerates the simulated-experiment grid: cost (#tasks,
+// Fig. 8), quality (F-measure, Fig. 9) and latency (#rounds, Fig. 10)
+// for the nine methods on the five representative queries.
+func Fig8to10(cfg Config) ([]*Table, error) {
+	rng := stats.NewRNG(cfg.Seed)
+	d := genData(cfg, rng.Uint64())
+	planCfg := exec.PlanConfig{Sim: defaultSim, Epsilon: 0.3}
+
+	cost8 := &Table{ID: "fig8", Title: "Cost (#tasks), simulated workers N(q,0.01)",
+		LabelNames: []string{"query", "method"}, ValueNames: []string{"tasks"}}
+	qual9 := &Table{ID: "fig9", Title: "Quality (F-measure)",
+		LabelNames: []string{"query", "method"}, ValueNames: []string{"f1"}}
+	lat10 := &Table{ID: "fig10", Title: "Latency (#rounds)",
+		LabelNames: []string{"query", "method"}, ValueNames: []string{"rounds"}}
+
+	for _, q := range dataset.QueryLabels() {
+		query := dataset.Queries(d.Name)[q]
+		for _, method := range Methods {
+			agg, err := averageCell(d, query, method, cfg, rng, planCfg, 0)
+			if err != nil {
+				return nil, fmt.Errorf("fig8 %s/%s: %w", q, method, err)
+			}
+			tasks, rounds, _, _, f1 := agg.Mean()
+			cost8.Rows = append(cost8.Rows, Row{Labels: []string{q, method}, Values: []float64{tasks}})
+			qual9.Rows = append(qual9.Rows, Row{Labels: []string{q, method}, Values: []float64{f1}})
+			lat10.Rows = append(lat10.Rows, Row{Labels: []string{q, method}, Values: []float64{rounds}})
+		}
+	}
+	return []*Table{cost8, qual9, lat10}, nil
+}
+
+// Fig11 sweeps the simulated worker quality q ∈ {0.7, 0.8, 0.9} and
+// reports mean cost, F-measure and rounds per method (averaged over
+// the five queries, as the paper's per-dataset panels do).
+func Fig11(cfg Config) ([]*Table, error) {
+	rng := stats.NewRNG(cfg.Seed + 11)
+	d := genData(cfg, rng.Uint64())
+	planCfg := exec.PlanConfig{Sim: defaultSim, Epsilon: 0.3}
+	out := &Table{ID: "fig11", Title: "Varying worker quality",
+		LabelNames: []string{"workerQ", "method"}, ValueNames: []string{"tasks", "f1", "rounds"}}
+	for _, q := range []float64{0.7, 0.8, 0.9} {
+		c := cfg
+		c.WorkerQ = q
+		for _, method := range Methods {
+			var agg stats.Agg
+			for _, ql := range dataset.QueryLabels() {
+				a, err := averageCell(d, dataset.Queries(d.Name)[ql], method, c, rng, planCfg, 0)
+				if err != nil {
+					return nil, fmt.Errorf("fig11: %w", err)
+				}
+				t, r, p, rec, f := a.Mean()
+				agg.Add(stats.Metrics{Tasks: int(t + 0.5), Rounds: int(r + 0.5), Precision: p, Recall: rec})
+				_ = f
+			}
+			tasks, rounds, _, _, f1 := agg.Mean()
+			out.Rows = append(out.Rows, Row{
+				Labels: []string{fmt.Sprintf("%.1f", q), method},
+				Values: []float64{tasks, f1, rounds},
+			})
+		}
+	}
+	return []*Table{out}, nil
+}
+
+// Fig14to16 regenerates the "real experiment" panels: the same grid
+// with an AMT-like high-quality crowd (the paper observes workers on
+// real platforms answer these tasks well) and HIT pricing (10 tasks
+// per $0.1 HIT).
+func Fig14to16(cfg Config) ([]*Table, error) {
+	c := cfg
+	c.WorkerQ = 0.92
+	c.WorkerSD = 0.05
+	rng := stats.NewRNG(cfg.Seed + 14)
+	d := genData(c, rng.Uint64())
+	planCfg := exec.PlanConfig{Sim: defaultSim, Epsilon: 0.3}
+
+	cost14 := &Table{ID: "fig14", Title: "Real-crowd cost (#tasks and $)",
+		LabelNames: []string{"query", "method"}, ValueNames: []string{"tasks", "dollars"}}
+	qual15 := &Table{ID: "fig15", Title: "Real-crowd quality (F-measure)",
+		LabelNames: []string{"query", "method"}, ValueNames: []string{"f1"}}
+	lat16 := &Table{ID: "fig16", Title: "Real-crowd latency (#rounds)",
+		LabelNames: []string{"query", "method"}, ValueNames: []string{"rounds"}}
+
+	for _, q := range dataset.QueryLabels() {
+		query := dataset.Queries(d.Name)[q]
+		for _, method := range Methods {
+			var agg stats.Agg
+			dollars := 0.0
+			for rep := 0; rep < c.Reps; rep++ {
+				p, err := buildPlan(d, query, planCfg)
+				if err != nil {
+					return nil, err
+				}
+				qm := exec.MajorityVoting
+				if method == "CDB+" {
+					qm = exec.CDBPlus
+				}
+				r, err := exec.Run(p, exec.Options{
+					Strategy:   strategyFor(method, p, c, rng),
+					Redundancy: c.Redundancy,
+					Quality:    qm,
+					Pool:       crowd.NewPool(c.PoolSize, c.WorkerQ, c.WorkerSD, rng.Split()),
+				})
+				if err != nil {
+					return nil, err
+				}
+				agg.Add(r.Metrics)
+				dollars += r.Dollars
+			}
+			tasks, rounds, _, _, f1 := agg.Mean()
+			cost14.Rows = append(cost14.Rows, Row{Labels: []string{q, method}, Values: []float64{tasks, dollars / float64(c.Reps)}})
+			qual15.Rows = append(qual15.Rows, Row{Labels: []string{q, method}, Values: []float64{f1}})
+			lat16.Rows = append(lat16.Rows, Row{Labels: []string{q, method}, Values: []float64{rounds}})
+		}
+	}
+	return []*Table{cost14, qual15, lat16}, nil
+}
+
+// Fig18 regenerates the budget experiment (Figs. 18–19): recall and
+// precision of Baseline, CDB and CDB+ as the task budget grows.
+func Fig18(cfg Config) ([]*Table, error) {
+	rng := stats.NewRNG(cfg.Seed + 18)
+	d := genData(cfg, rng.Uint64())
+	planCfg := exec.PlanConfig{Sim: defaultSim, Epsilon: 0.3}
+	query := dataset.Queries(d.Name)["2J"]
+
+	out := &Table{ID: "fig18", Title: "Budget-aware selection: recall/precision vs budget",
+		LabelNames: []string{"budget", "method"}, ValueNames: []string{"recall", "precision"}}
+	budgets := []int{50, 100, 200, 400, 600, 800}
+	for _, b := range budgets {
+		for _, method := range []string{"Baseline", "CDB", "CDB+"} {
+			var agg stats.Agg
+			for rep := 0; rep < cfg.Reps; rep++ {
+				p, err := buildPlan(d, query, planCfg)
+				if err != nil {
+					return nil, err
+				}
+				var strat cost.Strategy
+				if method == "Baseline" {
+					strat = baselines.NewGreedyBudget(b)
+				} else {
+					strat = cost.NewBudget(b)
+				}
+				qm := exec.MajorityVoting
+				if method == "CDB+" {
+					qm = exec.CDBPlus
+				}
+				r, err := exec.Run(p, exec.Options{
+					Strategy:   strat,
+					Redundancy: cfg.Redundancy,
+					Quality:    qm,
+					Pool:       crowd.NewPool(cfg.PoolSize, cfg.WorkerQ, cfg.WorkerSD, rng.Split()),
+				})
+				if err != nil {
+					return nil, err
+				}
+				agg.Add(r.Metrics)
+			}
+			_, _, prec, rec, _ := agg.Mean()
+			out.Rows = append(out.Rows, Row{
+				Labels: []string{fmt.Sprintf("%04d", b), method},
+				Values: []float64{rec, prec},
+			})
+		}
+	}
+	return []*Table{out}, nil
+}
+
+// Fig20 regenerates the redundancy tradeoff: F-measure of CDB+ vs
+// majority voting on the most complex query (3J2S) as the number of
+// assignments per task grows.
+func Fig20(cfg Config) ([]*Table, error) {
+	rng := stats.NewRNG(cfg.Seed + 20)
+	c := cfg
+	// 3J2S has few answers at small scales; a larger instance and more
+	// repetitions keep the F-measure estimates stable.
+	if c.Scale < 0.3 {
+		c.Scale = 0.3
+	}
+	if c.Reps < 6 {
+		c.Reps = 6
+	}
+	c.WorkerQ = 0.75 // the regime where inference matters most
+	d := genData(c, rng.Uint64())
+	planCfg := exec.PlanConfig{Sim: defaultSim, Epsilon: 0.3}
+	query := dataset.Queries(d.Name)["3J2S"]
+	out := &Table{ID: "fig20", Title: "Quality vs redundancy on 3J2S (CDB+ vs majority voting)",
+		LabelNames: []string{"redundancy", "method"}, ValueNames: []string{"f1"}}
+	for _, k := range []int{1, 3, 5, 7} {
+		c.Redundancy = k
+		for _, method := range []string{"CDB", "CDB+"} {
+			agg, err := averageCell(d, query, method, c, rng, planCfg, 0)
+			if err != nil {
+				return nil, err
+			}
+			_, _, _, _, f1 := agg.Mean()
+			label := "MajorityVote"
+			if method == "CDB+" {
+				label = "CDB+"
+			}
+			out.Rows = append(out.Rows, Row{
+				Labels: []string{fmt.Sprintf("%d", k), label},
+				Values: []float64{f1},
+			})
+		}
+	}
+	return []*Table{out}, nil
+}
+
+// Fig21 regenerates quality vs cost: F-measure as the question budget
+// grows, redundancy fixed at 5, CDB+ vs majority voting.
+func Fig21(cfg Config) ([]*Table, error) {
+	rng := stats.NewRNG(cfg.Seed + 21)
+	c := cfg
+	if c.Scale < 0.3 {
+		c.Scale = 0.3
+	}
+	if c.Reps < 6 {
+		c.Reps = 6
+	}
+	c.WorkerQ = 0.75
+	d := genData(c, rng.Uint64())
+	planCfg := exec.PlanConfig{Sim: defaultSim, Epsilon: 0.3}
+	query := dataset.Queries(d.Name)["3J2S"]
+	out := &Table{ID: "fig21", Title: "Quality vs #questions on 3J2S (redundancy 5)",
+		LabelNames: []string{"budget", "method"}, ValueNames: []string{"f1"}}
+	for _, b := range []int{40, 80, 120, 160, 200} {
+		for _, method := range []string{"CDB", "CDB+"} {
+			var agg stats.Agg
+			for rep := 0; rep < c.Reps; rep++ {
+				p, err := buildPlan(d, query, planCfg)
+				if err != nil {
+					return nil, err
+				}
+				qm := exec.MajorityVoting
+				label := "MajorityVote"
+				if method == "CDB+" {
+					qm = exec.CDBPlus
+					label = "CDB+"
+				}
+				_ = label
+				r, err := exec.Run(p, exec.Options{
+					Strategy:   cost.NewBudget(b),
+					Redundancy: c.Redundancy,
+					Quality:    qm,
+					Pool:       crowd.NewPool(c.PoolSize, c.WorkerQ, c.WorkerSD, rng.Split()),
+				})
+				if err != nil {
+					return nil, err
+				}
+				agg.Add(r.Metrics)
+			}
+			_, _, _, _, f1 := agg.Mean()
+			label := "MajorityVote"
+			if method == "CDB+" {
+				label = "CDB+"
+			}
+			out.Rows = append(out.Rows, Row{
+				Labels: []string{fmt.Sprintf("%04d", b), label},
+				Values: []float64{f1},
+			})
+		}
+	}
+	return []*Table{out}, nil
+}
+
+// Fig22 regenerates the cost/latency tradeoff: each method optimizes
+// for the first r−1 rounds and floods the rest in round r.
+func Fig22(cfg Config) ([]*Table, error) {
+	rng := stats.NewRNG(cfg.Seed + 22)
+	d := genData(cfg, rng.Uint64())
+	planCfg := exec.PlanConfig{Sim: defaultSim, Epsilon: 0.3}
+	query := dataset.Queries(d.Name)["3J"]
+	out := &Table{ID: "fig22", Title: "Cost vs latency constraint (rounds) on 3J",
+		LabelNames: []string{"rounds", "method"}, ValueNames: []string{"tasks"}}
+	for _, r := range []int{1, 2, 3, 4, 5, 6} {
+		for _, method := range Methods {
+			agg, err := averageCell(d, query, method, cfg, rng, planCfg, r)
+			if err != nil {
+				return nil, err
+			}
+			tasks, _, _, _, _ := agg.Mean()
+			out.Rows = append(out.Rows, Row{
+				Labels: []string{fmt.Sprintf("%d", r), method},
+				Values: []float64{tasks},
+			})
+		}
+	}
+	return []*Table{out}, nil
+}
+
+// Fig23to24 regenerates the similarity-function ablation: cost and
+// F-measure of the expectation-based method under NoSim, edit
+// distance, token Jaccard and 2-gram Jaccard probabilities.
+func Fig23to24(cfg Config) ([]*Table, error) {
+	rng := stats.NewRNG(cfg.Seed + 23)
+	d := genData(cfg, rng.Uint64())
+	funcs := []struct {
+		label string
+		f     sim.Func
+	}{
+		{"NoSim", sim.NoSim},
+		{"ED", sim.EditDistance},
+		{"JAC", sim.TokenJaccard},
+		{"CDB", sim.Gram2Jaccard},
+	}
+	costT := &Table{ID: "fig23", Title: "Similarity functions: cost (#tasks)",
+		LabelNames: []string{"query", "simfunc"}, ValueNames: []string{"tasks"}}
+	qualT := &Table{ID: "fig24", Title: "Similarity functions: F-measure",
+		LabelNames: []string{"query", "simfunc"}, ValueNames: []string{"f1"}}
+	for _, q := range []string{"2J", "3J"} {
+		query := dataset.Queries(d.Name)[q]
+		for _, fn := range funcs {
+			planCfg := exec.PlanConfig{Sim: fn.f, Epsilon: 0.3}
+			agg, err := averageCell(d, query, "CDB", cfg, rng, planCfg, 0)
+			if err != nil {
+				return nil, err
+			}
+			tasks, _, _, _, f1 := agg.Mean()
+			costT.Rows = append(costT.Rows, Row{Labels: []string{q, fn.label}, Values: []float64{tasks}})
+			qualT.Rows = append(qualT.Rows, Row{Labels: []string{q, fn.label}, Values: []float64{f1}})
+		}
+	}
+	return []*Table{costT, qualT}, nil
+}
+
+// Table5 regenerates the optimizer-efficiency table: milliseconds to
+// select the next parallel batch of tasks per query.
+func Table5(cfg Config) ([]*Table, error) {
+	rng := stats.NewRNG(cfg.Seed + 5)
+	out := &Table{ID: "table5", Title: "Task-selection efficiency (ms, first round)",
+		LabelNames: []string{"dataset", "query"}, ValueNames: []string{"millis"}}
+	for _, ds := range []string{"paper", "award"} {
+		c := cfg
+		c.Dataset = ds
+		d := genData(c, rng.Uint64())
+		for _, q := range dataset.QueryLabels() {
+			p, err := buildPlan(d, dataset.Queries(ds)[q], exec.PlanConfig{Sim: defaultSim, Epsilon: 0.3})
+			if err != nil {
+				return nil, err
+			}
+			strat := &cost.Expectation{}
+			start := time.Now()
+			order := strat.Order(p.G)
+			latency.ParallelBatch(p.G, order)
+			ms := float64(time.Since(start).Microseconds()) / 1000.0
+			out.Rows = append(out.Rows, Row{Labels: []string{ds, q}, Values: []float64{ms}})
+		}
+	}
+	return []*Table{out}, nil
+}

@@ -1,0 +1,121 @@
+// Package cost implements CDB's cost control (§5.1): selecting the
+// cheapest set of crowd tasks that still determines every query
+// answer. It provides
+//
+//   - the optimal known-color selection of Lemma 1 (blue chains +
+//     min-cut over a flow network; star-join special rule),
+//   - the sampling greedy ("MinCut" method in the paper's
+//     experiments): sample colorings from edge probabilities, solve
+//     each sample optimally, rank edges by how often samples need
+//     them,
+//   - the expectation-based method (Eq. 1), CDB's default, and
+//   - budget-aware selection (§5.1.3): spend exactly B tasks to
+//     maximize found answers.
+//
+// Each method is exposed as a Strategy: the executor repeatedly calls
+// NextRound, crowdsources the returned batch, colors the graph with
+// the inferred answers, and calls again until the strategy is done.
+package cost
+
+import (
+	"sort"
+
+	"cdb/internal/graph"
+	"cdb/internal/latency"
+)
+
+// Strategy produces, round by round, the tasks to crowdsource. A nil
+// or empty batch signals completion. Flush returns everything the
+// strategy still considers necessary, for latency-constrained
+// execution (Fig. 22) where the last permitted round floods all
+// remaining tasks.
+type Strategy interface {
+	Name() string
+	NextRound(g *graph.Graph) []int
+	Flush(g *graph.Graph) []int
+}
+
+// Expectation is CDB's default task-selection strategy: rank every
+// valid uncolored edge by its pruning expectation (Eq. 1) and ask the
+// largest conflict-free prefix in parallel each round.
+type Expectation struct {
+	// Serial disables the latency scheduler (one task per round); used
+	// only by ablations.
+	Serial bool
+}
+
+// Name implements Strategy.
+func (e *Expectation) Name() string { return "CDB" }
+
+// Order ranks valid uncolored edges by pruning expectation,
+// descending; ties broken by smaller weight first (cheaper to refute),
+// then id for determinism.
+func (e *Expectation) Order(g *graph.Graph) []int {
+	order, _ := e.OrderScored(g)
+	return order
+}
+
+// OrderScored additionally returns each edge's pruning expectation,
+// which the latency scheduler uses to decide which tasks may share a
+// round.
+func (e *Expectation) OrderScored(g *graph.Graph) ([]int, map[int]float64) {
+	edges := g.ValidUncolored()
+	exp := make(map[int]float64, len(edges))
+	for _, id := range edges {
+		exp[id] = PruningExpectation(g, id)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if exp[a] != exp[b] {
+			return exp[a] > exp[b]
+		}
+		if wa, wb := g.Edge(a).W, g.Edge(b).W; wa != wb {
+			return wa < wb
+		}
+		return a < b
+	})
+	return edges, exp
+}
+
+// NextRound implements Strategy.
+func (e *Expectation) NextRound(g *graph.Graph) []int {
+	order, score := e.OrderScored(g)
+	if len(order) == 0 {
+		return nil
+	}
+	if e.Serial {
+		return latency.SerialBatch(g, order)
+	}
+	return latency.ParallelBatchScored(g, order, score)
+}
+
+// Flush implements Strategy: everything valid and uncolored.
+func (e *Expectation) Flush(g *graph.Graph) []int { return g.ValidUncolored() }
+
+// PruningExpectation computes Eq. 1 for edge id: the expected number
+// of tasks saved by asking it, from both endpoint bundles. A bundle
+// containing a blue edge can never fully disconnect, so its term is
+// zero.
+func PruningExpectation(g *graph.Graph, id int) float64 {
+	e := g.Edge(id)
+	return bundleTerm(g, e.U, e.Pred) + bundleTerm(g, e.V, e.Pred)
+}
+
+func bundleTerm(g *graph.Graph, v, pred int) float64 {
+	prod := 1.0
+	x := 0
+	for _, eid := range g.EdgesAt(v, pred) {
+		switch ed := g.Edge(eid); ed.Color {
+		case graph.Blue:
+			return 0 // bundle cannot be fully cut
+		case graph.Unknown:
+			prod *= 1 - ed.W
+			x++
+		}
+	}
+	if x == 0 {
+		return 0
+	}
+	loss, _ := g.CutLoss(v, pred)
+	return prod / float64(x) * float64(loss)
+}

@@ -1,0 +1,310 @@
+package cql
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePaperQuery3J(t *testing.T) {
+	// The 3J query from Table 4.
+	q := `SELECT Paper.title, Citation.number, University.country
+	      FROM Paper, Citation, Researcher, University
+	      WHERE Paper.title CROWDJOIN Citation.title AND
+	            Paper.author CROWDJOIN Researcher.name AND
+	            University.name CROWDJOIN Researcher.affiliation;`
+	st, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := st.(*Select)
+	if !ok {
+		t.Fatalf("parsed %T", st)
+	}
+	if len(s.Cols) != 3 || s.Star {
+		t.Fatalf("cols = %v", s.Cols)
+	}
+	if len(s.From) != 4 {
+		t.Fatalf("from = %v", s.From)
+	}
+	if len(s.Where) != 3 {
+		t.Fatalf("where = %v", s.Where)
+	}
+	for _, p := range s.Where {
+		if p.Kind != CrowdJoin {
+			t.Fatalf("predicate kind = %v", p.Kind)
+		}
+	}
+	if s.Where[0].Left.String() != "Paper.title" || s.Where[0].Right.String() != "Citation.title" {
+		t.Fatalf("first predicate = %v", s.Where[0])
+	}
+}
+
+func TestParseStarAndSelection(t *testing.T) {
+	q := `SELECT * FROM University WHERE University.country CROWDEQUAL "USA";`
+	st, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.(*Select)
+	if !s.Star {
+		t.Fatal("expected SELECT *")
+	}
+	if len(s.Where) != 1 || s.Where[0].Kind != CrowdEqual || s.Where[0].Value != "USA" {
+		t.Fatalf("where = %v", s.Where)
+	}
+}
+
+func TestParseBudget(t *testing.T) {
+	st, err := Parse(`SELECT * FROM T WHERE T.a CROWDEQUAL 'x' BUDGET 500`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*Select).Budget != 500 {
+		t.Fatalf("budget = %d", st.(*Select).Budget)
+	}
+	if _, err := Parse(`SELECT * FROM T BUDGET 0`); err == nil {
+		t.Fatal("zero budget should be rejected")
+	}
+}
+
+func TestParseTraditionalPredicates(t *testing.T) {
+	st, err := Parse(`SELECT * FROM A, B WHERE A.x = B.y AND A.z = 'v' AND A.n = 42`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := st.(*Select).Where
+	if w[0].Kind != EquiJoin {
+		t.Fatalf("w0 = %v", w[0])
+	}
+	if w[1].Kind != Equal || w[1].Value != "v" {
+		t.Fatalf("w1 = %v", w[1])
+	}
+	if w[2].Kind != Equal || w[2].Value != "42" {
+		t.Fatalf("w2 = %v", w[2])
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	q := `CREATE TABLE Researcher (name varchar(64), gender CROWD varchar(16), age int, score float);`
+	st, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*CreateTable)
+	if ct.Crowd || ct.Name != "Researcher" || len(ct.Cols) != 4 {
+		t.Fatalf("create = %+v", ct)
+	}
+	if ct.Cols[0].Crowd || !ct.Cols[1].Crowd {
+		t.Fatal("CROWD column flags wrong")
+	}
+	if ct.Cols[1].Type != "varchar" || ct.Cols[1].Size != 16 {
+		t.Fatalf("col1 = %+v", ct.Cols[1])
+	}
+	if ct.Cols[2].Type != "int" || ct.Cols[3].Type != "float" {
+		t.Fatal("numeric types wrong")
+	}
+}
+
+func TestParseCreateCrowdTable(t *testing.T) {
+	q := `CREATE CROWD TABLE University (name varchar(64), city varchar(64), country varchar(64));`
+	st, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*CreateTable)
+	if !ct.Crowd {
+		t.Fatal("CROWD TABLE flag lost")
+	}
+}
+
+func TestParseFill(t *testing.T) {
+	st, err := Parse(`FILL Researcher.affiliation WHERE Researcher.gender = 'female';`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := st.(*Fill)
+	if f.Target.String() != "Researcher.affiliation" {
+		t.Fatalf("target = %v", f.Target)
+	}
+	if len(f.Where) != 1 || f.Where[0].Value != "female" {
+		t.Fatalf("where = %v", f.Where)
+	}
+	if _, err := Parse(`FILL gender`); err == nil {
+		t.Fatal("unqualified FILL target should be rejected")
+	}
+}
+
+func TestParseCollect(t *testing.T) {
+	st, err := Parse(`COLLECT University.name, University.city WHERE University.country = "US" BUDGET 100;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := st.(*Collect)
+	if len(c.Cols) != 2 || c.Budget != 100 {
+		t.Fatalf("collect = %+v", c)
+	}
+	if _, err := Parse(`COLLECT name`); err == nil {
+		t.Fatal("unqualified COLLECT column should be rejected")
+	}
+}
+
+func TestParseAllScript(t *testing.T) {
+	script := `
+	CREATE TABLE A (x varchar(8));
+	CREATE TABLE B (y varchar(8));
+	SELECT * FROM A, B WHERE A.x CROWDJOIN B.y;
+	`
+	stmts, err := ParseAll(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("parsed %d statements", len(stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`;`,
+		`DROP TABLE x`,
+		`SELECT FROM T`,
+		`SELECT * T`,
+		`SELECT * FROM`,
+		`SELECT * FROM T WHERE`,
+		`SELECT * FROM T WHERE T.a CROWDJOIN`,
+		`SELECT * FROM T WHERE T.a CROWDJOIN b`,
+		`SELECT * FROM T WHERE T.a CROWDEQUAL 5`,
+		`SELECT * FROM T WHERE T.a <> 5`,
+		`CREATE TABLE (x int)`,
+		`CREATE TABLE T x int`,
+		`CREATE TABLE T (x varchar)`,
+		`CREATE TABLE T (x blob)`,
+		`SELECT * FROM T BUDGET x`,
+		`SELECT * FROM T WHERE T.a = 'unterminated`,
+		`SELECT * FROM T @`,
+	}
+	for _, q := range bad {
+		if _, err := ParseAll(q); err == nil {
+			t.Errorf("accepted bad input %q", q)
+		}
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	st, err := Parse(`select * from T where T.a crowdequal 'x' budget 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.(*Select)
+	if !s.Star || s.Budget != 7 || s.Where[0].Kind != CrowdEqual {
+		t.Fatalf("case-insensitive parse wrong: %+v", s)
+	}
+}
+
+func TestParseRejectsTwoStatementsInParse(t *testing.T) {
+	if _, err := Parse(`SELECT * FROM A; SELECT * FROM B;`); err == nil {
+		t.Fatal("Parse should reject multiple statements")
+	}
+}
+
+// TestRoundTrip: String() output re-parses to an equivalent statement.
+func TestRoundTrip(t *testing.T) {
+	queries := []string{
+		`SELECT * FROM Paper, Citation WHERE Paper.title CROWDJOIN Citation.title;`,
+		`SELECT Paper.title, Citation.number FROM Paper, Citation WHERE Paper.title CROWDJOIN Citation.title AND Paper.conference CROWDEQUAL "sigmod" BUDGET 300;`,
+		`CREATE CROWD TABLE University (name varchar(64), country CROWD varchar(32), rank int);`,
+		`FILL Researcher.gender;`,
+		`COLLECT University.name, University.city WHERE University.country = "US" BUDGET 50;`,
+	}
+	for _, q := range queries {
+		s1, err := Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		s2, err := Parse(s1.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", s1.String(), err)
+		}
+		if s1.String() != s2.String() {
+			t.Fatalf("round trip drift:\n  %s\n  %s", s1.String(), s2.String())
+		}
+	}
+}
+
+// TestLexerNeverPanics: arbitrary input either lexes or errors.
+func TestLexerNeverPanics(t *testing.T) {
+	err := quick.Check(func(s string) bool {
+		toks, err := lex(s)
+		if err != nil {
+			return true
+		}
+		return len(toks) >= 1 && toks[len(toks)-1].kind == tokEOF
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParserNeverPanics on fuzz-ish inputs built from CQL fragments.
+func TestParserNeverPanics(t *testing.T) {
+	frag := []string{"SELECT", "*", "FROM", "WHERE", "T.a", "CROWDJOIN", "CROWDEQUAL",
+		"'x'", "AND", ",", "(", ")", "BUDGET", "5", "CREATE", "TABLE", "CROWD", "FILL", "COLLECT", ";"}
+	err := quick.Check(func(seed uint64) bool {
+		var sb strings.Builder
+		x := seed
+		for i := 0; i < 12; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			sb.WriteString(frag[x%uint64(len(frag))])
+			sb.WriteString(" ")
+		}
+		_, _ = ParseAll(sb.String()) // must not panic
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseGroupOrderBy(t *testing.T) {
+	st, err := Parse(`SELECT Paper.conference FROM Paper, Citation
+		WHERE Paper.title CROWDJOIN Citation.title
+		GROUP BY Paper.conference ORDER BY Paper.conference BUDGET 10;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.(*Select)
+	if s.GroupBy == nil || s.GroupBy.String() != "Paper.conference" {
+		t.Fatalf("group by = %v", s.GroupBy)
+	}
+	if s.OrderBy == nil || s.OrderBy.String() != "Paper.conference" {
+		t.Fatalf("order by = %v", s.OrderBy)
+	}
+	if s.Budget != 10 {
+		t.Fatalf("budget = %d", s.Budget)
+	}
+	// Round trip.
+	st2, err := Parse(s.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.String() != s.String() {
+		t.Fatalf("round trip drift: %s vs %s", st2.String(), s.String())
+	}
+}
+
+func TestParseGroupOrderByErrors(t *testing.T) {
+	bad := []string{
+		`SELECT * FROM T GROUP Paper.conference`,
+		`SELECT * FROM T GROUP BY`,
+		`SELECT * FROM T GROUP BY conference`,
+		`SELECT * FROM T ORDER BY`,
+		`SELECT * FROM T ORDER BY conference`,
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("accepted %q", q)
+		}
+	}
+}

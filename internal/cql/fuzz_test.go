@@ -1,0 +1,42 @@
+package cql
+
+import (
+	"testing"
+)
+
+// FuzzParseAll checks the parser never panics and that every accepted
+// statement survives a render→re-parse round trip. Run the seed corpus
+// with `go test`; explore with `go test -fuzz=FuzzParseAll`.
+func FuzzParseAll(f *testing.F) {
+	seeds := []string{
+		`SELECT * FROM A, B WHERE A.x CROWDJOIN B.y;`,
+		`SELECT a.b FROM T WHERE T.c CROWDEQUAL "v" BUDGET 3;`,
+		`CREATE CROWD TABLE U (name varchar(64), n int, f float);`,
+		`FILL T.c WHERE T.d = 'x';`,
+		`COLLECT U.name BUDGET 9;`,
+		`SELECT T.a FROM T GROUP BY T.a ORDER BY T.a;`,
+		`select * from t where t.a = 5 and t.b = t2.c`,
+		`;;;`,
+		`SELECT`,
+		"SELECT * FROM T WHERE T.a CROWDEQUAL '\x00\xff'",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmts, err := ParseAll(input)
+		if err != nil {
+			return
+		}
+		for _, st := range stmts {
+			rendered := st.String()
+			again, err := Parse(rendered)
+			if err != nil {
+				t.Fatalf("accepted %q but rendered form %q fails: %v", input, rendered, err)
+			}
+			if again.String() != rendered {
+				t.Fatalf("unstable rendering: %q -> %q", rendered, again.String())
+			}
+		}
+	})
+}

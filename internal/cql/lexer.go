@@ -1,0 +1,118 @@
+// Package cql implements CDB's declarative language CQL (§3,
+// Appendix A): standard SQL extended with the crowd-powered keywords
+// CROWD, CROWDJOIN, CROWDEQUAL, FILL, COLLECT and BUDGET. The package
+// provides a lexer, an AST and a recursive-descent parser; binding
+// against a catalog happens in the executor.
+package cql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // ( ) , . ; = *
+)
+
+// keywords recognized case-insensitively. Identifiers matching these
+// are reported as tokKeyword with upper-cased text.
+var keywords = map[string]bool{
+	"CREATE": true, "TABLE": true, "CROWD": true,
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true,
+	"CROWDJOIN": true, "CROWDEQUAL": true,
+	"FILL": true, "COLLECT": true, "BUDGET": true,
+	"GROUP": true, "ORDER": true, "BY": true,
+	"VARCHAR": true, "INT": true, "FLOAT": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; strings unquoted
+	pos  int    // byte offset for error messages
+}
+
+// lex tokenizes the input. It returns an error for unterminated
+// strings or unexpected characters.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			// Single-quoted strings are raw (SQL style, no escapes).
+			j := i + 1
+			for j < len(input) && input[j] != '\'' {
+				j++
+			}
+			if j >= len(input) {
+				return nil, fmt.Errorf("cql: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: input[i+1 : j], pos: i})
+			i = j + 1
+		case c == '"':
+			// Double-quoted strings support Go-style backslash escapes,
+			// matching how the AST renders constants back to text.
+			j := i + 1
+			for j < len(input) && input[j] != '"' {
+				if input[j] == '\\' && j+1 < len(input) {
+					j++
+				}
+				j++
+			}
+			if j >= len(input) {
+				return nil, fmt.Errorf("cql: unterminated string at offset %d", i)
+			}
+			unquoted, err := strconv.Unquote(input[i : j+1])
+			if err != nil {
+				return nil, fmt.Errorf("cql: bad string literal at offset %d: %v", i, err)
+			}
+			toks = append(toks, token{kind: tokString, text: unquoted, pos: i})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(input) && input[j] >= '0' && input[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[i:j], pos: i})
+			i = j
+		case c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+			j := i
+			for j < len(input) && (isIdentByte(input[j])) {
+				j++
+			}
+			word := input[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{kind: tokKeyword, text: up, pos: i})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: i})
+			}
+			i = j
+		case strings.ContainsRune("(),.;=*", c):
+			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("cql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}
+
+func isIdentByte(b byte) bool {
+	return b == '_' || b >= '0' && b <= '9' ||
+		b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z'
+}

@@ -1,0 +1,415 @@
+package cql
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses a single CQL statement (a trailing semicolon is
+// optional).
+func Parse(input string) (Statement, error) {
+	stmts, err := ParseAll(input)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("cql: expected one statement, found %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+// ParseAll parses a semicolon-separated script.
+func ParseAll(input string) ([]Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var out []Statement
+	for !p.at(tokEOF) {
+		if p.atSymbol(";") {
+			p.next()
+			continue
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		if p.atSymbol(";") {
+			p.next()
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cql: empty input")
+	}
+	return out, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k tokenKind) bool { return p.cur().kind == k }
+func (p *parser) atSymbol(s string) bool {
+	return p.cur().kind == tokSymbol && p.cur().text == s
+}
+func (p *parser) atKeyword(k string) bool {
+	return p.cur().kind == tokKeyword && p.cur().text == k
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.atSymbol(s) {
+		return fmt.Errorf("cql: expected %q at offset %d, found %q", s, p.cur().pos, p.cur().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectKeyword(k string) error {
+	if !p.atKeyword(k) {
+		return fmt.Errorf("cql: expected %s at offset %d, found %q", k, p.cur().pos, p.cur().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	if !p.at(tokIdent) {
+		return "", fmt.Errorf("cql: expected identifier at offset %d, found %q", p.cur().pos, p.cur().text)
+	}
+	return p.next().text, nil
+}
+
+func (p *parser) number() (int, error) {
+	if !p.at(tokNumber) {
+		return 0, fmt.Errorf("cql: expected number at offset %d, found %q", p.cur().pos, p.cur().text)
+	}
+	n, err := strconv.Atoi(p.next().text)
+	if err != nil {
+		return 0, fmt.Errorf("cql: bad number: %w", err)
+	}
+	return n, nil
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.atKeyword("CREATE"):
+		return p.createTable()
+	case p.atKeyword("SELECT"):
+		return p.selectStmt()
+	case p.atKeyword("FILL"):
+		return p.fillStmt()
+	case p.atKeyword("COLLECT"):
+		return p.collectStmt()
+	default:
+		return nil, fmt.Errorf("cql: unexpected token %q at offset %d", p.cur().text, p.cur().pos)
+	}
+}
+
+func (p *parser) createTable() (Statement, error) {
+	p.next() // CREATE
+	ct := &CreateTable{}
+	if p.atKeyword("CROWD") {
+		ct.Crowd = true
+		p.next()
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ct.Name = name
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.colDef()
+		if err != nil {
+			return nil, err
+		}
+		ct.Cols = append(ct.Cols, col)
+		if p.atSymbol(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+func (p *parser) colDef() (ColDef, error) {
+	var c ColDef
+	name, err := p.ident()
+	if err != nil {
+		return c, err
+	}
+	c.Name = name
+	if p.atKeyword("CROWD") {
+		c.Crowd = true
+		p.next()
+	}
+	switch {
+	case p.atKeyword("VARCHAR"):
+		p.next()
+		c.Type = "varchar"
+		if err := p.expectSymbol("("); err != nil {
+			return c, err
+		}
+		n, err := p.number()
+		if err != nil {
+			return c, err
+		}
+		c.Size = n
+		if err := p.expectSymbol(")"); err != nil {
+			return c, err
+		}
+	case p.atKeyword("INT"):
+		p.next()
+		c.Type = "int"
+	case p.atKeyword("FLOAT"):
+		p.next()
+		c.Type = "float"
+	default:
+		return c, fmt.Errorf("cql: expected column type at offset %d, found %q", p.cur().pos, p.cur().text)
+	}
+	return c, nil
+}
+
+// colRef parses Table.Column or a bare Column.
+func (p *parser) colRef() (ColRef, error) {
+	first, err := p.ident()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.atSymbol(".") {
+		p.next()
+		col, err := p.ident()
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Table: first, Column: col}, nil
+	}
+	return ColRef{Column: first}, nil
+}
+
+func (p *parser) selectStmt() (Statement, error) {
+	p.next() // SELECT
+	s := &Select{}
+	if p.atSymbol("*") {
+		p.next()
+		s.Star = true
+	} else {
+		for {
+			c, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			s.Cols = append(s.Cols, c)
+			if p.atSymbol(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		s.From = append(s.From, t)
+		if p.atSymbol(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	where, err := p.optWhere()
+	if err != nil {
+		return nil, err
+	}
+	s.Where = where
+	if p.atKeyword("GROUP") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		ref, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		if ref.Table == "" {
+			return nil, fmt.Errorf("cql: GROUP BY column must be table-qualified")
+		}
+		s.GroupBy = &ref
+	}
+	if p.atKeyword("ORDER") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		ref, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		if ref.Table == "" {
+			return nil, fmt.Errorf("cql: ORDER BY column must be table-qualified")
+		}
+		s.OrderBy = &ref
+	}
+	budget, err := p.optBudget()
+	if err != nil {
+		return nil, err
+	}
+	s.Budget = budget
+	return s, nil
+}
+
+func (p *parser) optWhere() ([]Predicate, error) {
+	if !p.atKeyword("WHERE") {
+		return nil, nil
+	}
+	p.next()
+	var preds []Predicate
+	for {
+		pr, err := p.predicate()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, pr)
+		if p.atKeyword("AND") {
+			p.next()
+			continue
+		}
+		break
+	}
+	return preds, nil
+}
+
+func (p *parser) optBudget() (int, error) {
+	if !p.atKeyword("BUDGET") {
+		return 0, nil
+	}
+	p.next()
+	n, err := p.number()
+	if err != nil {
+		return 0, err
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("cql: BUDGET must be positive, got %d", n)
+	}
+	return n, nil
+}
+
+func (p *parser) predicate() (Predicate, error) {
+	left, err := p.colRef()
+	if err != nil {
+		return Predicate{}, err
+	}
+	switch {
+	case p.atKeyword("CROWDJOIN"):
+		p.next()
+		right, err := p.colRef()
+		if err != nil {
+			return Predicate{}, err
+		}
+		if right.Table == "" {
+			return Predicate{}, fmt.Errorf("cql: CROWDJOIN right side must be table-qualified")
+		}
+		return Predicate{Kind: CrowdJoin, Left: left, Right: right}, nil
+	case p.atKeyword("CROWDEQUAL"):
+		p.next()
+		if !p.at(tokString) {
+			return Predicate{}, fmt.Errorf("cql: CROWDEQUAL expects a string literal at offset %d", p.cur().pos)
+		}
+		return Predicate{Kind: CrowdEqual, Left: left, Value: p.next().text}, nil
+	case p.atSymbol("="):
+		p.next()
+		switch {
+		case p.at(tokString):
+			return Predicate{Kind: Equal, Left: left, Value: p.next().text}, nil
+		case p.at(tokNumber):
+			return Predicate{Kind: Equal, Left: left, Value: p.next().text}, nil
+		case p.at(tokIdent):
+			right, err := p.colRef()
+			if err != nil {
+				return Predicate{}, err
+			}
+			if right.Table == "" {
+				// A bare identifier on the right of '=' is treated as an
+				// unquoted constant for convenience.
+				return Predicate{Kind: Equal, Left: left, Value: right.Column}, nil
+			}
+			return Predicate{Kind: EquiJoin, Left: left, Right: right}, nil
+		default:
+			return Predicate{}, fmt.Errorf("cql: bad right side of '=' at offset %d", p.cur().pos)
+		}
+	default:
+		return Predicate{}, fmt.Errorf("cql: expected CROWDJOIN, CROWDEQUAL or '=' at offset %d, found %q",
+			p.cur().pos, p.cur().text)
+	}
+}
+
+func (p *parser) fillStmt() (Statement, error) {
+	p.next() // FILL
+	target, err := p.colRef()
+	if err != nil {
+		return nil, err
+	}
+	if target.Table == "" {
+		return nil, fmt.Errorf("cql: FILL target must be Table.Column")
+	}
+	where, err := p.optWhere()
+	if err != nil {
+		return nil, err
+	}
+	budget, err := p.optBudget()
+	if err != nil {
+		return nil, err
+	}
+	return &Fill{Target: target, Where: where, Budget: budget}, nil
+}
+
+func (p *parser) collectStmt() (Statement, error) {
+	p.next() // COLLECT
+	c := &Collect{}
+	for {
+		ref, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		if ref.Table == "" {
+			return nil, fmt.Errorf("cql: COLLECT columns must be Table.Column")
+		}
+		c.Cols = append(c.Cols, ref)
+		if p.atSymbol(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	where, err := p.optWhere()
+	if err != nil {
+		return nil, err
+	}
+	c.Where = where
+	budget, err := p.optBudget()
+	if err != nil {
+		return nil, err
+	}
+	c.Budget = budget
+	return c, nil
+}

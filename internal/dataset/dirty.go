@@ -1,0 +1,238 @@
+// Package dataset synthesizes the paper's two evaluation datasets
+// (Table 2: paper, crawled from ACM/DBLP; Table 3: award, crawled from
+// DBpedia/Yago) with the same cardinalities, join topology and
+// dirty-string characteristics, plus a ground-truth oracle. The
+// crawled originals are not redistributable, so we generate entities
+// from vocabularies and derive "dirty" variants with the perturbations
+// that make crowd joins necessary in the first place: abbreviations
+// ("University" → "Univ."), initials ("Michael" → "M."), typos, token
+// drops and reorderings. Every produced string is registered with the
+// oracle, so simulated workers and the evaluation metrics know the
+// true matches. The package also embeds the running example of
+// Table 1 / Figure 4 used in tests and the quickstart.
+package dataset
+
+import (
+	"strings"
+
+	"cdb/internal/stats"
+)
+
+// Vocabulary pools. Sizes are chosen so that distinct entities share
+// enough tokens/grams to create plausible-but-wrong candidate pairs
+// (the RED edges of the paper's graphs).
+var firstNames = []string{
+	"Michael", "David", "James", "John", "Robert", "William", "Richard", "Joseph",
+	"Thomas", "Charles", "Mary", "Patricia", "Jennifer", "Linda", "Elizabeth",
+	"Susan", "Jessica", "Sarah", "Karen", "Nancy", "Daniel", "Matthew", "Anthony",
+	"Mark", "Donald", "Steven", "Paul", "Andrew", "Joshua", "Kenneth", "Kevin",
+	"Brian", "George", "Edward", "Ronald", "Timothy", "Jason", "Jeffrey", "Ryan",
+	"Jacob", "Gary", "Nicholas", "Eric", "Jonathan", "Stephen", "Larry", "Justin",
+	"Scott", "Brandon", "Benjamin", "Samuel", "Gregory", "Frank", "Alexander",
+	"Raymond", "Patrick", "Jack", "Dennis", "Jerry", "Tyler", "Aaron", "Jose",
+	"Hector", "Samuel2", "Wei", "Jian", "Guoliang", "Ju", "Yudian", "Xiang",
+	"Haitao", "Lei", "Ming", "Hong", "Ying", "Feng", "Surajit", "Aditya",
+	"Hector2", "Bruce", "Victor", "Divesh", "Rajeev", "Hank", "Laura", "Magda",
+}
+
+var lastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
+	"Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson",
+	"Thomas", "Taylor", "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson",
+	"White", "Harris", "Sanchez", "Clark", "Ramirez", "Lewis", "Robinson", "Walker",
+	"Young", "Allen", "King", "Wright", "Scott", "Torres", "Nguyen", "Hill",
+	"Flores", "Green", "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell",
+	"Mitchell", "Carter", "Roberts", "Franklin", "Madden", "DeWitt", "Croft",
+	"Jagadish", "Molina", "Parameswaran", "Chaudhuri", "Kraska", "Widom", "Dahlin",
+	"Jordan", "Hunter", "Stonebraker", "Abadi", "Bernstein", "Gray", "Ullman",
+	"Naughton", "Ioannidis", "Hellerstein", "Agrawal", "Srikant", "Fagin", "Vardi",
+	"Halevy", "Doan", "Getoor", "Suciu", "Tan", "Ooi", "Li", "Chen", "Wang",
+	"Zhang", "Feng", "Cheng", "Zhou", "Gao", "Han", "Fan",
+}
+
+var placeNames = []string{
+	"California", "Chicago", "Michigan", "Minnesota", "Wisconsin", "Massachusetts",
+	"Washington", "Texas", "Toronto", "Waterloo", "Cambridge", "Oxford", "Edinburgh",
+	"Stanford", "Princeton", "Columbia", "Cornell", "Berkeley", "Maryland",
+	"Virginia", "Arizona", "Utah", "Oregon", "Illinois", "Indiana", "Iowa",
+	"Kansas", "Kentucky", "Florida", "Georgia", "Alberta", "Melbourne", "Sydney",
+	"Queensland", "Tokyo", "Kyoto", "Beijing", "Tsinghua", "Peking", "Fudan",
+	"Zhejiang", "Nanjing", "Singapore", "Munich", "Zurich", "Vienna", "Amsterdam",
+	"Leuven", "Dortmund", "Helsinki", "Uppsala", "Trento", "Milan", "Pennsylvania",
+	"Pittsburgh", "Houston", "Dallas", "Denver", "Colorado", "Carolina",
+}
+
+var titleWords = []string{
+	"query", "processing", "optimization", "crowdsourced", "crowd", "powered",
+	"database", "systems", "efficient", "scalable", "adaptive", "entity",
+	"resolution", "similarity", "joins", "search", "indexing", "learning",
+	"inference", "truth", "discovery", "task", "assignment", "selection",
+	"aggregation", "streaming", "distributed", "parallel", "transactional",
+	"analytical", "graph", "relational", "schema", "matching", "cleaning",
+	"integration", "privacy", "differential", "secure", "approximate",
+	"sampling", "estimation", "cardinality", "cost", "latency", "quality",
+	"control", "human", "machine", "hybrid", "interactive", "declarative",
+	"framework", "benchmark", "evaluation", "algorithms", "models", "data",
+}
+
+var cityNames = []string{
+	"New York", "Los Angeles", "London", "Paris", "Berlin", "Rome", "Madrid",
+	"Vienna", "Dublin", "Glasgow", "Liverpool", "Manchester", "Birmingham",
+	"Boston", "Philadelphia", "San Francisco", "Seattle", "Portland", "Austin",
+	"Nashville", "Memphis", "Atlanta", "Miami", "Detroit", "Cleveland",
+	"Baltimore", "Milwaukee", "Montreal", "Vancouver", "Ottawa", "Brisbane",
+	"Auckland", "Wellington", "Stockholm", "Oslo", "Copenhagen", "Brussels",
+	"Lisbon", "Athens", "Budapest", "Prague", "Warsaw", "Moscow", "Kiev",
+	"Shanghai", "Shenzhen", "Guangzhou", "Hangzhou", "Chengdu", "Osaka",
+	"Seoul", "Mumbai", "Delhi", "Chennai", "Lagos", "Cairo", "Nairobi",
+	"Buenos Aires", "Santiago", "Lima", "Bogota", "Havana", "Mexico City",
+}
+
+var awardWords = []string{
+	"Academy", "Award", "Prize", "Medal", "Honor", "Golden", "Globe", "Best",
+	"Actor", "Actress", "Director", "Screenplay", "Picture", "Achievement",
+	"Lifetime", "National", "International", "Grand", "Jury", "Critics",
+	"Choice", "Emmy", "Grammy", "Tony", "Pulitzer", "Booker", "Nobel",
+	"Fields", "Turing", "Distinguished", "Excellence", "Outstanding",
+	"Supporting", "Original", "Score", "Song", "Documentary", "Animated",
+	"Foreign", "Film", "Television", "Drama", "Comedy", "Musical",
+}
+
+// Dirtier perturbs canonical strings into realistic crowd-hard
+// variants, deterministically from its RNG.
+type Dirtier struct {
+	R *stats.RNG
+}
+
+// syllables compose invented, phonetically plausible words. Distinct
+// entities use them so that unrelated values stay BELOW the similarity
+// threshold (their 2-gram sets barely overlap), which is what creates
+// the "dead side" tuples whose candidate edges tuple-level
+// optimization prunes without asking.
+var syllables = []string{
+	"ra", "ven", "kor", "zim", "bel", "tar", "mon", "qui", "fex", "lor",
+	"dan", "sku", "pra", "wix", "hul", "gre", "nov", "tys", "jor", "mak",
+	"cer", "vol", "dri", "pel", "sor", "gan", "lup", "rie", "tho", "bax",
+}
+
+// InventWord builds a pseudo-word of 2–4 syllables.
+func InventWord(r *stats.RNG) string {
+	n := 2 + r.Intn(3)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteString(syllables[r.Intn(len(syllables))])
+	}
+	return b.String()
+}
+
+// InventName builds a capitalized pseudo-name.
+func InventName(r *stats.RNG) string {
+	w := InventWord(r)
+	return strings.ToUpper(w[:1]) + w[1:]
+}
+
+// Abbrev returns common abbreviations of well-known tokens.
+var abbrevs = map[string]string{
+	"university":    "univ.",
+	"department":    "depart",
+	"institute":     "inst.",
+	"technology":    "tech",
+	"california":    "calif.",
+	"and":           "&",
+	"national":      "natl",
+	"international": "intl",
+}
+
+// Variant produces a dirty variant of s using up to maxOps random
+// perturbations (possibly zero: clean duplicates exist in real data
+// too).
+func (d *Dirtier) Variant(s string, maxOps int) string {
+	out := s
+	ops := d.R.Intn(maxOps + 1)
+	for i := 0; i < ops; i++ {
+		switch d.R.Intn(5) {
+		case 0:
+			out = d.abbreviate(out)
+		case 1:
+			out = d.typo(out)
+		case 2:
+			out = d.dropToken(out)
+		case 3:
+			out = d.initialize(out)
+		case 4:
+			out = d.caseNoise(out)
+		}
+	}
+	if strings.TrimSpace(out) == "" {
+		return s
+	}
+	return out
+}
+
+func (d *Dirtier) abbreviate(s string) string {
+	toks := strings.Fields(s)
+	for i, t := range toks {
+		if ab, ok := abbrevs[strings.ToLower(t)]; ok {
+			toks[i] = matchCase(t, ab)
+			return strings.Join(toks, " ")
+		}
+	}
+	return s
+}
+
+func matchCase(model, s string) string {
+	if len(model) > 0 && model[0] >= 'A' && model[0] <= 'Z' && len(s) > 0 {
+		return strings.ToUpper(s[:1]) + s[1:]
+	}
+	return s
+}
+
+func (d *Dirtier) typo(s string) string {
+	runes := []rune(s)
+	if len(runes) < 3 {
+		return s
+	}
+	i := 1 + d.R.Intn(len(runes)-2)
+	switch d.R.Intn(3) {
+	case 0: // deletion
+		return string(runes[:i]) + string(runes[i+1:])
+	case 1: // duplication
+		return string(runes[:i]) + string(runes[i]) + string(runes[i:])
+	default: // adjacent swap
+		runes[i], runes[i-1] = runes[i-1], runes[i]
+		return string(runes)
+	}
+}
+
+func (d *Dirtier) dropToken(s string) string {
+	toks := strings.Fields(s)
+	if len(toks) < 3 {
+		return s
+	}
+	i := d.R.Intn(len(toks))
+	return strings.Join(append(toks[:i:i], toks[i+1:]...), " ")
+}
+
+// initialize turns one token into an initial: "Michael" -> "M.".
+func (d *Dirtier) initialize(s string) string {
+	toks := strings.Fields(s)
+	if len(toks) < 2 {
+		return s
+	}
+	i := d.R.Intn(len(toks))
+	t := toks[i]
+	if len(t) < 3 || !isUpper(t[0]) {
+		return s
+	}
+	toks[i] = string(t[0]) + "."
+	return strings.Join(toks, " ")
+}
+
+func isUpper(b byte) bool { return b >= 'A' && b <= 'Z' }
+
+func (d *Dirtier) caseNoise(s string) string {
+	if d.R.Bool(0.5) {
+		return strings.ToLower(s)
+	}
+	return strings.TrimSuffix(s, ".")
+}

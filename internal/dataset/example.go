@@ -1,0 +1,198 @@
+package dataset
+
+import (
+	"cdb/internal/table"
+)
+
+// RunningExample embeds Table 1 of the paper: the four mini relations
+// (Paper, Researcher, Citation, University) behind Figure 4's graph,
+// together with the ground-truth matches spelled out in the paper
+// (answers (u12,r12,p8,c12), (u8,r8,p4,c6), (u9,r9,p5,c7), and the
+// near-miss pairs like p1/c1 that the crowd must refute). It powers
+// the quickstart example and the Figure-1/Figure-4 tests.
+func RunningExample() *Data {
+	orc := NewOracle()
+	orc.BindColumn("Paper", "author", "person")
+	orc.BindColumn("Researcher", "name", "person")
+	orc.BindColumn("Paper", "title", "title")
+	orc.BindColumn("Citation", "title", "title")
+	orc.BindColumn("Researcher", "affiliation", "univ")
+	orc.BindColumn("University", "name", "univ")
+	orc.BindColumn("Paper", "conference", "conf")
+	orc.BindColumn("University", "country", "country")
+
+	// Person entities. Matching pairs per the paper: p4's author "W.
+	// Bruce Croft" is r8 "Bruce W Croft"; p5's "H. V. Jagadish" is r9
+	// "H. Jagadish"; p8's "Surajit Chaudhuri" is r12 "S. Chaudhuri".
+	// Others are distinct people despite similar names (e.g. Michael J.
+	// Franklin vs Michael I. Jordan / Michael Dahlin / Michael Franklin
+	// — the paper colors (p1,r*) candidates by the outcome of (p1,c1)).
+	reg := func(domain string, groups [][]string) {
+		id := 0
+		for _, group := range groups {
+			for _, v := range group {
+				orc.Register(domain, v, id)
+			}
+			id++
+		}
+	}
+	reg("person", [][]string{
+		{"Michael J. Franklin", "Michael Franklin"},
+		{"Michael I. Jordan"},
+		{"Michael Dahlin"},
+		{"Samuel Madden"},
+		{"David J. Madden"},
+		{"David D. Thomas"},
+		{"David J. DeWitt", "David DeWitt"},
+		{"David J. Hunter"},
+		{"W. Bruce Croft", "Bruce W Croft"},
+		{"H. V. Jagadish", "H. Jagadish"},
+		{"Hector Garcia-Molina"},
+		{"Molina Hector"},
+		{"Aditya G. Parameswaran"},
+		{"Nandan Parameswaran"},
+		{"Surajit Chaudhuri", "S. Chaudhuri"},
+	})
+	reg("title", [][]string{
+		{"APrivateClean: Data Cleaning and Differential Privacy."},
+		{"Towards a Unified Framework for Data Cleaning and Data Privacy."},
+		{"Querying continuous functions in a database system.", "Query continuous functions in database system"},
+		{"Query processing on smart SSDs: opportunities and challenges."},
+		{"Adaptive Query Processing and the Grid: Opportunities and Challenges."},
+		{"Optimization strategies for complex queries", "Optimal strategy for complex queries"},
+		{"CrowdMatcher: crowd-assisted schema matching", "CrowdMatcher: crowd-assisted schema match"},
+		{"Exploiting Correlations for Expensive Predicate Evaluation.", "Exploit Correlations for Expensive Predicate Evaluation"},
+		{"DataSift: a crowd-powered search toolkit", "DataSift: An Expressive and Accurate Crowd-Powered Search Toolkit.", "A crowd powered search toolkit"},
+		{"Dynamically generating portals for entity-oriented web queries.", "Query portals: dynamically generating portals for entity-oriented web queries."},
+		{"ConQuer: A System for Efficient Querying Over Inconsistent Database."},
+		{"Webfind: An Architecture and System for Querying Web Database."},
+		{"A Crowd Powered System for Similarity Search"},
+	})
+	reg("univ", [][]string{
+		{"University of California", "Univ. of California"},
+		{"University of California Berkery", "Univ. of California Berkery"},
+		{"University of Chicago", "Univ. of Chicago"},
+		{"Duke Uni.", "Duke Univ."},
+		{"University of Minnesota", "Univ. of Minnesota"},
+		{"University of Wisconsin", "Univ. of Wisconsin"},
+		{"Department of Nutrition", "Depart of Nutrition"},
+		{"University of Massachusetts", "Univ. of Massachusetts"},
+		{"University of Michigan", "Univ. of Michigan"},
+		{"University of Stanford", "Univ. of Stanford"},
+		{"University of Cambridge", "Univ. of Cambridge"},
+		{"Microsoft Cambridge", "Microsoft"},
+	})
+	reg("conf", [][]string{
+		{"sigmod16", "sigmod08", "acm sigmod", "sigmod14", "sigmod15", "sigmod10", "sigmod"},
+		{"sigir"},
+	})
+	reg("country", [][]string{
+		{"USA", "US"},
+		{"UK"},
+	})
+
+	papSchema := table.Schema{Name: "Paper", Columns: []table.Column{
+		{Name: "author", Kind: table.String},
+		{Name: "title", Kind: table.String},
+		{Name: "conference", Kind: table.String},
+	}}
+	pap := table.New(papSchema)
+	for _, r := range [][3]string{
+		{"Michael J. Franklin", "APrivateClean: Data Cleaning and Differential Privacy.", "sigmod16"},
+		{"Samuel Madden", "Querying continuous functions in a database system.", "sigmod08"},
+		{"David J. DeWitt", "Query processing on smart SSDs: opportunities and challenges.", "acm sigmod"},
+		{"W. Bruce Croft", "Optimization strategies for complex queries", "sigir"},
+		{"H. V. Jagadish", "CrowdMatcher: crowd-assisted schema matching", "sigmod14"},
+		{"Hector Garcia-Molina", "Exploiting Correlations for Expensive Predicate Evaluation.", "sigmod15"},
+		{"Aditya G. Parameswaran", "DataSift: a crowd-powered search toolkit", "sigmod14"},
+		{"Surajit Chaudhuri", "Dynamically generating portals for entity-oriented web queries.", "sigmod10"},
+	} {
+		pap.MustAppend(table.Tuple{table.SV(r[0]), table.SV(r[1]), table.SV(r[2])})
+	}
+
+	resSchema := table.Schema{Name: "Researcher", Columns: []table.Column{
+		{Name: "affiliation", Kind: table.String},
+		{Name: "name", Kind: table.String},
+		{Name: "gender", Kind: table.String, Crowd: true},
+	}}
+	res := table.New(resSchema)
+	for _, r := range [][2]string{
+		{"University of California", "Michael I. Jordan"},
+		{"University of California Berkery", "Michael Dahlin"},
+		{"University of Chicago", "Michael Franklin"},
+		{"Duke Uni.", "David J. Madden"},
+		{"University of Minnesota", "David D. Thomas"},
+		{"University of Wisconsin", "David DeWitt"},
+		{"Department of Nutrition", "David J. Hunter"},
+		{"University of Massachusetts", "Bruce W Croft"},
+		{"University of Michigan", "H. Jagadish"},
+		{"University of Stanford", "Molina Hector"},
+		{"University of Cambridge", "Nandan Parameswaran"},
+		{"Microsoft Cambridge", "S. Chaudhuri"},
+	} {
+		res.MustAppend(table.Tuple{table.SV(r[0]), table.SV(r[1]), table.SV("male")})
+	}
+
+	citSchema := table.Schema{Name: "Citation", Columns: []table.Column{
+		{Name: "title", Kind: table.String},
+		{Name: "number", Kind: table.Int},
+	}}
+	cit := table.New(citSchema)
+	for _, r := range []struct {
+		t string
+		n int64
+	}{
+		{"Towards a Unified Framework for Data Cleaning and Data Privacy.", 0},
+		{"Query continuous functions in database system", 56},
+		{"ConQuer: A System for Efficient Querying Over Inconsistent Database.", 13},
+		{"Webfind: An Architecture and System for Querying Web Database.", 17},
+		{"Adaptive Query Processing and the Grid: Opportunities and Challenges.", 27},
+		{"Optimal strategy for complex queries", 94},
+		{"CrowdMatcher: crowd-assisted schema match", 9},
+		{"Exploit Correlations for Expensive Predicate Evaluation", 0},
+		{"DataSift: An Expressive and Accurate Crowd-Powered Search Toolkit.", 16},
+		{"A crowd powered search toolkit", 4},
+		{"A Crowd Powered System for Similarity Search", 0},
+		{"Query portals: dynamically generating portals for entity-oriented web queries.", 1},
+	} {
+		cit.MustAppend(table.Tuple{table.SV(r.t), table.IV(r.n)})
+	}
+
+	uniSchema := table.Schema{Name: "University", Columns: []table.Column{
+		{Name: "name", Kind: table.String},
+		{Name: "city", Kind: table.String},
+		{Name: "country", Kind: table.String},
+	}}
+	uni := table.New(uniSchema)
+	for _, r := range [][2]string{
+		{"Univ. of California", "USA"},
+		{"Univ. of California Berkery", "USA"},
+		{"Univ. of Chicago", "USA"},
+		{"Duke Univ.", "USA"},
+		{"Univ. of Minnesota", "US"},
+		{"Univ. of Wisconsin", "US"},
+		{"Depart of Nutrition", "US"},
+		{"Univ. of Massachusetts", "US"},
+		{"Univ. of Michigan", "US"},
+		{"Univ. of Stanford", "USA"},
+		{"Univ. of Cambridge", "UK"},
+		{"Microsoft", "US"},
+	} {
+		uni.MustAppend(table.Tuple{table.SV(r[0]), table.SV(""), table.SV(r[1])})
+	}
+
+	cat := table.NewCatalog()
+	cat.Register(pap)
+	cat.Register(res)
+	cat.Register(cit)
+	cat.Register(uni)
+	return &Data{Catalog: cat, Oracle: orc, Name: "running-example"}
+}
+
+// RunningExampleQuery is the 3-join query of Figure 4 over the
+// running example.
+const RunningExampleQuery = `SELECT *
+FROM Paper, Researcher, Citation, University
+WHERE Paper.author CROWDJOIN Researcher.name AND
+      Paper.title CROWDJOIN Citation.title AND
+      Researcher.affiliation CROWDJOIN University.name;`

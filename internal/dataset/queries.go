@@ -1,0 +1,73 @@
+package dataset
+
+// Queries returns the five representative CQL queries of Table 4 for a
+// dataset ("paper" or "award"), keyed by the paper's labels
+// (2J, 2J1S, 3J, 3J1S, 3J2S). The paper-side queries are verbatim from
+// Table 4; the award-side queries follow the same shapes over the
+// award schema (the paper's table is partially typeset, so the
+// selection constants are chosen to be selective on our generator).
+func Queries(dataset string) map[string]string {
+	if dataset == "award" {
+		return map[string]string{
+			"2J": `SELECT Winner.award, City.country
+				FROM Winner, City, Celebrity
+				WHERE Celebrity.name CROWDJOIN Winner.name AND
+				      Celebrity.birthplace CROWDJOIN City.birthplace;`,
+			"2J1S": `SELECT Winner.award, City.country
+				FROM Winner, City, Celebrity
+				WHERE Celebrity.name CROWDJOIN Winner.name AND
+				      Celebrity.birthplace CROWDJOIN City.birthplace AND
+				      City.country CROWDEQUAL "USA";`,
+			"3J": `SELECT Winner.name, Award.place, City.country
+				FROM Winner, City, Celebrity, Award
+				WHERE Celebrity.name CROWDJOIN Winner.name AND
+				      Celebrity.birthplace CROWDJOIN City.birthplace AND
+				      Winner.award CROWDJOIN Award.name;`,
+			"3J1S": `SELECT Winner.name, City.country
+				FROM Winner, City, Celebrity, Award
+				WHERE Celebrity.name CROWDJOIN Winner.name AND
+				      Celebrity.birthplace CROWDJOIN City.birthplace AND
+				      Winner.award CROWDJOIN Award.name AND
+				      City.country CROWDEQUAL "USA";`,
+			"3J2S": `SELECT Winner.name, City.country
+				FROM Winner, City, Celebrity, Award
+				WHERE Celebrity.name CROWDJOIN Winner.name AND
+				      Celebrity.birthplace CROWDJOIN City.birthplace AND
+				      Winner.award CROWDJOIN Award.name AND
+				      City.country CROWDEQUAL "USA" AND
+				      Award.place CROWDEQUAL "Los Angeles";`,
+		}
+	}
+	return map[string]string{
+		"2J": `SELECT Paper.title, Researcher.affiliation, Citation.number
+			FROM Paper, Citation, Researcher
+			WHERE Paper.title CROWDJOIN Citation.title AND
+			      Paper.author CROWDJOIN Researcher.name;`,
+		"2J1S": `SELECT Paper.title, Researcher.affiliation, Citation.number
+			FROM Paper, Citation, Researcher
+			WHERE Paper.title CROWDJOIN Citation.title AND
+			      Paper.author CROWDJOIN Researcher.name AND
+			      Paper.conference CROWDEQUAL "sigmod";`,
+		"3J": `SELECT Paper.title, Citation.number, University.country
+			FROM Paper, Citation, Researcher, University
+			WHERE Paper.title CROWDJOIN Citation.title AND
+			      Paper.author CROWDJOIN Researcher.name AND
+			      University.name CROWDJOIN Researcher.affiliation;`,
+		"3J1S": `SELECT Paper.title, Citation.number
+			FROM Paper, Citation, Researcher, University
+			WHERE Paper.title CROWDJOIN Citation.title AND
+			      Paper.author CROWDJOIN Researcher.name AND
+			      University.name CROWDJOIN Researcher.affiliation AND
+			      University.country CROWDEQUAL "USA";`,
+		"3J2S": `SELECT Paper.title, Citation.number
+			FROM Paper, Citation, Researcher, University
+			WHERE Paper.title CROWDJOIN Citation.title AND
+			      Paper.author CROWDJOIN Researcher.name AND
+			      University.name CROWDJOIN Researcher.affiliation AND
+			      Paper.conference CROWDEQUAL "sigmod" AND
+			      University.country CROWDEQUAL "USA";`,
+	}
+}
+
+// QueryLabels returns the canonical experiment order.
+func QueryLabels() []string { return []string{"2J", "2J1S", "3J", "3J1S", "3J2S"} }

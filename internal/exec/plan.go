@@ -1,0 +1,370 @@
+// Package exec ties CDB together: it binds a parsed CQL query against
+// the catalog, instantiates the tuple-level query graph (§4) via
+// similarity joins, and runs Algorithm 1 (Appendix B): repeatedly
+// select tasks (cost control), batch the non-conflicting ones (latency
+// control), crowdsource them with redundancy and aggregate answers
+// (quality control), color the graph, and finally collect the answers.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"cdb/internal/cql"
+	"cdb/internal/graph"
+	"cdb/internal/sim"
+	"cdb/internal/table"
+)
+
+// Oracle supplies the simulation ground truth: whether two cell values
+// truly denote the same entity. Real deployments have no oracle — it
+// exists to drive simulated workers and to score results, mirroring
+// the paper's labelled datasets.
+type Oracle interface {
+	// JoinMatch reports whether leftVal (from leftTable.leftCol) and
+	// rightVal (from rightTable.rightCol) truly join.
+	JoinMatch(leftTable, leftCol, rightTable, rightCol, leftVal, rightVal string) bool
+	// SelMatch reports whether val (from table.col) truly satisfies the
+	// CROWDEQUAL constant.
+	SelMatch(tbl, col, val, constant string) bool
+}
+
+// ExactOracle is the trivial oracle for clean data: values match iff
+// equal after case folding. Useful in tests and the quickstart.
+type ExactOracle struct{}
+
+// JoinMatch implements Oracle.
+func (ExactOracle) JoinMatch(_, _, _, _, l, r string) bool {
+	return strings.EqualFold(strings.TrimSpace(l), strings.TrimSpace(r))
+}
+
+// SelMatch implements Oracle.
+func (ExactOracle) SelMatch(_, _, v, c string) bool {
+	return strings.EqualFold(strings.TrimSpace(v), strings.TrimSpace(c))
+}
+
+// PredBinding records how a structure predicate maps back to the CQL
+// query: the column index on each side (-1 for the selection constant
+// side).
+type PredBinding struct {
+	Pred     cql.Predicate
+	LeftTab  int // structure table index
+	RightTab int
+	LeftCol  int
+	RightCol int // -1 for selections
+}
+
+// Plan is a bound, instantiated query ready for execution.
+type Plan struct {
+	Stmt     *cql.Select
+	S        *graph.Structure
+	G        *graph.Graph
+	Truth    []bool // ground truth per edge (true = should be Blue)
+	Bindings []PredBinding
+	// TableIdx maps FROM table names (lower-cased) to structure index.
+	TableIdx map[string]int
+	// Tables holds the bound *table.Table per structure index (nil for
+	// selection pseudo-tables).
+	Tables []*table.Table
+	// Orc and Cfg are retained for derived helpers (e.g. the ER
+	// baselines' side-dedup oracle).
+	Orc Oracle
+	Cfg PlanConfig
+}
+
+// PlanConfig controls graph instantiation.
+type PlanConfig struct {
+	// Sim is the similarity function used as matching probability
+	// (§4.1); the paper's default is 2-gram Jaccard.
+	Sim sim.Func
+	// Epsilon prunes edges with similarity below it (default 0.3).
+	Epsilon float64
+	// Selectivity optionally carries observed per-predicate match
+	// rates from earlier queries (the §2.1 statistics store, e.g.
+	// meta.Stats.Selectivity). When a predicate's label is present,
+	// its edge weights are rescaled so their mean equals the observed
+	// rate — similarity still ranks pairs, history calibrates the
+	// level.
+	Selectivity map[string]float64
+}
+
+// DefaultPlanConfig mirrors the paper's settings.
+func DefaultPlanConfig() PlanConfig {
+	return PlanConfig{Sim: sim.Gram2Jaccard, Epsilon: 0.3}
+}
+
+// BuildPlan binds stmt against the catalog and instantiates the query
+// graph. The oracle labels every edge with its true color for the
+// crowd simulator.
+func BuildPlan(stmt *cql.Select, cat *table.Catalog, orc Oracle, cfg PlanConfig) (*Plan, error) {
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = 0.3
+	}
+	p := &Plan{Stmt: stmt, TableIdx: map[string]int{}, Orc: orc, Cfg: cfg}
+	s := &graph.Structure{}
+	for _, name := range stmt.From {
+		key := strings.ToLower(name)
+		if _, dup := p.TableIdx[key]; dup {
+			return nil, fmt.Errorf("exec: table %s listed twice in FROM (self-joins need distinct aliases)", name)
+		}
+		tb, ok := cat.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("exec: unknown table %s", name)
+		}
+		p.TableIdx[key] = len(s.Tables)
+		s.Tables = append(s.Tables, tb.Schema.Name)
+		p.Tables = append(p.Tables, tb)
+	}
+
+	type edgeSpec struct {
+		pred  int
+		a, b  int
+		w     float64
+		truth bool
+		color graph.Color
+	}
+	var specs []edgeSpec
+	counts := make([]int, len(s.Tables))
+	for i, tb := range p.Tables {
+		counts[i] = tb.Len()
+	}
+
+	resolve := func(ref cql.ColRef) (tabIdx, colIdx int, err error) {
+		if ref.Table == "" {
+			return 0, 0, fmt.Errorf("exec: column %s must be table-qualified", ref.Column)
+		}
+		ti, ok := p.TableIdx[strings.ToLower(ref.Table)]
+		if !ok {
+			return 0, 0, fmt.Errorf("exec: predicate references %s, which is not in FROM", ref.Table)
+		}
+		ci := p.Tables[ti].Schema.ColIndex(ref.Column)
+		if ci < 0 {
+			return 0, 0, fmt.Errorf("exec: table %s has no column %s", ref.Table, ref.Column)
+		}
+		return ti, ci, nil
+	}
+
+	colStrings := func(ti, ci int) []string {
+		tb := p.Tables[ti]
+		out := make([]string, tb.Len())
+		for r := 0; r < tb.Len(); r++ {
+			v := tb.Cell(r, ci)
+			if v.Null {
+				out[r] = ""
+			} else {
+				out[r] = v.String()
+			}
+		}
+		return out
+	}
+
+	for _, pred := range stmt.Where {
+		switch pred.Kind {
+		case cql.CrowdJoin, cql.EquiJoin:
+			lt, lc, err := resolve(pred.Left)
+			if err != nil {
+				return nil, err
+			}
+			rt, rc, err := resolve(pred.Right)
+			if err != nil {
+				return nil, err
+			}
+			if lt == rt {
+				return nil, fmt.Errorf("exec: join predicate within one table instance: %s", pred)
+			}
+			predIdx := len(s.Preds)
+			s.Preds = append(s.Preds, graph.QPred{A: lt, B: rt, Name: pred.String()})
+			p.Bindings = append(p.Bindings, PredBinding{Pred: pred, LeftTab: lt, RightTab: rt, LeftCol: lc, RightCol: rc})
+			lvals, rvals := colStrings(lt, lc), colStrings(rt, rc)
+			if pred.Kind == cql.CrowdJoin {
+				for _, pr := range sim.Join(cfg.Sim, lvals, rvals, cfg.Epsilon) {
+					if lvals[pr.Left] == "" || rvals[pr.Right] == "" {
+						continue // CNULL cells cannot join
+					}
+					truth := orc.JoinMatch(s.Tables[lt], pred.Left.Column, s.Tables[rt], pred.Right.Column,
+						lvals[pr.Left], rvals[pr.Right])
+					specs = append(specs, edgeSpec{pred: predIdx, a: pr.Left, b: pr.Right, w: pr.Sim, truth: truth})
+				}
+			} else {
+				for i, lv := range lvals {
+					for j, rv := range rvals {
+						if lv != "" && lv == rv {
+							specs = append(specs, edgeSpec{pred: predIdx, a: i, b: j, w: 1, truth: true, color: graph.Blue})
+						}
+					}
+				}
+			}
+		case cql.CrowdEqual, cql.Equal:
+			lt, lc, err := resolve(pred.Left)
+			if err != nil {
+				return nil, err
+			}
+			// One pseudo-table holding just the constant (§4.2).
+			constIdx := len(s.Tables)
+			s.Tables = append(s.Tables, fmt.Sprintf("$const:%s", pred.Value))
+			p.Tables = append(p.Tables, nil)
+			counts = append(counts, 1)
+			predIdx := len(s.Preds)
+			s.Preds = append(s.Preds, graph.QPred{A: lt, B: constIdx, Name: pred.String()})
+			p.Bindings = append(p.Bindings, PredBinding{Pred: pred, LeftTab: lt, RightTab: constIdx, LeftCol: lc, RightCol: -1})
+			vals := colStrings(lt, lc)
+			for i, v := range vals {
+				if v == "" {
+					continue
+				}
+				if pred.Kind == cql.CrowdEqual {
+					w := sim.Similarity(cfg.Sim, v, pred.Value)
+					if w < cfg.Epsilon {
+						continue
+					}
+					truth := orc.SelMatch(s.Tables[lt], pred.Left.Column, v, pred.Value)
+					specs = append(specs, edgeSpec{pred: predIdx, a: i, b: 0, w: w, truth: truth})
+				} else if v == pred.Value {
+					specs = append(specs, edgeSpec{pred: predIdx, a: i, b: 0, w: 1, truth: true, color: graph.Blue})
+				}
+			}
+		}
+	}
+
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
+	}
+	g, err := graph.NewGraph(s, counts)
+	if err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
+	}
+	for _, sp := range specs {
+		id := g.AddEdge(sp.pred, sp.a, sp.b, sp.w)
+		p.Truth = append(p.Truth, sp.truth)
+		if sp.color != graph.Unknown {
+			g.SetColor(id, sp.color)
+		}
+	}
+	p.S = s
+	p.G = g
+	if len(cfg.Selectivity) > 0 {
+		p.applySelectivity(cfg.Selectivity)
+	}
+	return p, nil
+}
+
+// applySelectivity rescales each hinted predicate's uncolored edge
+// weights so their mean matches the observed match rate, clamped to
+// (0, 1).
+func (p *Plan) applySelectivity(hints map[string]float64) {
+	for pred := range p.S.Preds {
+		hint, ok := hints[p.S.Preds[pred].Name]
+		if !ok || hint <= 0 {
+			continue
+		}
+		var sum float64
+		var n int
+		for e := 0; e < p.G.NumEdges(); e++ {
+			ed := p.G.Edge(e)
+			if ed.Pred == pred && ed.Color == graph.Unknown {
+				sum += ed.W
+				n++
+			}
+		}
+		if n == 0 || sum == 0 {
+			continue
+		}
+		scale := hint / (sum / float64(n))
+		for e := 0; e < p.G.NumEdges(); e++ {
+			ed := p.G.Edge(e)
+			if ed.Pred != pred || ed.Color != graph.Unknown {
+				continue
+			}
+			w := ed.W * scale
+			if w < 0.01 {
+				w = 0.01
+			}
+			if w > 0.99 {
+				w = 0.99
+			}
+			p.G.SetWeight(e, w)
+		}
+	}
+}
+
+// TrueAnswerKeys enumerates the ground-truth answers: embeddings whose
+// every edge is truth-true, keyed by their assignment for
+// precision/recall scoring.
+func (p *Plan) TrueAnswerKeys() map[string]bool {
+	out := map[string]bool{}
+	p.G.EnumerateEmbeddings(nil, func(e graph.Edge) bool { return p.Truth[e.ID] },
+		func(assign, _ []int) bool {
+			out[assignKey(assign)] = true
+			return true
+		})
+	return out
+}
+
+// AnswerKeys keys the currently derived answers (all-blue embeddings).
+func (p *Plan) AnswerKeys() map[string]bool {
+	out := map[string]bool{}
+	for _, a := range p.G.Answers() {
+		out[assignKey(a.Assign)] = true
+	}
+	return out
+}
+
+func assignKey(assign []int) string {
+	var b strings.Builder
+	for i, v := range assign {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
+}
+
+// ProjectAnswer materializes one answer embedding into the statement's
+// requested columns (all columns of real tables for SELECT *).
+func (p *Plan) ProjectAnswer(a graph.Embedding) ([]string, error) {
+	var out []string
+	if p.Stmt.Star {
+		for ti, tb := range p.Tables {
+			if tb == nil {
+				continue
+			}
+			row := p.G.RowOf(a.Assign[ti])
+			for ci := range tb.Schema.Columns {
+				out = append(out, tb.Cell(row, ci).String())
+			}
+		}
+		return out, nil
+	}
+	for _, ref := range p.Stmt.Cols {
+		ti, ok := p.TableIdx[strings.ToLower(ref.Table)]
+		if !ok {
+			return nil, fmt.Errorf("exec: projection references unknown table %s", ref.Table)
+		}
+		tb := p.Tables[ti]
+		ci := tb.Schema.ColIndex(ref.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("exec: projection references unknown column %s", ref)
+		}
+		out = append(out, tb.Cell(p.G.RowOf(a.Assign[ti]), ci).String())
+	}
+	return out, nil
+}
+
+// TaskDescription renders a crowd task's human-facing content: the
+// predicate label and the two cell values being compared. Used by the
+// metadata store and the shell's trace mode.
+func (p *Plan) TaskDescription(edgeID int) (predicate, left, right string) {
+	e := p.G.Edge(edgeID)
+	b := p.Bindings[e.Pred]
+	predicate = p.S.Preds[e.Pred].Name
+	leftTb := p.Tables[b.LeftTab]
+	left = leftTb.Cell(p.G.RowOf(e.U), b.LeftCol).String()
+	if b.RightCol < 0 {
+		right = b.Pred.Value // selection constant
+		return
+	}
+	rightTb := p.Tables[b.RightTab]
+	right = rightTb.Cell(p.G.RowOf(e.V), b.RightCol).String()
+	return
+}

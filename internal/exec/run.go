@@ -1,0 +1,364 @@
+package exec
+
+import (
+	"fmt"
+
+	"cdb/internal/cost"
+	"cdb/internal/crowd"
+	"cdb/internal/graph"
+	"cdb/internal/meta"
+	"cdb/internal/quality"
+	"cdb/internal/stats"
+)
+
+// QualityMode selects the answer-aggregation machinery.
+type QualityMode int
+
+// Quality modes.
+const (
+	// MajorityVoting is the baseline used by CrowdDB/Qurk/Deco and by
+	// plain CDB: k answers per task, plurality wins.
+	MajorityVoting QualityMode = iota
+	// CDBPlus enables §5.3: EM truth inference with a persistent worker
+	// model, entropy-driven task assignment and confidence-based early
+	// stopping.
+	CDBPlus
+)
+
+// String implements fmt.Stringer.
+func (m QualityMode) String() string {
+	if m == CDBPlus {
+		return "cdb+"
+	}
+	return "majority-voting"
+}
+
+// Options configures one execution.
+type Options struct {
+	// Strategy performs cost control. Required.
+	Strategy cost.Strategy
+	// Redundancy is the number of answers per task (paper default 5).
+	Redundancy int
+	// Quality selects aggregation; CDBPlus adds task assignment.
+	Quality QualityMode
+	// MaxRounds bounds latency (Fig. 22): the last permitted round
+	// floods Strategy.Flush. 0 means unbounded.
+	MaxRounds int
+	// Pool simulates the crowd. Required.
+	Pool *crowd.Pool
+	// Workers persists quality estimates across queries (CDB's worker
+	// metadata); created fresh when nil.
+	Workers *quality.WorkerModel
+	// Confidence is CDBPlus's early-stop posterior threshold
+	// (default 0.95).
+	Confidence float64
+	// Pricing computes HIT cost; zero value uses crowd.DefaultPricing.
+	Pricing crowd.Pricing
+	// Router optionally spreads tasks across several crowdsourcing
+	// markets (§2.2's cross-market deployment). When set, each task's
+	// answers come from the routed market's pool; Pool remains the
+	// fallback (and the CDB+ assignment pool, whose persistent worker
+	// model needs one consistent ID space).
+	Router *crowd.Router
+	// Meta optionally records every task, assignment and verdict into
+	// CDB's relational metadata store (§2.1).
+	Meta *meta.Store
+	// Calibrate turns on adaptive probability calibration (§4.1's
+	// trained similarity→probability mapping): every answered task is a
+	// labelled pair, and once enough evidence accumulates the remaining
+	// edges are re-weighted with isotonic-calibrated probabilities.
+	Calibrate bool
+}
+
+// Report is the outcome of one execution.
+type Report struct {
+	Metrics     stats.Metrics
+	Assignments int     // worker answers collected
+	HITs        int     // priced HITs
+	Dollars     float64 // simulated spend
+	Answers     []graph.Embedding
+	// PerMarket counts tasks routed to each market when a Router is
+	// configured.
+	PerMarket map[string]int
+
+	// emHistory accumulates every CDB+ task across rounds so truth
+	// inference always runs over the full evidence (worker quality
+	// estimates sharpen as the query progresses).
+	emHistory []quality.ChoiceTask
+}
+
+// Run executes the plan with Algorithm 1. The plan's graph is mutated
+// (colored); build a fresh plan per run.
+func Run(p *Plan, opts Options) (*Report, error) {
+	if opts.Strategy == nil {
+		return nil, fmt.Errorf("exec: Options.Strategy is required")
+	}
+	if opts.Pool == nil {
+		return nil, fmt.Errorf("exec: Options.Pool is required")
+	}
+	if opts.Redundancy <= 0 {
+		opts.Redundancy = 5
+	}
+	if opts.Confidence <= 0 {
+		opts.Confidence = 0.95
+	}
+	if opts.Workers == nil {
+		opts.Workers = quality.NewWorkerModel()
+	}
+	if opts.Pricing.TasksPerHIT == 0 {
+		opts.Pricing = crowd.DefaultPricing
+	}
+
+	rep := &Report{}
+	g := p.G
+	var calib *quality.Calibrator
+	var rawW []float64
+	if opts.Calibrate {
+		calib = quality.NewCalibrator(10)
+		rawW = make([]float64, g.NumEdges())
+		for e := 0; e < g.NumEdges(); e++ {
+			rawW[e] = g.Edge(e).W
+		}
+	}
+	rounds, tasks := 0, 0
+	for {
+		var batch []int
+		if opts.MaxRounds > 0 && rounds == opts.MaxRounds-1 {
+			batch = opts.Strategy.Flush(g)
+		} else {
+			batch = opts.Strategy.NextRound(g)
+		}
+		batch = dedupeUncolored(g, batch)
+		if len(batch) == 0 {
+			break
+		}
+		rounds++
+		tasks += len(batch)
+
+		var verdicts map[int]bool
+		if opts.Quality == CDBPlus {
+			verdicts = rep.crowdsourceAdaptive(p, batch, opts)
+		} else {
+			verdicts = rep.crowdsourceMajority(p, batch, opts)
+		}
+		for e, match := range verdicts {
+			if match {
+				g.SetColor(e, graph.Blue)
+			} else {
+				g.SetColor(e, graph.Red)
+			}
+			if calib != nil {
+				calib.Observe(rawW[e], match)
+			}
+		}
+		if calib != nil && calib.Fitted() {
+			for e := 0; e < g.NumEdges(); e++ {
+				if g.Edge(e).Color == graph.Unknown {
+					g.SetWeight(e, calib.Prob(rawW[e]))
+				}
+			}
+		}
+		if opts.MaxRounds > 0 && rounds >= opts.MaxRounds {
+			break
+		}
+	}
+
+	// Strategies that crowdsource tasks outside the query graph (the
+	// ER baselines' within-side dedup pairs) report them here.
+	if et, ok := opts.Strategy.(interface{ ExtraTasks() int }); ok {
+		extra := et.ExtraTasks()
+		tasks += extra
+		rep.Assignments += extra * opts.Redundancy
+	}
+
+	rep.Answers = g.Answers()
+	precision, recall := stats.PrecisionRecall(p.AnswerKeys(), p.TrueAnswerKeys())
+	rep.Metrics = stats.Metrics{Tasks: tasks, Rounds: rounds, Precision: precision, Recall: recall}
+	rep.HITs = opts.Pricing.HITs(rep.Assignments)
+	rep.Dollars = opts.Pricing.Cost(rep.Assignments)
+	return rep, nil
+}
+
+func dedupeUncolored(g *graph.Graph, batch []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, e := range batch {
+		if seen[e] || g.Edge(e).Color != graph.Unknown {
+			continue
+		}
+		seen[e] = true
+		out = append(out, e)
+	}
+	return out
+}
+
+// crowdsourceMajority asks k distinct workers per task and majority-
+// votes the answers. With a Router configured, consecutive tasks are
+// dealt across markets (cross-market HIT deployment).
+func (rep *Report) crowdsourceMajority(p *Plan, batch []int, opts Options) map[int]bool {
+	verdicts := make(map[int]bool, len(batch))
+	for _, e := range batch {
+		pool := opts.Pool
+		if opts.Router != nil {
+			if m := opts.Router.Route(); m != nil {
+				pool = m.Pool
+				if rep.PerMarket == nil {
+					rep.PerMarket = map[string]int{}
+				}
+				rep.PerMarket[m.Name]++
+			}
+		}
+		workers := pool.DistinctArrivals(opts.Redundancy)
+		taskID := -1
+		if opts.Meta != nil {
+			pred, l, r := p.TaskDescription(e)
+			taskID = opts.Meta.RecordTask(taskKindOf(p, e), pred, l, r, rep.Metrics.Rounds)
+		}
+		yes := 0
+		for _, w := range workers {
+			ans := w.AnswerBool(p.Truth[e])
+			if ans {
+				yes++
+			}
+			if opts.Meta != nil {
+				opts.Meta.RecordAssignment(taskID, w.ID, boolAnswer(ans))
+			}
+		}
+		rep.Assignments += len(workers)
+		verdicts[e] = 2*yes > len(workers)
+		if opts.Meta != nil {
+			_ = opts.Meta.RecordVerdict(taskID, verdicts[e])
+		}
+	}
+	return verdicts
+}
+
+func boolAnswer(b bool) string {
+	if b {
+		return "match"
+	}
+	return "nonmatch"
+}
+
+// taskKindOf distinguishes selection tasks (one side is a constant)
+// from join tasks.
+func taskKindOf(p *Plan, edgeID int) meta.TaskKind {
+	if p.Bindings[p.G.Edge(edgeID).Pred].RightCol < 0 {
+		return meta.TaskSelection
+	}
+	return meta.TaskJoin
+}
+
+// crowdsourceAdaptive implements CDB+ quality control for one round:
+// every task receives one answer, then the remaining k·|batch|−|batch|
+// answer slots go to the tasks with the highest expected entropy
+// reduction for each arriving worker (Eq. 3), skipping tasks already
+// confident. Truth is inferred by EM (updating the persistent worker
+// model) and Bayesian voting (Eq. 2).
+func (rep *Report) crowdsourceAdaptive(p *Plan, batch []int, opts Options) map[int]bool {
+	k := opts.Redundancy
+	budget := k * len(batch)
+	maxPerTask := 2 * k
+
+	taskList := make([]quality.ChoiceTask, len(batch))
+	answeredBy := make([]map[int]bool, len(batch))
+	for i := range taskList {
+		taskList[i].Choices = 2
+		answeredBy[i] = map[int]bool{}
+	}
+	posteriors := make([][]float64, len(batch))
+	for i := range posteriors {
+		posteriors[i] = []float64{0.5, 0.5}
+	}
+	metaIDs := make([]int, len(batch))
+	for i := range metaIDs {
+		metaIDs[i] = -1
+		if opts.Meta != nil {
+			pred, l, r := p.TaskDescription(batch[i])
+			metaIDs[i] = opts.Meta.RecordTask(taskKindOf(p, batch[i]), pred, l, r, rep.Metrics.Rounds)
+		}
+	}
+	answerTask := func(i int, w *crowd.Worker) {
+		choice := 0
+		if w.AnswerBool(p.Truth[batch[i]]) {
+			choice = 1
+		}
+		taskList[i].Answers = append(taskList[i].Answers, quality.ChoiceAnswer{Worker: w.ID, Choice: choice})
+		answeredBy[i][w.ID] = true
+		posteriors[i] = quality.BayesianPosterior(taskList[i], opts.Workers.Quality)
+		rep.Assignments++
+		budget--
+		if opts.Meta != nil {
+			opts.Meta.RecordAssignment(metaIDs[i], w.ID, boolAnswer(choice == 1))
+		}
+	}
+	// arrive draws a worker who has not yet judged task i (platforms
+	// reject repeat judgements; answering twice would correlate
+	// errors). nil when the pool is exhausted for this task.
+	arrive := func(i int) *crowd.Worker {
+		for try := 0; try < 4*opts.Pool.Size(); try++ {
+			w := opts.Pool.Arrive()
+			if !answeredBy[i][w.ID] {
+				return w
+			}
+		}
+		return nil
+	}
+
+	// Phase 1: coverage — up to k answers per task, in round-robin
+	// passes, skipping tasks whose posterior is already confident (the
+	// saved assignments fund phase 2). This guarantees an uncertain
+	// task never receives fewer answers than the majority-voting
+	// baseline would give it.
+	for pass := 0; pass < k; pass++ {
+		for i := range batch {
+			if budget == 0 {
+				break
+			}
+			if quality.ConfidentEnough(posteriors[i], opts.Confidence) {
+				continue
+			}
+			if w := arrive(i); w != nil {
+				answerTask(i, w)
+			}
+		}
+	}
+	// Phase 2: adaptive assignment of the remaining slots to the tasks
+	// with the highest expected entropy reduction.
+	misses := 0
+	for budget > 0 && misses < 2*opts.Pool.Size() {
+		w := opts.Pool.Arrive()
+		open := func(i int) bool {
+			return len(taskList[i].Answers) < maxPerTask &&
+				!answeredBy[i][w.ID] &&
+				!quality.ConfidentEnough(posteriors[i], opts.Confidence)
+		}
+		pick := quality.AssignChoice(posteriors, open, opts.Workers.Quality(w.ID), 1)
+		if len(pick) == 0 {
+			// This worker has judged every open task (or everything is
+			// confident): wait for a different arrival before giving up.
+			misses++
+			continue
+		}
+		misses = 0
+		answerTask(pick[0], w)
+	}
+
+	// Truth inference: EM over the full query history refines worker
+	// qualities; this round's verdicts come from the refreshed
+	// posteriors of its own tasks.
+	base := len(rep.emHistory)
+	rep.emHistory = append(rep.emHistory, taskList...)
+	post := opts.Workers.InferEM(rep.emHistory, 50)
+	verdicts := make(map[int]bool, len(batch))
+	for i, e := range batch {
+		verdicts[e] = quality.EstimateTruth(post[base+i]) == 1
+		if opts.Meta != nil {
+			_ = opts.Meta.RecordVerdict(metaIDs[i], verdicts[e])
+			for _, a := range taskList[i].Answers {
+				opts.Meta.UpdateWorkerQuality(a.Worker, opts.Workers.Quality(a.Worker))
+			}
+		}
+	}
+	return verdicts
+}

@@ -1,0 +1,269 @@
+package graph
+
+import (
+	"sort"
+)
+
+// Embedding is one candidate (Definition 2) or answer (Definition 4):
+// an assignment of one tuple (vertex id) per table plus the edge used
+// for each predicate. Prob is the product of edge weights, where blue
+// edges contribute 1 (certain) and uncolored edges their matching
+// probability; red edges never appear.
+type Embedding struct {
+	Assign []int // vertex id per table index
+	Edges  []int // edge id per predicate index
+	Prob   float64
+}
+
+// predOrder returns the predicates in a connected order: every
+// predicate after the first shares a table with some earlier one.
+// Structure.Validate guarantees such an order exists.
+func (s *Structure) predOrder() []int {
+	if len(s.Preds) == 0 {
+		return nil
+	}
+	used := make([]bool, len(s.Preds))
+	tableSeen := make([]bool, len(s.Tables))
+	order := make([]int, 0, len(s.Preds))
+	order = append(order, 0)
+	used[0] = true
+	tableSeen[s.Preds[0].A] = true
+	tableSeen[s.Preds[0].B] = true
+	for len(order) < len(s.Preds) {
+		advanced := false
+		for p := range s.Preds {
+			if used[p] {
+				continue
+			}
+			if tableSeen[s.Preds[p].A] || tableSeen[s.Preds[p].B] {
+				used[p] = true
+				tableSeen[s.Preds[p].A] = true
+				tableSeen[s.Preds[p].B] = true
+				order = append(order, p)
+				advanced = true
+			}
+		}
+		if !advanced {
+			// Disconnected; Validate would have rejected this, but avoid
+			// an infinite loop in pathological use.
+			break
+		}
+	}
+	return order
+}
+
+// enumerate walks all embeddings over edges accepted by keep,
+// pre-pinning the given edges, and calls yield for each complete
+// embedding. yield returning false stops the walk. keep must reject
+// red edges for candidate semantics.
+func (g *Graph) enumerate(pins []int, keep func(Edge) bool, yield func(assign, edges []int) bool) {
+	order := g.S.predOrder()
+	assign := make([]int, len(g.S.Tables))
+	chosen := make([]int, len(g.S.Preds))
+	for i := range assign {
+		assign[i] = -1
+	}
+	for i := range chosen {
+		chosen[i] = -1
+	}
+	pinned := make([]int, len(g.S.Preds))
+	for i := range pinned {
+		pinned[i] = -1
+	}
+	// Apply pins: fix assignments; bail on inconsistency.
+	for _, eID := range pins {
+		e := g.edges[eID]
+		if !keep(e) {
+			return
+		}
+		p := g.S.Preds[e.Pred]
+		if pinned[e.Pred] >= 0 && pinned[e.Pred] != eID {
+			return // two pins on one predicate
+		}
+		pinned[e.Pred] = eID
+		if assign[p.A] >= 0 && assign[p.A] != e.U {
+			return
+		}
+		if assign[p.B] >= 0 && assign[p.B] != e.V {
+			return
+		}
+		assign[p.A], assign[p.B] = e.U, e.V
+	}
+
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(order) {
+			return yield(assign, chosen)
+		}
+		pIdx := order[k]
+		p := g.S.Preds[pIdx]
+		try := func(eID int) bool {
+			e := g.edges[eID]
+			if !keep(e) {
+				return true
+			}
+			if pinned[pIdx] >= 0 && pinned[pIdx] != eID {
+				return true
+			}
+			savedA, savedB := assign[p.A], assign[p.B]
+			if savedA >= 0 && savedA != e.U {
+				return true
+			}
+			if savedB >= 0 && savedB != e.V {
+				return true
+			}
+			assign[p.A], assign[p.B] = e.U, e.V
+			chosen[pIdx] = eID
+			cont := rec(k + 1)
+			assign[p.A], assign[p.B] = savedA, savedB
+			chosen[pIdx] = -1
+			return cont
+		}
+		switch {
+		case pinned[pIdx] >= 0:
+			return try(pinned[pIdx])
+		case assign[p.A] >= 0:
+			for _, eID := range g.EdgesAt(assign[p.A], pIdx) {
+				if !try(eID) {
+					return false
+				}
+			}
+		case assign[p.B] >= 0:
+			for _, eID := range g.EdgesAt(assign[p.B], pIdx) {
+				if !try(eID) {
+					return false
+				}
+			}
+		default:
+			// Only the first predicate in the order starts unanchored.
+			for eID := range g.edges {
+				if g.edges[eID].Pred != pIdx {
+					continue
+				}
+				if !try(eID) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+func nonRed(e Edge) bool  { return e.Color != Red }
+func allBlue(e Edge) bool { return e.Color == Blue }
+
+// EnumerateEmbeddings walks all embeddings built from edges accepted
+// by keep, pre-pinning the given edge ids, and calls yield with the
+// assignment (vertex per table) and chosen edge per predicate; yield
+// returning false stops the walk. The slices passed to yield are
+// reused between calls — copy them if retained. This is the hook the
+// cost-control package uses to reason about hypothetical colorings
+// (e.g. sampled graphs) without mutating the graph.
+func (g *Graph) EnumerateEmbeddings(pins []int, keep func(Edge) bool, yield func(assign, edges []int) bool) {
+	g.enumerate(pins, keep, yield)
+}
+
+// existsCandidateWithPins reports whether some candidate (embedding
+// over non-red edges) contains every pinned edge.
+func (g *Graph) existsCandidateWithPins(pins []int) bool {
+	found := false
+	g.enumerate(pins, nonRed, func(_, _ []int) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// existsEmbeddingWith adapts existsCandidateWithPins for the
+// backtracking validity fallback.
+func (g *Graph) existsEmbeddingWith(pins map[int]int, _ []int) bool {
+	list := make([]int, 0, len(pins))
+	for _, e := range pins {
+		list = append(list, e)
+	}
+	return g.existsCandidateWithPins(list)
+}
+
+// SameCandidate reports whether two edges co-occur in at least one
+// candidate — the conflict test of the latency scheduler (§5.2). Two
+// distinct edges on the same predicate never conflict, nor do edges
+// containing different tuples of the same table; both cases are
+// resolved without search.
+func (g *Graph) SameCandidate(e1, e2 int) bool {
+	if e1 == e2 {
+		return true
+	}
+	a, b := g.edges[e1], g.edges[e2]
+	if a.Pred == b.Pred {
+		return false // a candidate holds exactly one edge per predicate
+	}
+	// Different tuples of the same table can't co-occur.
+	for _, u := range [2]int{a.U, a.V} {
+		for _, v := range [2]int{b.U, b.V} {
+			if u != v && g.TableOf(u) == g.TableOf(v) {
+				return false
+			}
+		}
+	}
+	return g.existsCandidateWithPins([]int{e1, e2})
+}
+
+// Answers enumerates all current answers: embeddings whose every edge
+// is blue (Definition 4).
+func (g *Graph) Answers() []Embedding {
+	var out []Embedding
+	g.enumerate(nil, allBlue, func(assign, edges []int) bool {
+		out = append(out, Embedding{
+			Assign: append([]int(nil), assign...),
+			Edges:  append([]int(nil), edges...),
+			Prob:   1,
+		})
+		return true
+	})
+	return out
+}
+
+// Candidates enumerates up to maxN candidates (embeddings over non-red
+// edges), sorted by Prob descending (ties broken lexicographically on
+// the assignment for determinism). maxN <= 0 means no cap.
+func (g *Graph) Candidates(maxN int) []Embedding {
+	var out []Embedding
+	g.enumerate(nil, nonRed, func(assign, edges []int) bool {
+		prob := 1.0
+		for _, eID := range edges {
+			if e := g.edges[eID]; e.Color == Unknown {
+				prob *= e.W
+			}
+		}
+		out = append(out, Embedding{
+			Assign: append([]int(nil), assign...),
+			Edges:  append([]int(nil), edges...),
+			Prob:   prob,
+		})
+		return maxN <= 0 || len(out) < maxN
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		for k := range out[i].Assign {
+			if out[i].Assign[k] != out[j].Assign[k] {
+				return out[i].Assign[k] < out[j].Assign[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// CountCandidatesThrough counts candidates containing the given edge,
+// up to limit (0 = unlimited). Used by diagnostics and tests.
+func (g *Graph) CountCandidatesThrough(edgeID, limit int) int {
+	n := 0
+	g.enumerate([]int{edgeID}, nonRed, func(_, _ []int) bool {
+		n++
+		return limit <= 0 || n < limit
+	})
+	return n
+}

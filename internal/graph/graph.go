@@ -1,0 +1,365 @@
+// Package graph implements CDB's core contribution: the tuple-level
+// graph query model (§4). Vertices are tuples (selection constants are
+// modelled as single-tuple pseudo-tables, §4.2), edges are crowd tasks
+// weighted by matching probability, and query answers are embeddings
+// of the query structure whose every edge the crowd confirmed BLUE.
+//
+// The package provides:
+//   - graph construction and edge coloring,
+//   - validity maintenance (Definition 3: an edge is invalid if it is
+//     in no candidate) via an AND-OR fact propagation over the query
+//     tree, with journaled hypothetical cuts that power the
+//     expectation-based cost control (Eq. 1),
+//   - candidate/answer enumeration and conflict tests used by the
+//     latency scheduler, and
+//   - query-structure classification and the tree→chain / graph→tree
+//     transforms of §5.1.1.
+package graph
+
+import (
+	"fmt"
+)
+
+// Color is the state of an edge: Unknown before crowdsourcing, Blue if
+// the crowd confirmed the predicate holds, Red if refuted.
+type Color uint8
+
+// Edge colors.
+const (
+	Unknown Color = iota
+	Blue
+	Red
+)
+
+// String implements fmt.Stringer.
+func (c Color) String() string {
+	switch c {
+	case Unknown:
+		return "unknown"
+	case Blue:
+		return "blue"
+	case Red:
+		return "red"
+	default:
+		return fmt.Sprintf("Color(%d)", int(c))
+	}
+}
+
+// QPred is one predicate of the query structure, joining two tables
+// identified by index into Structure.Tables. Selections appear as a
+// predicate whose B side is a single-tuple constant pseudo-table.
+type QPred struct {
+	A, B int
+	Name string // diagnostic label, e.g. "Paper.title~Citation.title"
+}
+
+// Structure is the table-level shape of a CQL query: tables are nodes,
+// predicates are edges. The paper's queries are chains, stars and
+// trees; cyclic structures are first rewritten by BreakCycles.
+type Structure struct {
+	Tables []string
+	Preds  []QPred
+}
+
+// Validate checks table indices and connectivity (every table must be
+// reachable through predicates; a single table with zero predicates is
+// also valid).
+func (s *Structure) Validate() error {
+	if len(s.Tables) == 0 {
+		return fmt.Errorf("graph: structure has no tables")
+	}
+	for i, p := range s.Preds {
+		if p.A < 0 || p.A >= len(s.Tables) || p.B < 0 || p.B >= len(s.Tables) {
+			return fmt.Errorf("graph: predicate %d references table out of range", i)
+		}
+		if p.A == p.B {
+			return fmt.Errorf("graph: predicate %d is a self-join on one table instance; use separate instances", i)
+		}
+	}
+	// Connectivity over tables.
+	if len(s.Tables) > 1 {
+		adj := make([][]int, len(s.Tables))
+		for _, p := range s.Preds {
+			adj[p.A] = append(adj[p.A], p.B)
+			adj[p.B] = append(adj[p.B], p.A)
+		}
+		seen := make([]bool, len(s.Tables))
+		stack := []int{0}
+		seen[0] = true
+		count := 1
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					count++
+					stack = append(stack, v)
+				}
+			}
+		}
+		if count != len(s.Tables) {
+			return fmt.Errorf("graph: query structure is disconnected")
+		}
+	}
+	return nil
+}
+
+// PredsOf returns the indices of predicates incident to table t.
+func (s *Structure) PredsOf(t int) []int { return s.predsOf(t) }
+
+// predsOf returns the indices of predicates incident to table t.
+func (s *Structure) predsOf(t int) []int {
+	var out []int
+	for i, p := range s.Preds {
+		if p.A == t || p.B == t {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// other returns the table on the far side of predicate p from table t.
+func (s *Structure) other(p, t int) int {
+	if s.Preds[p].A == t {
+		return s.Preds[p].B
+	}
+	return s.Preds[p].A
+}
+
+// Edge is one crowd task: does the predicate hold between tuple U and
+// tuple V? U always belongs to Preds[Pred].A's table, V to .B's.
+type Edge struct {
+	ID    int
+	Pred  int
+	U, V  int // vertex ids
+	W     float64
+	Color Color
+}
+
+// Graph is the instantiated query graph over concrete data.
+type Graph struct {
+	S      *Structure
+	counts []int // tuples per table
+	base   []int // vertex id offset per table
+	nVerts int
+
+	edges []Edge
+	// adj[v][k] lists edge ids incident to v on the k-th predicate of
+	// v's table (k indexes predsOf(table(v))).
+	adj [][][]int
+	// predsByTable caches predsOf per table; predSlot[t][p] maps a
+	// predicate id to its slot in predsByTable[t].
+	predsByTable [][]int
+	predSlot     []map[int]int
+
+	// Validity state (see validity.go).
+	dirty      bool
+	valid      []bool
+	cover      [][]bool // cover[v][slot]: v can cover the subtree beyond that pred
+	support    [][]int  // supporting-edge counters for cover facts
+	falseCount []int    // number of false cover facts per vertex
+	treeShaped bool     // whether S is acyclic (enables the DP)
+
+	epoch     int
+	edgeEpoch []int // scratch for hypothetical-cut dedup
+}
+
+// NewGraph creates an empty graph over the structure with the given
+// per-table tuple counts (counts[i] rows in table S.Tables[i]).
+func NewGraph(s *Structure, counts []int) (*Graph, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(counts) != len(s.Tables) {
+		return nil, fmt.Errorf("graph: %d counts for %d tables", len(counts), len(s.Tables))
+	}
+	g := &Graph{S: s, counts: append([]int(nil), counts...)}
+	g.base = make([]int, len(counts))
+	for i, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("graph: negative tuple count for table %d", i)
+		}
+		g.base[i] = g.nVerts
+		g.nVerts += c
+	}
+	g.predsByTable = make([][]int, len(s.Tables))
+	g.predSlot = make([]map[int]int, len(s.Tables))
+	for t := range s.Tables {
+		g.predsByTable[t] = s.predsOf(t)
+		g.predSlot[t] = make(map[int]int, len(g.predsByTable[t]))
+		for slot, p := range g.predsByTable[t] {
+			g.predSlot[t][p] = slot
+		}
+	}
+	g.adj = make([][][]int, g.nVerts)
+	for v := 0; v < g.nVerts; v++ {
+		g.adj[v] = make([][]int, len(g.predsByTable[g.TableOf(v)]))
+	}
+	g.treeShaped = s.Kind() != Cyclic
+	g.dirty = true
+	return g, nil
+}
+
+// MustNewGraph panics on error; for tests and static examples.
+func MustNewGraph(s *Structure, counts []int) *Graph {
+	g, err := NewGraph(s, counts)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NumVertices returns the total vertex count.
+func (g *Graph) NumVertices() int { return g.nVerts }
+
+// NumEdges returns the total edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// NumTables returns the table count.
+func (g *Graph) NumTables() int { return len(g.S.Tables) }
+
+// TupleCount returns the number of tuples in table t.
+func (g *Graph) TupleCount(t int) int { return g.counts[t] }
+
+// VertexID maps (table, row) to a dense vertex id.
+func (g *Graph) VertexID(tab, row int) int {
+	if tab < 0 || tab >= len(g.counts) || row < 0 || row >= g.counts[tab] {
+		panic(fmt.Sprintf("graph: vertex (%d,%d) out of range", tab, row))
+	}
+	return g.base[tab] + row
+}
+
+// TableOf returns the table index of vertex v.
+func (g *Graph) TableOf(v int) int {
+	// counts are small (≤ #tables); linear scan of bases.
+	for t := len(g.base) - 1; t >= 0; t-- {
+		if v >= g.base[t] {
+			return t
+		}
+	}
+	panic(fmt.Sprintf("graph: vertex %d out of range", v))
+}
+
+// RowOf returns the row index of vertex v within its table.
+func (g *Graph) RowOf(v int) int { return v - g.base[g.TableOf(v)] }
+
+// AddEdge adds a crowd edge on predicate pred between rowA (in the
+// predicate's A table) and rowB (B table) with matching probability w.
+// Returns the edge id.
+func (g *Graph) AddEdge(pred, rowA, rowB int, w float64) int {
+	if pred < 0 || pred >= len(g.S.Preds) {
+		panic(fmt.Sprintf("graph: predicate %d out of range", pred))
+	}
+	p := g.S.Preds[pred]
+	u := g.VertexID(p.A, rowA)
+	v := g.VertexID(p.B, rowB)
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{ID: id, Pred: pred, U: u, V: v, W: w})
+	g.adj[u][g.predSlot[p.A][pred]] = append(g.adj[u][g.predSlot[p.A][pred]], id)
+	g.adj[v][g.predSlot[p.B][pred]] = append(g.adj[v][g.predSlot[p.B][pred]], id)
+	g.dirty = true
+	return id
+}
+
+// Edge returns a copy of the edge with the given id.
+func (g *Graph) Edge(id int) Edge { return g.edges[id] }
+
+// SetColor records a crowd answer (or an inference) for an edge.
+func (g *Graph) SetColor(id int, c Color) {
+	if g.edges[id].Color == c {
+		return
+	}
+	g.edges[id].Color = c
+	g.dirty = true
+}
+
+// SetWeight updates an edge's matching probability (used when a
+// requester supplies a trained probability model).
+func (g *Graph) SetWeight(id int, w float64) {
+	g.edges[id].W = w
+}
+
+// EdgesAt returns the edge ids incident to vertex v on predicate pred.
+// The returned slice is shared; callers must not mutate it.
+func (g *Graph) EdgesAt(v, pred int) []int {
+	t := g.TableOf(v)
+	slot, ok := g.predSlot[t][pred]
+	if !ok {
+		return nil
+	}
+	return g.adj[v][slot]
+}
+
+// AllEdgesAt returns all edge ids incident to v across predicates.
+func (g *Graph) AllEdgesAt(v int) []int {
+	var out []int
+	for _, lst := range g.adj[v] {
+		out = append(out, lst...)
+	}
+	return out
+}
+
+// Other returns the endpoint of edge id opposite to vertex v.
+func (g *Graph) Other(id, v int) int {
+	e := g.edges[id]
+	if e.U == v {
+		return e.V
+	}
+	return e.U
+}
+
+// CountColors tallies edges by color.
+func (g *Graph) CountColors() (unknown, blue, red int) {
+	for _, e := range g.edges {
+		switch e.Color {
+		case Unknown:
+			unknown++
+		case Blue:
+			blue++
+		default:
+			red++
+		}
+	}
+	return
+}
+
+// ConnectedComponents partitions the *edges* into components connected
+// through non-red edges sharing a vertex. Red edges are excluded
+// entirely (they can no longer interact with any candidate). Used by
+// the latency scheduler (§5.2): tasks in different components are
+// always non-conflicting.
+func (g *Graph) ConnectedComponents() [][]int {
+	comp := make([]int, len(g.edges))
+	for i := range comp {
+		comp[i] = -1
+	}
+	var comps [][]int
+	for start := range g.edges {
+		if comp[start] >= 0 || g.edges[start].Color == Red {
+			continue
+		}
+		id := len(comps)
+		var members []int
+		stack := []int{start}
+		comp[start] = id
+		for len(stack) > 0 {
+			eID := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, eID)
+			e := g.edges[eID]
+			for _, v := range [2]int{e.U, e.V} {
+				for _, lst := range g.adj[v] {
+					for _, nb := range lst {
+						if comp[nb] < 0 && g.edges[nb].Color != Red {
+							comp[nb] = id
+							stack = append(stack, nb)
+						}
+					}
+				}
+			}
+		}
+		comps = append(comps, members)
+	}
+	return comps
+}

@@ -1,0 +1,253 @@
+package graph
+
+// Query-structure classification and the join-structure transforms of
+// §5.1.1 (tree → chain, cyclic graph → tree).
+
+// Kind classifies the table-level join structure of a query.
+type Kind int
+
+// Join structure kinds.
+const (
+	// SingleTable means no join predicates at all.
+	SingleTable Kind = iota
+	// Chain: tables form a path (each joined with at most two others).
+	Chain
+	// Star: one center table joined with every other table.
+	Star
+	// Tree: acyclic but neither chain nor star.
+	Tree
+	// Cyclic: the join structure has a cycle (including multi-edges
+	// between the same pair of tables).
+	Cyclic
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case SingleTable:
+		return "single-table"
+	case Chain:
+		return "chain"
+	case Star:
+		return "star"
+	case Tree:
+		return "tree"
+	case Cyclic:
+		return "cyclic"
+	default:
+		return "unknown"
+	}
+}
+
+// Kind classifies the structure. It assumes the structure is connected
+// (Validate enforces that elsewhere).
+func (s *Structure) Kind() Kind {
+	if len(s.Preds) == 0 {
+		return SingleTable
+	}
+	// Multi-edges between the same table pair form a cycle.
+	seenPair := map[[2]int]bool{}
+	deg := make([]int, len(s.Tables))
+	for _, p := range s.Preds {
+		a, b := p.A, p.B
+		if a > b {
+			a, b = b, a
+		}
+		if seenPair[[2]int{a, b}] {
+			return Cyclic
+		}
+		seenPair[[2]int{a, b}] = true
+		deg[p.A]++
+		deg[p.B]++
+	}
+	if len(s.Preds) >= len(s.Tables) {
+		return Cyclic
+	}
+	// Acyclic connected with |preds| = |tables|-1.
+	maxDeg, leaves := 0, 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+		if d == 1 {
+			leaves++
+		}
+	}
+	if maxDeg <= 2 {
+		return Chain
+	}
+	if maxDeg == len(s.Preds) && leaves == len(s.Tables)-1 {
+		return Star
+	}
+	return Tree
+}
+
+// adjacency returns, per table, the (neighbor table, predicate index)
+// pairs.
+func (s *Structure) adjacency() [][][2]int {
+	adj := make([][][2]int, len(s.Tables))
+	for i, p := range s.Preds {
+		adj[p.A] = append(adj[p.A], [2]int{p.B, i})
+		adj[p.B] = append(adj[p.B], [2]int{p.A, i})
+	}
+	return adj
+}
+
+// longestPath returns the table indices of a longest path in an
+// acyclic structure (double-BFS).
+func (s *Structure) longestPath() []int {
+	if len(s.Tables) == 1 {
+		return []int{0}
+	}
+	adj := s.adjacency()
+	far := func(start int) (int, map[int]int) {
+		parent := map[int]int{start: -1}
+		queue := []int{start}
+		last := start
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			last = u
+			for _, nb := range adj[u] {
+				if _, seen := parent[nb[0]]; !seen {
+					parent[nb[0]] = u
+					queue = append(queue, nb[0])
+				}
+			}
+		}
+		return last, parent
+	}
+	a, _ := far(0)
+	b, parent := far(a)
+	var path []int
+	for v := b; v != -1; v = parent[v] {
+		path = append(path, v)
+	}
+	// path currently runs b..a; orientation is irrelevant.
+	return path
+}
+
+// ChainStep is one hop of a chain walk: the table visited and the
+// predicate used to arrive there (-1 for the first table).
+type ChainStep struct {
+	Table int
+	Pred  int
+}
+
+// TreeToChain linearizes an acyclic query structure into a chain walk
+// per §5.1.1: the longest path forms the spine, and each subtree
+// hanging off a spine node is visited by an out-and-back detour,
+// duplicating the tables involved. Consecutive steps are always joined
+// by a predicate. Predicates on detours appear twice (out and back)
+// but refer to the same underlying task.
+//
+// It panics on cyclic structures; call BreakCycles first.
+func (s *Structure) TreeToChain() []ChainStep {
+	if s.Kind() == Cyclic {
+		panic("graph: TreeToChain on cyclic structure")
+	}
+	adj := s.adjacency()
+	spine := s.longestPath()
+	onSpine := make([]bool, len(s.Tables))
+	for _, t := range spine {
+		onSpine[t] = true
+	}
+	var walk []ChainStep
+	visited := make([]bool, len(s.Tables))
+
+	// detour emits an out-and-back DFS walk of the subtree rooted at
+	// child (entered via pred), returning to the caller's table.
+	var detour func(child, viaPred, from int)
+	detour = func(child, viaPred, from int) {
+		walk = append(walk, ChainStep{Table: child, Pred: viaPred})
+		visited[child] = true
+		for _, nb := range adj[child] {
+			if nb[0] == from || visited[nb[0]] {
+				continue
+			}
+			detour(nb[0], nb[1], child)
+			walk = append(walk, ChainStep{Table: child, Pred: nb[1]})
+		}
+	}
+
+	predBetween := func(a, b int) int {
+		for _, nb := range adj[a] {
+			if nb[0] == b {
+				return nb[1]
+			}
+		}
+		return -1
+	}
+
+	for i, t := range spine {
+		if i == 0 {
+			walk = append(walk, ChainStep{Table: t, Pred: -1})
+		} else {
+			walk = append(walk, ChainStep{Table: t, Pred: predBetween(spine[i-1], t)})
+		}
+		visited[t] = true
+		prev := -1
+		if i > 0 {
+			prev = spine[i-1]
+		}
+		next := -1
+		if i+1 < len(spine) {
+			next = spine[i+1]
+		}
+		for _, nb := range adj[t] {
+			if nb[0] == prev || nb[0] == next || visited[nb[0]] {
+				continue
+			}
+			detour(nb[0], nb[1], t)
+			walk = append(walk, ChainStep{Table: t, Pred: nb[1]})
+		}
+	}
+	return walk
+}
+
+// BreakCycles rewrites a cyclic structure into an acyclic one by
+// duplicating, for every non-spanning-tree predicate, the B-side
+// table: the predicate is re-pointed at a fresh copy of that table
+// (same data). Returns the new structure and, for each new table
+// index, the original table index it mirrors (identity for the
+// originals). Answer semantics require post-filtering embeddings where
+// a duplicate holds a different tuple than its original — the paper's
+// "invalid join tuples".
+func (s *Structure) BreakCycles() (*Structure, []int) {
+	origin := make([]int, len(s.Tables))
+	for i := range origin {
+		origin[i] = i
+	}
+	if s.Kind() != Cyclic {
+		cp := &Structure{Tables: append([]string(nil), s.Tables...), Preds: append([]QPred(nil), s.Preds...)}
+		return cp, origin
+	}
+	out := &Structure{Tables: append([]string(nil), s.Tables...)}
+	// Union-find to detect tree edges.
+	parent := make([]int, len(s.Tables))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, p := range s.Preds {
+		ra, rb := find(p.A), find(p.B)
+		if ra != rb {
+			parent[ra] = rb
+			out.Preds = append(out.Preds, p)
+			continue
+		}
+		// Non-tree edge: duplicate the B table.
+		dup := len(out.Tables)
+		out.Tables = append(out.Tables, s.Tables[p.B]+"'")
+		origin = append(origin, p.B)
+		out.Preds = append(out.Preds, QPred{A: p.A, B: dup, Name: p.Name})
+	}
+	return out, origin
+}

@@ -1,0 +1,390 @@
+package graph
+
+// Validity maintenance (Definition 3). An edge is valid iff it appears
+// in at least one candidate: an embedding that assigns one tuple per
+// table such that every predicate's tuple pair is a non-red edge.
+//
+// For tree-shaped query structures we maintain directional cover
+// facts: cover[v][slot] means "tuple v can be extended to satisfy the
+// entire subtree of the query tree that hangs beyond the slot-th
+// predicate of v's table". The fact dependency graph is acyclic (it
+// follows directed query-tree edges), so an optimistic initialization
+// followed by false-propagation computes the unique fixpoint. An edge
+// e=(u,v) on predicate p is then valid iff it is non-red, u covers all
+// its predicates except p, and v covers all its predicates except p.
+//
+// Cyclic structures fall back to per-edge backtracking (correct,
+// slower); the planner normally rewrites cycles away first
+// (BreakCycles), matching §5.1.1.
+
+// Revalidate recomputes edge validity from the current colors. It is
+// cheap to call repeatedly: a no-op while the graph is unchanged.
+func (g *Graph) Revalidate() {
+	if !g.dirty {
+		return
+	}
+	g.dirty = false
+	if g.treeShaped {
+		g.revalidateTree()
+	} else {
+		g.revalidateBacktrack()
+	}
+}
+
+// IsValid reports whether edge id is currently contained in some
+// candidate. Red edges are never valid.
+func (g *Graph) IsValid(id int) bool {
+	g.Revalidate()
+	return g.valid[id]
+}
+
+// ValidUncolored returns the ids of edges that still need to be asked:
+// valid and not yet colored.
+func (g *Graph) ValidUncolored() []int {
+	g.Revalidate()
+	var out []int
+	for i, e := range g.edges {
+		if e.Color == Unknown && g.valid[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// coversAllExcept reports whether vertex v's cover facts hold for
+// every incident predicate slot except skip (-1 means all slots).
+func (g *Graph) coversAllExcept(v, skipSlot int) bool {
+	switch g.falseCount[v] {
+	case 0:
+		return true
+	case 1:
+		return skipSlot >= 0 && !g.cover[v][skipSlot]
+	default:
+		return false
+	}
+}
+
+func (g *Graph) revalidateTree() {
+	n := g.nVerts
+	if g.cover == nil || len(g.cover) != n {
+		g.cover = make([][]bool, n)
+		g.support = make([][]int, n)
+		g.falseCount = make([]int, n)
+		for v := 0; v < n; v++ {
+			slots := len(g.predsByTable[g.TableOf(v)])
+			g.cover[v] = make([]bool, slots)
+			g.support[v] = make([]int, slots)
+		}
+	}
+	// Optimistic init: everything covers; supports count non-red
+	// incident edges per slot.
+	for v := 0; v < n; v++ {
+		g.falseCount[v] = 0
+		for s := range g.cover[v] {
+			g.cover[v][s] = true
+			cnt := 0
+			for _, eID := range g.adj[v][s] {
+				if g.edges[eID].Color != Red {
+					cnt++
+				}
+			}
+			g.support[v][s] = cnt
+		}
+	}
+	// Worklist of facts that are false: zero support.
+	var work []fact
+	for v := 0; v < n; v++ {
+		for s := range g.cover[v] {
+			if g.support[v][s] == 0 {
+				work = append(work, fact{v, s})
+			}
+		}
+	}
+	for len(work) > 0 {
+		f := work[len(work)-1]
+		work = work[:len(work)-1]
+		if !g.cover[f.v][f.slot] {
+			continue
+		}
+		g.cover[f.v][f.slot] = false
+		g.falseCount[f.v]++
+		// f.v stops supporting neighbor facts through every slot q where
+		// coversAllExcept(f.v, q) just flipped from true to false.
+		switch g.falseCount[f.v] {
+		case 1:
+			// Previously covered everything: coversAllExcept flipped for
+			// every slot except the newly false one.
+			for q := range g.cover[f.v] {
+				if q != f.slot {
+					work = g.dropSupportSlot(f.v, q, work)
+				}
+			}
+		case 2:
+			// Previously exactly one false slot f0: coversAllExcept was
+			// true only for q==f0; it flips there now.
+			for q := range g.cover[f.v] {
+				if q != f.slot && !g.cover[f.v][q] {
+					work = g.dropSupportSlot(f.v, q, work)
+					break
+				}
+			}
+		default:
+			// Already covered nothing; no supports to drop.
+		}
+	}
+	// Edge validity.
+	if len(g.valid) != len(g.edges) {
+		g.valid = make([]bool, len(g.edges))
+	}
+	for i := range g.edges {
+		g.valid[i] = g.edgeValidNow(i)
+	}
+	if len(g.edgeEpoch) != len(g.edges) {
+		g.edgeEpoch = make([]int, len(g.edges))
+		g.epoch = 0
+	}
+}
+
+// fact identifies one directional cover fact: vertex v's coverage of
+// the query subtree beyond its slot-th incident predicate.
+type fact struct{ v, slot int }
+
+// dropSupportSlot removes v's contribution from neighbor facts across
+// predicate slot q of v (v no longer covers "away from q").
+func (g *Graph) dropSupportSlot(v, q int, work []fact) []fact {
+	pred := g.predsByTable[g.TableOf(v)][q]
+	for _, eID := range g.adj[v][q] {
+		e := g.edges[eID]
+		if e.Color == Red {
+			continue
+		}
+		w := e.U
+		if w == v {
+			w = e.V
+		}
+		wSlot := g.predSlot[g.TableOf(w)][pred]
+		g.support[w][wSlot]--
+		if g.support[w][wSlot] == 0 && g.cover[w][wSlot] {
+			work = append(work, fact{w, wSlot})
+		}
+	}
+	return work
+}
+
+// edgeValidNow evaluates validity from the current cover facts.
+func (g *Graph) edgeValidNow(id int) bool {
+	e := g.edges[id]
+	if e.Color == Red {
+		return false
+	}
+	uSlot := g.predSlot[g.TableOf(e.U)][e.Pred]
+	vSlot := g.predSlot[g.TableOf(e.V)][e.Pred]
+	return g.coversAllExcept(e.U, uSlot) && g.coversAllExcept(e.V, vSlot)
+}
+
+// revalidateBacktrack is the general fallback: per-edge existence
+// check by backtracking embedding search.
+func (g *Graph) revalidateBacktrack() {
+	if len(g.valid) != len(g.edges) {
+		g.valid = make([]bool, len(g.edges))
+	}
+	for i, e := range g.edges {
+		if e.Color == Red {
+			g.valid[i] = false
+			continue
+		}
+		g.valid[i] = g.existsEmbeddingWith(map[int]int{i: i}, nil)
+	}
+	if len(g.edgeEpoch) != len(g.edges) {
+		g.edgeEpoch = make([]int, len(g.edges))
+		g.epoch = 0
+	}
+}
+
+// --- hypothetical cuts (Eq. 1 support) ---
+
+// journalEntry records one state mutation for rollback.
+type journalEntry struct {
+	kind int // 0 support dec, 1 cover flip, 2 edge virtually reddened
+	v    int
+	slot int
+	edge int
+}
+
+// CutLoss computes how many currently-valid uncolored edges (excluding
+// the cut bundle itself) would become invalid if all *uncolored* edges
+// incident to vertex v on predicate pred were colored Red. This is the
+// α / β quantity of the pruning expectation (Eq. 1). It also returns
+// the bundle size x (number of uncolored edges in the bundle). Blue
+// edges are left in place: if the bundle contains a blue edge the
+// disconnection probability is zero anyway and the caller discounts
+// the term. The graph state is unchanged on return.
+func (g *Graph) CutLoss(v, pred int) (loss, bundle int) {
+	g.Revalidate()
+	if !g.treeShaped {
+		return g.cutLossBrute(v, pred)
+	}
+	t := g.TableOf(v)
+	slot, ok := g.predSlot[t][pred]
+	if !ok {
+		return 0, 0
+	}
+	var journal []journalEntry
+	var work []fact
+	g.epoch++
+
+	// Virtually redden the bundle: each non-red edge (v,w) on pred
+	// stops supporting cover facts on BOTH sides.
+	cutEdges := map[int]bool{}
+	for _, eID := range g.adj[v][slot] {
+		e := g.edges[eID]
+		if e.Color != Unknown {
+			continue
+		}
+		bundle++
+		cutEdges[eID] = true
+		w := e.U
+		if w == v {
+			w = e.V
+		}
+		wSlot := g.predSlot[g.TableOf(w)][pred]
+		// An edge contributes to support[w][wSlot] only while its other
+		// endpoint covers-all-except the predicate (that is the
+		// invariant the propagation maintains), so removing the edge
+		// decrements only live contributions.
+		if g.coversAllExcept(v, slot) {
+			g.support[w][wSlot]--
+			journal = append(journal, journalEntry{kind: 0, v: w, slot: wSlot})
+			if g.support[w][wSlot] == 0 && g.cover[w][wSlot] {
+				work = append(work, fact{w, wSlot})
+			}
+		}
+		if g.coversAllExcept(w, wSlot) {
+			g.support[v][slot]--
+			journal = append(journal, journalEntry{kind: 0, v: v, slot: slot})
+			if g.support[v][slot] == 0 && g.cover[v][slot] {
+				work = append(work, fact{v, slot})
+			}
+		}
+	}
+
+	// Propagate false facts, counting newly-invalid edges.
+	newlyInvalid := 0
+	// Only uncolored edges count toward the loss: invalidating an
+	// already-asked (blue) edge saves no task.
+	markInvalid := func(eID int) {
+		if cutEdges[eID] {
+			return
+		}
+		if g.edges[eID].Color == Unknown && g.valid[eID] && g.edgeEpoch[eID] != g.epoch {
+			g.edgeEpoch[eID] = g.epoch
+			newlyInvalid++
+		}
+	}
+	for len(work) > 0 {
+		f := work[len(work)-1]
+		work = work[:len(work)-1]
+		if !g.cover[f.v][f.slot] {
+			continue
+		}
+		g.cover[f.v][f.slot] = false
+		g.falseCount[f.v]++
+		journal = append(journal, journalEntry{kind: 1, v: f.v, slot: f.slot})
+
+		// Which coversAllExcept(f.v, q) facts flipped false?
+		var affected []int
+		switch g.falseCount[f.v] {
+		case 1:
+			for q := range g.cover[f.v] {
+				if q != f.slot {
+					affected = append(affected, q)
+				}
+			}
+		case 2:
+			for q := range g.cover[f.v] {
+				if q != f.slot && !g.cover[f.v][q] {
+					affected = append(affected, q)
+					break
+				}
+			}
+		}
+		for _, q := range affected {
+			predQ := g.predsByTable[g.TableOf(f.v)][q]
+			for _, eID := range g.adj[f.v][q] {
+				e := g.edges[eID]
+				if e.Color == Red {
+					continue
+				}
+				markInvalid(eID)
+				w := e.U
+				if w == f.v {
+					w = e.V
+				}
+				wSlot := g.predSlot[g.TableOf(w)][predQ]
+				g.support[w][wSlot]--
+				journal = append(journal, journalEntry{kind: 0, v: w, slot: wSlot})
+				if g.support[w][wSlot] == 0 && g.cover[w][wSlot] {
+					work = append(work, fact{w, wSlot})
+				}
+			}
+		}
+		// Edges on f.slot itself: cover[f.v][f.slot] false does not by
+		// itself invalidate those edges (validity looks at
+		// coversAllExcept of both endpoints w.r.t. their own pred), but
+		// coversAllExcept(f.v, q) flips handled above cover that.
+	}
+
+	// Rollback in reverse order.
+	for i := len(journal) - 1; i >= 0; i-- {
+		j := journal[i]
+		switch j.kind {
+		case 0:
+			g.support[j.v][j.slot]++
+		case 1:
+			g.cover[j.v][j.slot] = true
+			g.falseCount[j.v]--
+		}
+	}
+	return newlyInvalid, bundle
+}
+
+// cutLossBrute recomputes validity on a temporarily mutated copy; used
+// only for cyclic structures.
+func (g *Graph) cutLossBrute(v, pred int) (loss, bundle int) {
+	t := g.TableOf(v)
+	slot, ok := g.predSlot[t][pred]
+	if !ok {
+		return 0, 0
+	}
+	var flipped []int
+	for _, eID := range g.adj[v][slot] {
+		if g.edges[eID].Color == Unknown {
+			flipped = append(flipped, eID)
+		}
+	}
+	bundle = len(flipped)
+	if bundle == 0 {
+		return 0, 0
+	}
+	before := append([]bool(nil), g.valid...)
+	for _, eID := range flipped {
+		g.edges[eID].Color = Red
+	}
+	g.dirty = true
+	g.Revalidate()
+	flippedSet := map[int]bool{}
+	for _, eID := range flipped {
+		flippedSet[eID] = true
+	}
+	for i := range g.valid {
+		if before[i] && !g.valid[i] && !flippedSet[i] && g.edges[i].Color == Unknown {
+			loss++
+		}
+	}
+	for _, eID := range flipped {
+		g.edges[eID].Color = Unknown
+	}
+	g.dirty = true
+	g.Revalidate()
+	return loss, bundle
+}

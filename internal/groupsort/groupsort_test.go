@@ -1,0 +1,149 @@
+package groupsort
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"cdb/internal/crowd"
+	"cdb/internal/sim"
+	"cdb/internal/stats"
+)
+
+func perfect(n int, seed uint64) *crowd.Pool {
+	return crowd.NewPerfectPool(n, stats.NewRNG(seed))
+}
+
+func TestGroupByClustersVariants(t *testing.T) {
+	values := []string{
+		"University of Wisconsin", "Univ. of Wisconsin", "university of wisconsin",
+		"University of Michigan", "Univ. of Michigan",
+		"Tsinghua University",
+	}
+	entity := func(v string) string {
+		v = strings.ToLower(v)
+		switch {
+		case strings.Contains(v, "wisconsin"):
+			return "wisc"
+		case strings.Contains(v, "michigan"):
+			return "mich"
+		default:
+			return "tsinghua"
+		}
+	}
+	same := func(a, b string) bool { return entity(a) == entity(b) }
+	groups, res := GroupBy(values, same, Config{Pool: perfect(10, 1), Sim: sim.Gram2Jaccard})
+	if len(groups) != 3 {
+		t.Fatalf("groups = %v, want 3 entities", groups)
+	}
+	sizes := map[int]int{}
+	for _, g := range groups {
+		sizes[len(g)]++
+		e := entity(values[g[0]])
+		for _, idx := range g {
+			if entity(values[idx]) != e {
+				t.Fatalf("mixed group: %v", g)
+			}
+		}
+	}
+	if sizes[3] != 1 || sizes[2] != 1 || sizes[1] != 1 {
+		t.Fatalf("group sizes = %v", sizes)
+	}
+	if res.Tasks == 0 {
+		t.Fatal("grouping asked no tasks")
+	}
+}
+
+func TestGroupByTransitivitySaves(t *testing.T) {
+	// Five variants of one entity: full pairwise would be 10 tasks;
+	// transitivity needs at most 4 merges (plus unlucky waves).
+	values := []string{"acme corp", "acme corp.", "Acme Corp", "ACME CORP", "acme  corp"}
+	same := func(a, b string) bool { return true }
+	groups, res := GroupBy(values, same, Config{Pool: perfect(10, 2), Sim: sim.Gram2Jaccard})
+	if len(groups) != 1 {
+		t.Fatalf("groups = %v, want one cluster", groups)
+	}
+	if res.Tasks >= 10 {
+		t.Fatalf("transitivity saved nothing: %d tasks", res.Tasks)
+	}
+}
+
+func TestGroupBySingletons(t *testing.T) {
+	values := []string{"alpha", "beta", "gamma"}
+	same := func(a, b string) bool { return a == b }
+	groups, res := GroupBy(values, same, Config{Pool: perfect(5, 3), Sim: sim.Gram2Jaccard})
+	if len(groups) != 3 {
+		t.Fatalf("groups = %v", groups)
+	}
+	// All pairs are below epsilon: free.
+	if res.Tasks != 0 {
+		t.Fatalf("dissimilar values should not be asked: %d tasks", res.Tasks)
+	}
+}
+
+func TestSortByPerfectWorkers(t *testing.T) {
+	values := []string{"30", "5", "12", "7", "100", "1", "50"}
+	lessNum := func(a, b string) bool {
+		x, _ := strconv.Atoi(a)
+		y, _ := strconv.Atoi(b)
+		return x < y
+	}
+	perm, res := SortBy(values, lessNum, Config{Pool: perfect(10, 4)})
+	got := make([]string, len(perm))
+	for i, idx := range perm {
+		got[i] = values[idx]
+	}
+	want := []string{"1", "5", "7", "12", "30", "50", "100"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted = %v, want %v", got, want)
+		}
+	}
+	// Merge sort task bound.
+	if res.Tasks > 20 {
+		t.Fatalf("too many comparisons: %d", res.Tasks)
+	}
+	// ceil(log2 7) = 3 merge levels.
+	if res.Rounds != 3 {
+		t.Fatalf("rounds = %d, want 3", res.Rounds)
+	}
+}
+
+func TestSortByNoisyWorkersMostlyOrdered(t *testing.T) {
+	rng := stats.NewRNG(7)
+	pool := crowd.NewPool(30, 0.9, 0.05, rng)
+	var values []string
+	for i := 0; i < 16; i++ {
+		values = append(values, strconv.Itoa(i))
+	}
+	lessNum := func(a, b string) bool {
+		x, _ := strconv.Atoi(a)
+		y, _ := strconv.Atoi(b)
+		return x < y
+	}
+	perm, _ := SortBy(values, lessNum, Config{Pool: pool, Redundancy: 5})
+	// Count pairwise inversions; noisy workers may cause a few, but the
+	// order must be far better than random (random ≈ 60 of 120).
+	inv := 0
+	for i := 0; i < len(perm); i++ {
+		for j := i + 1; j < len(perm); j++ {
+			if perm[i] > perm[j] {
+				inv++
+			}
+		}
+	}
+	if inv > 20 {
+		t.Fatalf("too many inversions: %d", inv)
+	}
+}
+
+func TestSortByEmptyAndSingle(t *testing.T) {
+	perm, res := SortBy(nil, func(a, b string) bool { return a < b }, Config{Pool: perfect(3, 8)})
+	if len(perm) != 0 || res.Tasks != 0 {
+		t.Fatalf("empty sort = %v, %+v", perm, res)
+	}
+	perm, res = SortBy([]string{"x"}, func(a, b string) bool { return a < b }, Config{Pool: perfect(3, 9)})
+	if len(perm) != 1 || res.Tasks != 0 {
+		t.Fatalf("single sort = %v, %+v", perm, res)
+	}
+}

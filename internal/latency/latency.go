@@ -1,0 +1,167 @@
+// Package latency implements CDB's round-based latency control (§5.2).
+// Two tasks conflict when they can appear in the same candidate — then
+// answering one may prune the other, so asking both in one round can
+// waste money. Each round the scheduler packs a maximal conflict-free
+// set from the cost-ordered task list (deferring a task while a
+// clearly more valuable pending task touches the same tuple on another
+// predicate), using the paper's two cheap rules (different connected
+// components; different tuples of the same table) before falling back
+// to the exact same-candidate test. The literal longest-prefix rule of
+// the paper's pseudo-code is available as PrefixBatch for ablations;
+// see DESIGN.md §6 for why packing is the default.
+package latency
+
+import (
+	"cdb/internal/graph"
+)
+
+// ParallelBatch selects the sub-sequence of order (task ids, most
+// valuable first) that can be crowdsourced simultaneously: it scans
+// the whole priority order and greedily packs every task that does not
+// conflict with an already-packed one (a maximal conflict-free set
+// honouring the cost ordering). Components never conflict with one
+// another, and two edges conflict only when they can co-occur in a
+// candidate (§5.2). Edges that are already colored or invalid are
+// skipped. An empty result means order carried no askable edge.
+//
+// PrefixBatch implements the stricter longest-prefix rule the paper's
+// pseudo-code describes; packing the full scan keeps the same
+// correctness guarantee (no batch member can prune another directly)
+// while matching the round counts the paper reports (≈ one round per
+// predicate on the benchmark queries).
+func ParallelBatch(g *graph.Graph, order []int) []int {
+	return scanBatch(g, order, nil, false)
+}
+
+// ParallelBatchScored is ParallelBatch with the cost scores behind the
+// order: an edge is deferred only behind a strictly more valuable
+// pending edge at the same tuple (score more than double), so
+// co-equal gates share a round and the round count stays near one per
+// predicate while the cheap-gate-first inference is preserved.
+func ParallelBatchScored(g *graph.Graph, order []int, score map[int]float64) []int {
+	return scanBatch(g, order, score, false)
+}
+
+// PrefixBatch stops each component's batch at its first conflicting
+// edge — §5.2's literal "longest prefix" rule. Exposed for the
+// latency-control ablation.
+func PrefixBatch(g *graph.Graph, order []int) []int {
+	return scanBatch(g, order, nil, true)
+}
+
+func scanBatch(g *graph.Graph, order []int, score map[int]float64, prefixOnly bool) []int {
+	g.Revalidate()
+	comps := g.ConnectedComponents()
+	compOf := make(map[int]int, g.NumEdges())
+	for ci, members := range comps {
+		for _, e := range members {
+			compOf[e] = ci
+		}
+	}
+
+	// Priority-aware deferral: an edge waits when a higher-priority
+	// valid edge touches one of its endpoints on a DIFFERENT predicate
+	// — that edge is this tuple's "gate", and its answer may prune this
+	// one. Per-tuple gates of every predicate still go out together, so
+	// rounds stay near one-per-predicate while preserving inference.
+	// bestRank[v][slotKey] is the best (smallest) scan rank of a valid
+	// uncolored edge at vertex v and predicate.
+	type vp struct{ v, pred int }
+	bestRank := map[vp]int{}
+	rankOf := make(map[int]int, len(order))
+	for rank, e := range order {
+		ed := g.Edge(e)
+		if ed.Color != graph.Unknown || !g.IsValid(e) {
+			continue
+		}
+		if _, seen := rankOf[e]; seen {
+			continue
+		}
+		rankOf[e] = rank
+		for _, v := range [2]int{ed.U, ed.V} {
+			key := vp{v, ed.Pred}
+			if r, ok := bestRank[key]; !ok || rank < r {
+				bestRank[key] = rank
+			}
+		}
+	}
+
+	// accepted edges per component; closed marks components whose
+	// prefix has ended (a conflicting edge was encountered).
+	accepted := make(map[int][]int)
+	closed := make(map[int]bool)
+	var batch []int
+
+	for _, e := range order {
+		ed := g.Edge(e)
+		if ed.Color != graph.Unknown || !g.IsValid(e) {
+			continue
+		}
+		ci, ok := compOf[e]
+		if !ok {
+			continue // red/isolated; nothing to schedule
+		}
+		if closed[ci] {
+			continue
+		}
+		rank := rankOf[e]
+		if !prefixOnly {
+			deferred := false
+			for _, v := range [2]int{ed.U, ed.V} {
+				for _, q := range g.S.PredsOf(g.TableOf(v)) {
+					if q == ed.Pred {
+						continue
+					}
+					r, okq := bestRank[vp{v, q}]
+					if !okq || r >= rank {
+						continue
+					}
+					if score != nil {
+						// Only a clearly more valuable gate defers us;
+						// near-equals are asked together.
+						blocker := order[r]
+						if !(score[blocker] > 2*score[e]+1e-9) {
+							continue
+						}
+					}
+					deferred = true
+					break
+				}
+				if deferred {
+					break
+				}
+			}
+			if deferred {
+				continue
+			}
+		}
+		conflict := false
+		for _, prev := range accepted[ci] {
+			if g.SameCandidate(prev, e) {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			if prefixOnly {
+				closed[ci] = true
+			}
+			continue
+		}
+		accepted[ci] = append(accepted[ci], e)
+		batch = append(batch, e)
+	}
+	return batch
+}
+
+// SerialBatch returns just the first askable task of order — the
+// no-latency-control baseline used in ablations.
+func SerialBatch(g *graph.Graph, order []int) []int {
+	g.Revalidate()
+	for _, e := range order {
+		if g.Edge(e).Color == graph.Unknown && g.IsValid(e) {
+			return []int{e}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+// Package maxflow implements a max-flow / min-cut solver (Dinic's
+// algorithm) over small integer-capacity graphs. CDB's cost control
+// (Lemma 1, §5.1.1) reduces "which RED edges must be asked" to a
+// minimum s-t cut where RED edges have capacity 1 and BLUE edges are
+// uncuttable (capacity ∞); this package provides that primitive plus
+// extraction of the cut edge set.
+package maxflow
+
+import (
+	"fmt"
+)
+
+// Inf is the capacity used for uncuttable edges. It is large enough
+// that any finite cut avoids it, yet small enough that many infinite
+// augmenting paths sum without overflowing int64.
+const Inf int64 = 1 << 40
+
+// edge is one directed arc in the residual network.
+type edge struct {
+	to   int
+	cap  int64
+	flow int64
+	id   int // caller-supplied identifier, -1 for reverse arcs
+}
+
+// Graph is a flow network under construction. Vertices are dense ints
+// [0, n).
+type Graph struct {
+	n     int
+	edges []edge
+	adj   [][]int // vertex -> indices into edges
+	level []int
+	iter  []int
+}
+
+// New creates a flow network with n vertices.
+func New(n int) *Graph {
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return g.n }
+
+// AddEdge adds a directed edge u->v with the given capacity and a
+// caller identifier used when extracting the min cut. It panics on an
+// out-of-range vertex — flow graphs here are always built from trusted
+// internal indices, so a violation is a programming error.
+func (g *Graph) AddEdge(u, v int, capacity int64, id int) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("maxflow: edge (%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	if capacity < 0 {
+		panic("maxflow: negative capacity")
+	}
+	g.adj[u] = append(g.adj[u], len(g.edges))
+	g.edges = append(g.edges, edge{to: v, cap: capacity, id: id})
+	g.adj[v] = append(g.adj[v], len(g.edges))
+	g.edges = append(g.edges, edge{to: u, cap: 0, id: -1})
+}
+
+// bfs builds the level graph; returns false when t is unreachable.
+func (g *Graph) bfs(s, t int) bool {
+	g.level = make([]int, g.n)
+	for i := range g.level {
+		g.level[i] = -1
+	}
+	queue := []int{s}
+	g.level[s] = 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, ei := range g.adj[u] {
+			e := g.edges[ei]
+			if e.cap-e.flow > 0 && g.level[e.to] < 0 {
+				g.level[e.to] = g.level[u] + 1
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return g.level[t] >= 0
+}
+
+// dfs sends blocking flow along the level graph.
+func (g *Graph) dfs(u, t int, f int64) int64 {
+	if u == t {
+		return f
+	}
+	for ; g.iter[u] < len(g.adj[u]); g.iter[u]++ {
+		ei := g.adj[u][g.iter[u]]
+		e := &g.edges[ei]
+		if e.cap-e.flow <= 0 || g.level[e.to] != g.level[u]+1 {
+			continue
+		}
+		d := g.dfs(e.to, t, min64(f, e.cap-e.flow))
+		if d > 0 {
+			e.flow += d
+			g.edges[ei^1].flow -= d
+			return d
+		}
+	}
+	return 0
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxFlow computes the maximum s-t flow. It may be called once per
+// graph; capacities are consumed.
+func (g *Graph) MaxFlow(s, t int) int64 {
+	if s == t {
+		return 0
+	}
+	var flow int64
+	for g.bfs(s, t) {
+		g.iter = make([]int, g.n)
+		for {
+			f := g.dfs(s, t, Inf)
+			if f == 0 {
+				break
+			}
+			flow += f
+		}
+	}
+	return flow
+}
+
+// MinCut computes the max flow and returns (flowValue, cutEdgeIDs):
+// the caller IDs of the forward edges crossing from the s-side to the
+// t-side of the residual reachability partition. IDs of -1 (reverse
+// arcs) never appear. Edges with capacity Inf never appear in a finite
+// cut.
+func (g *Graph) MinCut(s, t int) (int64, []int) {
+	flow := g.MaxFlow(s, t)
+	// Vertices reachable from s in the residual graph form the s-side.
+	reach := make([]bool, g.n)
+	stack := []int{s}
+	reach[s] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ei := range g.adj[u] {
+			e := g.edges[ei]
+			if e.cap-e.flow > 0 && !reach[e.to] {
+				reach[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	var cut []int
+	for ei := 0; ei < len(g.edges); ei += 2 { // forward arcs only
+		e := g.edges[ei]
+		from := g.edges[ei^1].to
+		if reach[from] && !reach[e.to] && e.id >= 0 {
+			cut = append(cut, e.id)
+		}
+	}
+	return flow, cut
+}

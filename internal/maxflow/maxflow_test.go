@@ -1,0 +1,220 @@
+package maxflow
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cdb/internal/stats"
+)
+
+func TestSimplePath(t *testing.T) {
+	// s -> a -> t with caps 3, 2 => flow 2, cut = edge 1.
+	g := New(3)
+	g.AddEdge(0, 1, 3, 0)
+	g.AddEdge(1, 2, 2, 1)
+	flow, cut := g.MinCut(0, 2)
+	if flow != 2 {
+		t.Fatalf("flow = %d, want 2", flow)
+	}
+	if len(cut) != 1 || cut[0] != 1 {
+		t.Fatalf("cut = %v, want [1]", cut)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 5, 0)
+	g.AddEdge(2, 3, 5, 1)
+	flow, cut := g.MinCut(0, 3)
+	if flow != 0 || len(cut) != 0 {
+		t.Fatalf("flow=%d cut=%v, want 0/empty", flow, cut)
+	}
+}
+
+func TestClassicNetwork(t *testing.T) {
+	// CLRS-style example; known max flow 23.
+	g := New(6)
+	type e struct{ u, v, c int }
+	edges := []e{
+		{0, 1, 16}, {0, 2, 13}, {1, 2, 10}, {2, 1, 4},
+		{1, 3, 12}, {3, 2, 9}, {2, 4, 14}, {4, 3, 7},
+		{3, 5, 20}, {4, 5, 4},
+	}
+	for i, ed := range edges {
+		g.AddEdge(ed.u, ed.v, int64(ed.c), i)
+	}
+	if flow := g.MaxFlow(0, 5); flow != 23 {
+		t.Fatalf("flow = %d, want 23", flow)
+	}
+}
+
+func TestInfEdgesNeverCut(t *testing.T) {
+	// s -inf-> a -1-> b -inf-> t : the only finite cut is the middle edge.
+	g := New(4)
+	g.AddEdge(0, 1, Inf, 0)
+	g.AddEdge(1, 2, 1, 1)
+	g.AddEdge(2, 3, Inf, 2)
+	flow, cut := g.MinCut(0, 3)
+	if flow != 1 {
+		t.Fatalf("flow = %d", flow)
+	}
+	if len(cut) != 1 || cut[0] != 1 {
+		t.Fatalf("cut = %v, want the capacity-1 edge", cut)
+	}
+}
+
+func TestParallelPathsCut(t *testing.T) {
+	// Two disjoint s-t paths of RED (cap 1) edges: min cut has 2 edges,
+	// one per path.
+	g := New(6)
+	g.AddEdge(0, 1, 1, 10)
+	g.AddEdge(1, 5, 1, 11)
+	g.AddEdge(0, 2, 1, 20)
+	g.AddEdge(2, 5, 1, 21)
+	flow, cut := g.MinCut(0, 5)
+	if flow != 2 {
+		t.Fatalf("flow = %d", flow)
+	}
+	if len(cut) != 2 {
+		t.Fatalf("cut = %v", cut)
+	}
+	sort.Ints(cut)
+	if cut[0] >= 20 || cut[1] < 20 {
+		t.Fatalf("cut should take one edge from each path, got %v", cut)
+	}
+}
+
+func TestSourceEqualsSink(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 1, 0)
+	if f := g.MaxFlow(0, 0); f != 0 {
+		t.Fatalf("flow s==t = %d", f)
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	cases := []func(){
+		func() { New(2).AddEdge(0, 5, 1, 0) },
+		func() { New(2).AddEdge(-1, 0, 1, 0) },
+		func() { New(2).AddEdge(0, 1, -5, 0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// cutSeparates verifies that removing the cut edges disconnects s from t.
+func cutSeparates(n int, edges [][3]int64, cut []int, s, t int) bool {
+	cutSet := map[int]bool{}
+	for _, id := range cut {
+		cutSet[id] = true
+	}
+	adj := make([][]int, n)
+	for id, e := range edges {
+		if cutSet[id] {
+			continue
+		}
+		adj[e[0]] = append(adj[e[0]], int(e[1]))
+	}
+	seen := make([]bool, n)
+	stack := []int{s}
+	seen[s] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if u == t {
+			return false
+		}
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return true
+}
+
+// TestRandomCutProperty: on random unit-capacity DAG-ish graphs, the
+// returned cut always disconnects s from t and its size equals the
+// max-flow value (all caps are 1).
+func TestRandomCutProperty(t *testing.T) {
+	rng := stats.NewRNG(99)
+	err := quick.Check(func(seed uint64) bool {
+		r := stats.NewRNG(seed ^ rng.Uint64())
+		n := 4 + r.Intn(8)
+		g := New(n)
+		var edges [][3]int64
+		// Layered random edges to keep s-t structure plausible.
+		for i := 0; i < 3*n; i++ {
+			u := r.Intn(n - 1)
+			v := u + 1 + r.Intn(n-u-1)
+			id := len(edges)
+			g.AddEdge(u, v, 1, id)
+			edges = append(edges, [3]int64{int64(u), int64(v), 1})
+		}
+		flow, cut := g.MinCut(0, n-1)
+		if int64(len(cut)) != flow {
+			return false
+		}
+		return cutSeparates(n, edges, cut, 0, n-1)
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCutMinimality: brute-force verify on tiny graphs that no smaller
+// edge subset disconnects s from t.
+func TestCutMinimality(t *testing.T) {
+	rng := stats.NewRNG(7)
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(3)
+		g := New(n)
+		var edges [][3]int64
+		m := 5 + rng.Intn(4)
+		for i := 0; i < m; i++ {
+			u := rng.Intn(n - 1)
+			v := u + 1 + rng.Intn(n-u-1)
+			g.AddEdge(u, v, 1, len(edges))
+			edges = append(edges, [3]int64{int64(u), int64(v), 1})
+		}
+		flow, cut := g.MinCut(0, n-1)
+		if !cutSeparates(n, edges, cut, 0, n-1) {
+			t.Fatalf("trial %d: cut does not separate", trial)
+		}
+		// Every subset smaller than |cut| must fail to separate.
+		k := len(cut)
+		if k == 0 {
+			continue
+		}
+		// Enumerate all subsets of edges of size k-1.
+		idx := make([]int, len(edges))
+		for i := range idx {
+			idx[i] = i
+		}
+		var rec func(start int, chosen []int) bool
+		rec = func(start int, chosen []int) bool {
+			if len(chosen) == k-1 {
+				return cutSeparates(n, edges, chosen, 0, n-1)
+			}
+			for i := start; i < len(edges); i++ {
+				if rec(i+1, append(chosen, i)) {
+					return true
+				}
+			}
+			return false
+		}
+		if rec(0, nil) {
+			t.Fatalf("trial %d: found a separating set smaller than min cut (%d, flow %d)", trial, k, flow)
+		}
+	}
+}

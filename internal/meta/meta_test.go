@@ -1,0 +1,76 @@
+package meta
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRecordLifecycle(t *testing.T) {
+	s := NewStore()
+	t1 := s.RecordTask(TaskJoin, "P.title~C.title", "a title", "another title", 0)
+	t2 := s.RecordTask(TaskSelection, "P.conf~sigmod", "sigmod16", "sigmod", 1)
+	if t1 != 0 || t2 != 1 {
+		t.Fatalf("ids = %d, %d", t1, t2)
+	}
+	s.RecordAssignment(t1, 7, "match")
+	s.RecordAssignment(t1, 8, "nonmatch")
+	s.RecordAssignment(t2, 7, "match")
+	if err := s.RecordVerdict(t1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordVerdict(t2, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordVerdict(99, true); err == nil {
+		t.Fatal("unknown task accepted")
+	}
+
+	if s.Tasks().Len() != 2 || s.Assignments().Len() != 3 || s.Workers().Len() != 2 {
+		t.Fatalf("relation sizes: %d/%d/%d", s.Tasks().Len(), s.Assignments().Len(), s.Workers().Len())
+	}
+	// Worker 7 answered twice.
+	st := s.ComputeStats()
+	if st.WorkerAnswers[7] != 2 || st.WorkerAnswers[8] != 1 {
+		t.Fatalf("worker answers = %v", st.WorkerAnswers)
+	}
+	if st.MatchRate != 0.5 {
+		t.Fatalf("match rate = %v", st.MatchRate)
+	}
+	if st.PerKind[TaskJoin] != 1 || st.PerKind[TaskSelection] != 1 {
+		t.Fatalf("per kind = %v", st.PerKind)
+	}
+	if st.Selectivity["P.title~C.title"] != 1 || st.Selectivity["P.conf~sigmod"] != 0 {
+		t.Fatalf("selectivity = %v", st.Selectivity)
+	}
+}
+
+func TestUpdateWorkerQuality(t *testing.T) {
+	s := NewStore()
+	s.UpdateWorkerQuality(3, 0.91) // unseen worker: creates the row
+	s.RecordAssignment(0, 3, "match")
+	s.UpdateWorkerQuality(3, 0.88)
+	rows := s.Workers().Rows
+	if len(rows) != 1 || rows[0][2].F != 0.88 {
+		t.Fatalf("worker rows = %v", rows)
+	}
+}
+
+func TestEmptyStats(t *testing.T) {
+	st := NewStore().ComputeStats()
+	if st.Tasks != 0 || st.MatchRate != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	s := NewStore()
+	id := s.RecordTask(TaskJoin, "pred", "l", "r", 0)
+	_ = s.RecordVerdict(id, true)
+	var buf bytes.Buffer
+	s.WriteReport(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "1 tasks") || !strings.Contains(out, "selectivity=1.000") {
+		t.Fatalf("report:\n%s", out)
+	}
+}

@@ -1,0 +1,201 @@
+package quality
+
+import (
+	"math"
+
+	"cdb/internal/stats"
+)
+
+// ChoiceGain computes Eq. 3: the expected entropy reduction of task t
+// (current posterior p over ℓ choices) if a worker of quality q
+// answers it. Larger is better; the assignment picks argmax.
+func ChoiceGain(p []float64, q float64) float64 {
+	l := len(p)
+	if l < 2 {
+		return 0
+	}
+	q = clampQ(q)
+	h := stats.Entropy(p)
+	expected := 0.0
+	pPrime := make([]float64, l)
+	for i := 0; i < l; i++ {
+		// Probability the worker answers choice i.
+		pi := p[i]*q + (1-p[i])*(1-q)/float64(l-1)
+		if pi <= 0 {
+			continue
+		}
+		// Posterior after observing answer i.
+		for j := 0; j < l; j++ {
+			if j == i {
+				pPrime[j] = p[j] * q
+			} else {
+				pPrime[j] = p[j] * (1 - q) / float64(l-1)
+			}
+		}
+		norm := 0.0
+		for _, v := range pPrime {
+			norm += v
+		}
+		if norm <= 0 {
+			continue
+		}
+		for j := range pPrime {
+			pPrime[j] /= norm
+		}
+		expected += pi * stats.Entropy(pPrime)
+	}
+	return h - expected
+}
+
+// FillConsistency computes Eq. 4: the mean pairwise similarity of a
+// fill-in-blank task's answers. Tasks with fewer than two answers have
+// zero consistency (maximally in need of more answers).
+func FillConsistency(answers []FillAnswer, simFn func(a, b string) float64) float64 {
+	n := len(answers)
+	if n < 2 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sum += simFn(answers[i].Text, answers[j].Text)
+		}
+	}
+	pairs := float64(n*(n-1)) / 2
+	return sum / pairs
+}
+
+// Chao92 estimates the total population size from capture frequencies:
+// counts maps each distinct observed item to how many times it was
+// contributed. The estimator is N̂ = M / (1 - f1/n) · (1 + γ² f1/(n-f1))
+// simplified to the abundance-coverage form commonly used for crowd
+// enumeration; with no duplicates observed it falls back to 2M (we
+// clearly have not saturated).
+func Chao92(counts map[string]int) float64 {
+	m := len(counts)
+	if m == 0 {
+		return 0
+	}
+	n, f1 := 0, 0
+	for _, c := range counts {
+		n += c
+		if c == 1 {
+			f1++
+		}
+	}
+	if f1 == n {
+		// Every observation unique: no coverage signal yet.
+		return 2 * float64(m)
+	}
+	coverage := 1 - float64(f1)/float64(n)
+	return float64(m) / coverage
+}
+
+// CompletenessScore computes (N̂−M)/N̂: how far a collection task is
+// from complete. Assignment favours the LEAST complete tasks.
+func CompletenessScore(distinct int, estimated float64) float64 {
+	if estimated <= 0 || float64(distinct) >= estimated {
+		return 0
+	}
+	return (estimated - float64(distinct)) / estimated
+}
+
+// AssignChoice picks, for an arriving worker of quality q, the indices
+// of the k open tasks with the highest expected quality improvement
+// (Eq. 3). posteriors[i] is the current distribution of task i; open
+// reports whether the task may still receive answers. Ties break to
+// the lower index.
+func AssignChoice(posteriors [][]float64, open func(task int) bool, q float64, k int) []int {
+	type scored struct {
+		task int
+		gain float64
+	}
+	var all []scored
+	for i, p := range posteriors {
+		if open != nil && !open(i) {
+			continue
+		}
+		all = append(all, scored{task: i, gain: ChoiceGain(p, q)})
+	}
+	// Partial selection sort for top-k (k is tiny).
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]int, 0, k)
+	used := make(map[int]bool, k)
+	for len(out) < k {
+		best := -1
+		for i, s := range all {
+			if used[i] {
+				continue
+			}
+			if best < 0 || s.gain > all[best].gain ||
+				(s.gain == all[best].gain && s.task < all[best].task) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		used[best] = true
+		out = append(out, all[best].task)
+	}
+	return out
+}
+
+// AssignFill picks the k fill-in-blank tasks with the LEAST
+// consistency (Eq. 4).
+func AssignFill(answerSets [][]FillAnswer, open func(task int) bool,
+	simFn func(a, b string) float64, k int) []int {
+
+	type scored struct {
+		task int
+		c    float64
+	}
+	var all []scored
+	for i, as := range answerSets {
+		if open != nil && !open(i) {
+			continue
+		}
+		all = append(all, scored{task: i, c: FillConsistency(as, simFn)})
+	}
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]int, 0, k)
+	used := make(map[int]bool, k)
+	for len(out) < k {
+		best := -1
+		for i, s := range all {
+			if used[i] {
+				continue
+			}
+			if best < 0 || s.c < all[best].c ||
+				(s.c == all[best].c && s.task < all[best].task) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		used[best] = true
+		out = append(out, all[best].task)
+	}
+	return out
+}
+
+// ConfidentEnough reports whether a posterior is already so peaked
+// that further answers are unlikely to change the verdict; used by
+// CDB+ to stop early and redirect budget to uncertain tasks.
+func ConfidentEnough(p []float64, threshold float64) bool {
+	if len(p) == 0 {
+		return false
+	}
+	max := 0.0
+	for _, v := range p {
+		if v > max {
+			max = v
+		}
+	}
+	return max >= threshold && !math.IsNaN(max)
+}

@@ -1,0 +1,128 @@
+package quality
+
+// Calibrator learns a mapping from string similarity to matching
+// probability from labelled pairs — the "more sophisticated methods to
+// transform similarities to probabilities based on a training set"
+// that §4.1 cites (Whang et al.). CDB uses it adaptively: every crowd
+// answer is a labelled pair, so the optimizer can re-weight the
+// remaining edges mid-query with probabilities grounded in this
+// query's own data instead of raw similarity.
+//
+// The estimate is a binned frequency with Laplace smoothing, made
+// monotone non-decreasing by pool-adjacent-violators (isotonic)
+// regression: higher similarity may never be assigned lower matching
+// probability.
+type Calibrator struct {
+	bins  int
+	count []int
+	match []int
+}
+
+// NewCalibrator creates a calibrator with the given number of
+// similarity bins (default 10 when n <= 0).
+func NewCalibrator(n int) *Calibrator {
+	if n <= 0 {
+		n = 10
+	}
+	return &Calibrator{bins: n, count: make([]int, n), match: make([]int, n)}
+}
+
+func (c *Calibrator) binOf(sim float64) int {
+	if sim < 0 {
+		sim = 0
+	}
+	if sim >= 1 {
+		return c.bins - 1
+	}
+	return int(sim * float64(c.bins))
+}
+
+// Observe records one labelled pair.
+func (c *Calibrator) Observe(sim float64, matched bool) {
+	b := c.binOf(sim)
+	c.count[b]++
+	if matched {
+		c.match[b]++
+	}
+}
+
+// Observations reports the number of labelled pairs seen.
+func (c *Calibrator) Observations() int {
+	total := 0
+	for _, n := range c.count {
+		total += n
+	}
+	return total
+}
+
+// Fitted reports whether enough evidence has accumulated for the
+// calibrated estimates to be preferable to raw similarity (at least
+// 20 observations spread over 2+ bins).
+func (c *Calibrator) Fitted() bool {
+	nonEmpty := 0
+	for _, n := range c.count {
+		if n > 0 {
+			nonEmpty++
+		}
+	}
+	return c.Observations() >= 20 && nonEmpty >= 2
+}
+
+// Prob returns the calibrated matching probability for a similarity
+// value. Before the calibrator is fitted it returns the raw similarity
+// unchanged (the paper's default assumption).
+func (c *Calibrator) Prob(sim float64) float64 {
+	if !c.Fitted() {
+		return sim
+	}
+	iso := c.isotonic()
+	return iso[c.binOf(sim)]
+}
+
+// Curve returns the calibrated probability per bin (diagnostics).
+func (c *Calibrator) Curve() []float64 {
+	return c.isotonic()
+}
+
+// isotonic computes Laplace-smoothed bin rates and applies
+// pool-adjacent-violators to enforce monotonicity. Empty bins borrow
+// the bin-centre similarity as their prior mean.
+func (c *Calibrator) isotonic() []float64 {
+	rate := make([]float64, c.bins)
+	weight := make([]float64, c.bins)
+	for b := 0; b < c.bins; b++ {
+		centre := (float64(b) + 0.5) / float64(c.bins)
+		// Two pseudo-observations at the bin centre keep empty and tiny
+		// bins near the identity prior.
+		rate[b] = (float64(c.match[b]) + 2*centre) / (float64(c.count[b]) + 2)
+		weight[b] = float64(c.count[b]) + 2
+	}
+	// Pool adjacent violators.
+	type block struct {
+		sum, w float64
+		n      int
+	}
+	var stack []block
+	for b := 0; b < c.bins; b++ {
+		cur := block{sum: rate[b] * weight[b], w: weight[b], n: 1}
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			if top.sum/top.w <= cur.sum/cur.w {
+				break
+			}
+			cur.sum += top.sum
+			cur.w += top.w
+			cur.n += top.n
+			stack = stack[:len(stack)-1]
+		}
+		stack = append(stack, cur)
+	}
+	out := make([]float64, 0, c.bins)
+	for _, blk := range stack {
+		v := blk.sum / blk.w
+		for i := 0; i < blk.n; i++ {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"sort"
+)
+
+// Pair is one candidate match produced by the similarity join: row
+// indices into the left and right string slices plus the computed
+// similarity (the edge weight of the graph query model).
+type Pair struct {
+	Left, Right int
+	Sim         float64
+}
+
+// Join finds all (i, j) with Similarity(f, left[i], right[j]) >= eps.
+//
+// For the Jaccard-family functions it uses prefix filtering with a
+// global token-frequency ordering [Bayardo et al.]: a pair can reach
+// Jaccard >= eps only if the two records share at least one token in
+// their length-dependent prefixes, so an inverted index over prefixes
+// prunes almost all of the |L|x|R| space. For EditDistance, Cosine and
+// NoSim it falls back to gram-overlap pre-filtering or a full scan
+// (NoSim keeps every pair at weight 0.5, like the paper's ablation).
+func Join(f Func, left, right []string, eps float64) []Pair {
+	switch f {
+	case Gram2Jaccard:
+		return prefixFilterJoin(left, right, eps, Grams2, Jaccard2Gram)
+	case TokenJaccard:
+		return prefixFilterJoin(left, right, eps, Tokens, JaccardTokens)
+	case EditDistance:
+		// Overlap pre-filter: edit similarity >= eps implies the 2-gram
+		// sets overlap somewhat; we use a generous Jaccard pre-threshold
+		// and verify with the exact function. The pre-threshold below is
+		// conservative (2-gram Jaccard of strings within edit distance d
+		// of each other degrades roughly linearly in d).
+		pre := eps/3 - 0.05
+		if pre < 0.05 {
+			pre = 0.05
+		}
+		cands := prefixFilterJoin(left, right, pre, Grams2, Jaccard2Gram)
+		out := cands[:0]
+		for _, p := range cands {
+			s := NormalizedEditSim(left[p.Left], right[p.Right])
+			if s >= eps {
+				out = append(out, Pair{Left: p.Left, Right: p.Right, Sim: s})
+			}
+		}
+		return append([]Pair(nil), out...)
+	case Cosine:
+		pre := eps * eps / 2
+		if pre < 0.05 {
+			pre = 0.05
+		}
+		cands := prefixFilterJoin(left, right, pre, Grams2, Jaccard2Gram)
+		out := cands[:0]
+		for _, p := range cands {
+			s := CosineSim(left[p.Left], right[p.Right])
+			if s >= eps {
+				out = append(out, Pair{Left: p.Left, Right: p.Right, Sim: s})
+			}
+		}
+		return append([]Pair(nil), out...)
+	case NoSim:
+		out := make([]Pair, 0, len(left)*len(right))
+		for i := range left {
+			for j := range right {
+				out = append(out, Pair{Left: i, Right: j, Sim: 0.5})
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// BruteForceJoin verifies every pair — the reference implementation
+// used by tests and the prefix-filter ablation benchmark.
+func BruteForceJoin(f Func, left, right []string, eps float64) []Pair {
+	var out []Pair
+	for i := range left {
+		for j := range right {
+			if s := Similarity(f, left[i], right[j]); s >= eps {
+				out = append(out, Pair{Left: i, Right: j, Sim: s})
+			}
+		}
+	}
+	return out
+}
+
+// prefixFilterJoin implements the standard prefix-filtering algorithm
+// for Jaccard threshold joins over set-valued records.
+func prefixFilterJoin(left, right []string, eps float64,
+	tokenize func(string) []string, exact func(a, b string) float64) []Pair {
+
+	if eps <= 0 {
+		// Prefix filtering degenerates; do the quadratic scan with the
+		// exact verifier directly.
+		var out []Pair
+		for i := range left {
+			for j := range right {
+				if s := exact(left[i], right[j]); s >= eps {
+					out = append(out, Pair{Left: i, Right: j, Sim: s})
+				}
+			}
+		}
+		return out
+	}
+
+	leftSets := make([][]string, len(left))
+	rightSets := make([][]string, len(right))
+	// lexLeft/lexRight keep the original (lexicographically sorted)
+	// token sets for O(|a|+|b|) verification without re-tokenizing.
+	lexLeft := make([][]string, len(left))
+	lexRight := make([][]string, len(right))
+	freq := map[string]int{}
+	for i, s := range left {
+		lexLeft[i] = tokenize(s)
+		leftSets[i] = lexLeft[i]
+		for _, tok := range leftSets[i] {
+			freq[tok]++
+		}
+	}
+	for j, s := range right {
+		lexRight[j] = tokenize(s)
+		rightSets[j] = lexRight[j]
+		for _, tok := range rightSets[j] {
+			freq[tok]++
+		}
+	}
+
+	// Order each record's tokens by ascending global frequency (rarest
+	// first) so prefixes carry maximal pruning power. Ties broken
+	// lexically for determinism.
+	order := func(set []string) []string {
+		out := append([]string(nil), set...)
+		sort.Slice(out, func(a, b int) bool {
+			fa, fb := freq[out[a]], freq[out[b]]
+			if fa != fb {
+				return fa < fb
+			}
+			return out[a] < out[b]
+		})
+		return out
+	}
+	for i := range leftSets {
+		leftSets[i] = order(leftSets[i])
+	}
+	for j := range rightSets {
+		rightSets[j] = order(rightSets[j])
+	}
+
+	// Prefix length for Jaccard threshold t on a record of size n:
+	// n - ceil(t*n) + 1. A matching pair must share a prefix token.
+	prefixLen := func(n int) int {
+		if n == 0 {
+			return 0
+		}
+		k := n - int(ceil(eps*float64(n))) + 1
+		if k < 1 {
+			k = 1
+		}
+		if k > n {
+			k = n
+		}
+		return k
+	}
+
+	// Inverted index over right-side prefixes.
+	index := map[string][]int{}
+	for j, set := range rightSets {
+		for _, tok := range set[:prefixLen(len(set))] {
+			index[tok] = append(index[tok], j)
+		}
+	}
+
+	var out []Pair
+	seen := map[int64]struct{}{}
+	for i, set := range leftSets {
+		pl := prefixLen(len(set))
+		for _, tok := range set[:pl] {
+			for _, j := range index[tok] {
+				key := int64(i)<<32 | int64(j)
+				if _, dup := seen[key]; dup {
+					continue
+				}
+				seen[key] = struct{}{}
+				// Length filter: |a|/|b| must be within [eps, 1/eps].
+				la, lb := len(leftSets[i]), len(rightSets[j])
+				if la == 0 || lb == 0 {
+					continue
+				}
+				if float64(la) < eps*float64(lb) || float64(lb) < eps*float64(la) {
+					continue
+				}
+				if s := jaccardSorted(lexLeft[i], lexRight[j]); s >= eps {
+					out = append(out, Pair{Left: i, Right: j, Sim: s})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Left != out[b].Left {
+			return out[a].Left < out[b].Left
+		}
+		return out[a].Right < out[b].Right
+	})
+	return out
+}
+
+func ceil(x float64) float64 {
+	i := float64(int64(x))
+	if x > i {
+		return i + 1
+	}
+	return i
+}

@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Metrics is the triple of crowdsourcing optimization goals the paper
+// evaluates for every method: monetary cost (#tasks asked), latency
+// (#rounds of crowd interaction), and result quality (F-measure).
+type Metrics struct {
+	Tasks     int     // number of crowd tasks issued (cost proxy, §6.1)
+	Rounds    int     // number of crowd interaction rounds (latency proxy)
+	Precision float64 // fraction of returned answers that are correct
+	Recall    float64 // fraction of correct answers that were returned
+}
+
+// F1 returns the harmonic mean of precision and recall, the paper's
+// quality metric. Zero if both are zero.
+func (m Metrics) F1() float64 { return F1(m.Precision, m.Recall) }
+
+// F1 computes the F-measure from a precision/recall pair.
+func F1(precision, recall float64) float64 {
+	if precision+recall == 0 {
+		return 0
+	}
+	return 2 * precision * recall / (precision + recall)
+}
+
+// PrecisionRecall compares a returned answer set against the ground
+// truth. Both sets are identified by comparable keys.
+func PrecisionRecall[K comparable](returned, truth map[K]bool) (precision, recall float64) {
+	if len(returned) == 0 {
+		if len(truth) == 0 {
+			return 1, 1
+		}
+		return 0, 0
+	}
+	correct := 0
+	for k := range returned {
+		if truth[k] {
+			correct++
+		}
+	}
+	precision = float64(correct) / float64(len(returned))
+	if len(truth) == 0 {
+		recall = 1
+	} else {
+		recall = float64(correct) / float64(len(truth))
+	}
+	return precision, recall
+}
+
+// Agg accumulates Metrics over experiment repetitions and reports
+// their means, mirroring the paper's "repeat 1K times and report the
+// average" protocol.
+type Agg struct {
+	n         int
+	tasks     float64
+	rounds    float64
+	precision float64
+	recall    float64
+	f1        float64
+}
+
+// Add folds one repetition into the aggregate.
+func (a *Agg) Add(m Metrics) {
+	a.n++
+	a.tasks += float64(m.Tasks)
+	a.rounds += float64(m.Rounds)
+	a.precision += m.Precision
+	a.recall += m.Recall
+	a.f1 += m.F1()
+}
+
+// N reports how many repetitions have been added.
+func (a *Agg) N() int { return a.n }
+
+// Mean returns the component-wise means. F-measure is averaged per
+// repetition (mean of F1s), not recomputed from mean P/R.
+func (a *Agg) Mean() (tasks, rounds, precision, recall, f1 float64) {
+	if a.n == 0 {
+		return 0, 0, 0, 0, 0
+	}
+	n := float64(a.n)
+	return a.tasks / n, a.rounds / n, a.precision / n, a.recall / n, a.f1 / n
+}
+
+// String renders the aggregate in the compact form used by the
+// benchmark harness output.
+func (a *Agg) String() string {
+	t, r, p, rec, f := a.Mean()
+	return fmt.Sprintf("tasks=%.1f rounds=%.1f P=%.3f R=%.3f F1=%.3f", t, r, p, rec, f)
+}
+
+// Summary describes a distribution of float64 observations.
+type Summary struct {
+	N            int
+	Mean, Stddev float64
+	Min, Max     float64
+	P50, P95     float64
+}
+
+// Summarize computes a Summary of xs. An empty input yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum, sumSq float64
+	for _, x := range sorted {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:      len(sorted),
+		Mean:   mean,
+		Stddev: math.Sqrt(variance),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P50:    quantile(sorted, 0.50),
+		P95:    quantile(sorted, 0.95),
+	}
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Entropy returns the Shannon entropy (natural log) of a probability
+// distribution; terms with p<=0 contribute zero. Used by the
+// task-assignment objective (Eq. 3).
+func Entropy(p []float64) float64 {
+	var h float64
+	for _, pi := range p {
+		if pi > 0 {
+			h -= pi * math.Log(pi)
+		}
+	}
+	return h
+}

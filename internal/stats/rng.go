@@ -1,0 +1,130 @@
+// Package stats provides the deterministic random-number substrate and
+// the evaluation metrics (cost, latency, F-measure) used throughout the
+// CDB reproduction. Every experiment in the paper is averaged over many
+// repetitions; this package makes those repetitions reproducible
+// bit-for-bit by deriving all randomness from explicit, splittable
+// seeds instead of global state.
+package stats
+
+import (
+	"math"
+)
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xoshiro256** over a SplitMix64-expanded seed). It is not safe for
+// concurrent use; derive one generator per goroutine with Split.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed. Two generators built
+// from the same seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	// SplitMix64 expansion so that small/nearby seeds still yield
+	// well-distributed internal state.
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Split derives an independent generator from this one. The parent
+// stream advances by one; the child is seeded from the drawn value.
+// Used to hand each simulated worker / repetition its own stream.
+func (r *RNG) Split() *RNG { return NewRNG(r.Uint64()) }
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling would be overkill;
+	// modulo bias is negligible for the n (< 2^20) used here, but we
+	// reject the biased tail anyway to keep tests exact.
+	bound := uint64(n)
+	threshold := (-bound) % bound
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Norm returns a normally distributed float64 with the given mean and
+// standard deviation (Box–Muller; one value per call, the pair's
+// second half is discarded to keep stream consumption predictable).
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	// Avoid log(0).
+	u1 := 1 - r.Float64()
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// NormClamped draws from N(mean, stddev^2) and clamps into [lo, hi].
+// The paper draws worker accuracies from N(q, 0.01) which must remain
+// valid probabilities.
+func (r *RNG) NormClamped(mean, stddev, lo, hi float64) float64 {
+	v := r.Norm(mean, stddev)
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle performs a Fisher–Yates shuffle of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Pick returns a uniformly chosen element of xs. It panics on an empty
+// slice.
+func Pick[T any](r *RNG, xs []T) T {
+	return xs[r.Intn(len(xs))]
+}

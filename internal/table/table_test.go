@@ -1,0 +1,203 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func demoSchema() Schema {
+	return Schema{
+		Name: "Paper",
+		Columns: []Column{
+			{Name: "author", Kind: String},
+			{Name: "title", Kind: String},
+			{Name: "year", Kind: Int},
+			{Name: "score", Kind: Float, Crowd: true},
+		},
+	}
+}
+
+func TestAppendAndCell(t *testing.T) {
+	tb := New(demoSchema())
+	tb.MustAppend(Tuple{SV("a"), SV("t"), IV(2017), FV(0.5)})
+	if tb.Len() != 1 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	if got := tb.Cell(0, 2); got.I != 2017 {
+		t.Fatalf("cell = %v", got)
+	}
+}
+
+func TestAppendArityError(t *testing.T) {
+	tb := New(demoSchema())
+	if err := tb.Append(Tuple{SV("a")}); err == nil {
+		t.Fatal("want arity error")
+	}
+}
+
+func TestAppendKindError(t *testing.T) {
+	tb := New(demoSchema())
+	if err := tb.Append(Tuple{SV("a"), SV("t"), SV("not-int"), FV(1)}); err == nil {
+		t.Fatal("want kind error")
+	}
+}
+
+func TestColIndexCaseInsensitive(t *testing.T) {
+	s := demoSchema()
+	if s.ColIndex("TITLE") != 1 {
+		t.Fatal("ColIndex should be case-insensitive")
+	}
+	if s.ColIndex("nope") != -1 {
+		t.Fatal("missing column should be -1")
+	}
+}
+
+func TestMustColIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := demoSchema()
+	s.MustColIndex("ghost")
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{SV("x"), "x"},
+		{IV(-3), "-3"},
+		{FV(2.5), "2.5"},
+		{CNull(String), "CNULL"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !SV("a").Equal(SV("a")) || SV("a").Equal(SV("b")) {
+		t.Fatal("string equality broken")
+	}
+	if !CNull(String).Equal(CNull(String)) {
+		t.Fatal("CNULL should equal CNULL of same kind")
+	}
+	if CNull(String).Equal(CNull(Int)) {
+		t.Fatal("CNULL of different kinds should differ")
+	}
+	if SV("a").Equal(IV(1)) {
+		t.Fatal("cross-kind equality")
+	}
+	if !IV(5).Equal(IV(5)) || IV(5).Equal(IV(6)) {
+		t.Fatal("int equality broken")
+	}
+	if !FV(1.5).Equal(FV(1.5)) || FV(1.5).Equal(FV(2.5)) {
+		t.Fatal("float equality broken")
+	}
+	if SV("a").Equal(Value{Kind: String, Null: true, S: "a"}) {
+		t.Fatal("null flag should participate in equality")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	tb := New(demoSchema())
+	c.Register(tb)
+	if got, ok := c.Get("paper"); !ok || got != tb {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if _, ok := c.Get("ghost"); ok {
+		t.Fatal("ghost table found")
+	}
+	if names := c.Names(); len(names) != 1 || names[0] != "Paper" {
+		t.Fatalf("names = %v", names)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCatalog().MustGet("ghost")
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb := New(demoSchema())
+	tb.MustAppend(Tuple{SV("alice"), SV("Title, with comma"), IV(2017), FV(0.25)})
+	tb.MustAppend(Tuple{SV("bob"), SV("x"), IV(2018), CNull(Float)})
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(demoSchema(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("round trip len = %d", got.Len())
+	}
+	for i := range tb.Rows {
+		for j := range tb.Rows[i] {
+			if !tb.Rows[i][j].Equal(got.Rows[i][j]) {
+				t.Fatalf("cell (%d,%d) mismatch: %v vs %v", i, j, tb.Rows[i][j], got.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(demoSchema(), strings.NewReader("")); err == nil {
+		t.Fatal("want missing-header error")
+	}
+	if _, err := ReadCSV(demoSchema(), strings.NewReader("a,b\n")); err == nil {
+		t.Fatal("want header-arity error")
+	}
+	bad := "author,title,year,score\na,t,notanint,0.5\n"
+	if _, err := ReadCSV(demoSchema(), strings.NewReader(bad)); err == nil {
+		t.Fatal("want int parse error")
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	v, err := ParseValue(Int, "42")
+	if err != nil || v.I != 42 {
+		t.Fatalf("ParseValue int: %v %v", v, err)
+	}
+	v, err = ParseValue(Float, "1.5")
+	if err != nil || v.F != 1.5 {
+		t.Fatalf("ParseValue float: %v %v", v, err)
+	}
+	v, err = ParseValue(String, "CNULL")
+	if err != nil || !v.Null {
+		t.Fatalf("ParseValue CNULL: %v %v", v, err)
+	}
+	if _, err := ParseValue(Float, "zzz"); err == nil {
+		t.Fatal("want float parse error")
+	}
+}
+
+func TestTupleRefString(t *testing.T) {
+	r := TupleRef{Table: "Paper", Row: 3}
+	if r.String() != "Paper#3" {
+		t.Fatalf("got %q", r.String())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if String.String() != "string" || Int.String() != "int" || Float.String() != "float" {
+		t.Fatal("Kind.String broken")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatal("unknown kind rendering broken")
+	}
+}

@@ -1,0 +1,133 @@
+package cdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cdb/internal/table"
+)
+
+// SaveDir writes every catalog table to dir as <name>.csv plus a
+// <name>.schema sidecar describing column types and CROWD flags, so a
+// database can be reloaded with LoadDir. Existing files are
+// overwritten.
+func (db *DB) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cdb: %w", err)
+	}
+	for _, name := range db.catalog.Names() {
+		tb, _ := db.catalog.Get(name)
+		f, err := os.Create(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return fmt.Errorf("cdb: %w", err)
+		}
+		if err := tb.WriteCSV(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cdb: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("cdb: %w", err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name+".schema"),
+			[]byte(encodeSchema(tb.Schema)), 0o644); err != nil {
+			return fmt.Errorf("cdb: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadDir loads every <name>.csv / <name>.schema pair from dir into
+// the catalog, replacing tables with the same name.
+func (db *DB) LoadDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("cdb: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".schema") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".schema")
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return fmt.Errorf("cdb: %w", err)
+		}
+		schema, err := decodeSchema(string(raw))
+		if err != nil {
+			return fmt.Errorf("cdb: %s: %w", name, err)
+		}
+		f, err := os.Open(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return fmt.Errorf("cdb: %w", err)
+		}
+		tb, err := table.ReadCSV(schema, f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("cdb: %s: %w", name, err)
+		}
+		db.catalog.Register(tb)
+	}
+	return nil
+}
+
+// encodeSchema renders one line per column: name kind crowd, preceded
+// by a table line.
+func encodeSchema(s table.Schema) string {
+	var b strings.Builder
+	crowd := ""
+	if s.CrowdTable {
+		crowd = " CROWD"
+	}
+	fmt.Fprintf(&b, "table %s%s\n", s.Name, crowd)
+	for _, c := range s.Columns {
+		flag := ""
+		if c.Crowd {
+			flag = " CROWD"
+		}
+		fmt.Fprintf(&b, "column %s %s%s\n", c.Name, c.Kind, flag)
+	}
+	return b.String()
+}
+
+func decodeSchema(raw string) (table.Schema, error) {
+	var s table.Schema
+	for _, line := range strings.Split(strings.TrimSpace(raw), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return s, fmt.Errorf("bad schema line %q", line)
+		}
+		switch fields[0] {
+		case "table":
+			s.Name = fields[1]
+			s.CrowdTable = len(fields) > 2 && fields[2] == "CROWD"
+		case "column":
+			if len(fields) < 3 {
+				return s, fmt.Errorf("bad column line %q", line)
+			}
+			var kind table.Kind
+			switch fields[2] {
+			case "string":
+				kind = table.String
+			case "int":
+				kind = table.Int
+			case "float":
+				kind = table.Float
+			default:
+				return s, fmt.Errorf("unknown kind %q", fields[2])
+			}
+			s.Columns = append(s.Columns, table.Column{
+				Name:  fields[1],
+				Kind:  kind,
+				Crowd: len(fields) > 3 && fields[3] == "CROWD",
+			})
+		default:
+			return s, fmt.Errorf("unknown schema directive %q", fields[0])
+		}
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("schema missing table line")
+	}
+	return s, nil
+}
