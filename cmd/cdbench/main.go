@@ -20,16 +20,26 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (fig1, fig8, fig11, fig14, fig17, fig18, fig20, fig21, fig22, fig23, table5) or 'all'")
-		dataset = flag.String("dataset", "paper", "dataset: paper or award")
-		scale   = flag.Float64("scale", 0.12, "dataset scale (1.0 = the paper's Table 2/3 sizes)")
-		reps    = flag.Int("reps", 3, "repetitions per cell (the paper averages 1000)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		red     = flag.Int("redundancy", 5, "answers per task")
-		workerQ = flag.Float64("workerq", 0.8, "mean simulated worker accuracy")
-		samples = flag.Int("samples", 20, "MinCut sampling count")
+		exp       = flag.String("exp", "all", "experiment id (fig1, fig8, fig11, fig14, fig17, fig18, fig20, fig21, fig22, fig23, table5) or 'all'")
+		dataset   = flag.String("dataset", "paper", "dataset: paper or award")
+		scale     = flag.Float64("scale", 0.12, "dataset scale (1.0 = the paper's Table 2/3 sizes)")
+		reps      = flag.Int("reps", 3, "repetitions per cell (the paper averages 1000)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		red       = flag.Int("redundancy", 5, "answers per task")
+		workerQ   = flag.Float64("workerq", 0.8, "mean simulated worker accuracy")
+		samples   = flag.Int("samples", 20, "MinCut sampling count")
+		costbench = flag.Bool("costbench", false, "run the incremental cost-engine benchmarks and write BENCH_cost.json")
+		benchOut  = flag.String("costbenchout", "BENCH_cost.json", "output path for -costbench")
 	)
 	flag.Parse()
+
+	if *costbench {
+		if err := bench.RunCostBench(*benchOut, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "cdbench: costbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := bench.DefaultConfig()
 	cfg.Dataset = *dataset

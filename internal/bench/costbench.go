@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"cdb/internal/cost"
+	"cdb/internal/graph"
+	"cdb/internal/sim"
+	"cdb/internal/stats"
+)
+
+// RoundBenchResult compares steady-state NextRound cost (after the
+// priming first round, coloring a handful of edges per round) between
+// the incremental engine and the naive full-rescan reference.
+type RoundBenchResult struct {
+	Edges              int     `json:"edges"`
+	Components         int     `json:"components"`
+	IncrementalNsRound float64 `json:"incremental_ns_per_round"`
+	NaiveNsRound       float64 `json:"naive_ns_per_round"`
+	Speedup            float64 `json:"speedup"`
+}
+
+// JoinBenchResult times sim.Join's sharded probe at one scale and
+// worker count.
+type JoinBenchResult struct {
+	N       int     `json:"n"`
+	Workers int     `json:"workers"`
+	NsJoin  float64 `json:"ns_per_join"`
+}
+
+// CostBenchReport is the schema of BENCH_cost.json — the perf
+// trajectory record for the incremental cost-control engine.
+type CostBenchReport struct {
+	Date       string             `json:"date"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Rounds     []RoundBenchResult `json:"rounds"`
+	Joins      []JoinBenchResult  `json:"joins"`
+}
+
+// costBenchGraph builds the disjoint-block chain graph the round
+// benchmarks run on: 6 edges per predicate-pair block, every block its
+// own connected component.
+func costBenchGraph(blocks int, r *stats.RNG) *graph.Graph {
+	s := &graph.Structure{
+		Tables: []string{"A", "B", "C"},
+		Preds:  []graph.QPred{{A: 0, B: 1}, {A: 1, B: 2}},
+	}
+	n := 2 * blocks
+	g := graph.MustNewGraph(s, []int{n, n, n})
+	for b := 0; b < blocks; b++ {
+		for p := range s.Preds {
+			g.AddEdge(p, 2*b, 2*b, 0.1+0.8*r.Float64())
+			g.AddEdge(p, 2*b, 2*b+1, 0.1+0.8*r.Float64())
+			g.AddEdge(p, 2*b+1, 2*b+1, 0.1+0.8*r.Float64())
+		}
+	}
+	return g
+}
+
+// measureRounds times `rounds` steady-state scheduling rounds: color 16
+// edges of the pending batch, recompute the next batch. Graph rebuilds
+// (on exhaustion) happen outside the timer.
+func measureRounds(blocks, rounds int, strat cost.Strategy, reset func()) (nsPerRound float64, edges int) {
+	r := stats.NewRNG(9)
+	g := costBenchGraph(blocks, r)
+	edges = g.NumEdges()
+	reset()
+	batch := strat.NextRound(g) // priming first round: full rescore
+	var total time.Duration
+	for i := 0; i < rounds; i++ {
+		if len(batch) == 0 {
+			g = costBenchGraph(blocks, r)
+			reset()
+			batch = strat.NextRound(g)
+		}
+		k := 16
+		if k > len(batch) {
+			k = len(batch)
+		}
+		for _, id := range batch[:k] {
+			if r.Bool(g.Edge(id).W) {
+				g.SetColor(id, graph.Blue)
+			} else {
+				g.SetColor(id, graph.Red)
+			}
+		}
+		start := time.Now()
+		batch = strat.NextRound(g)
+		total += time.Since(start)
+	}
+	return float64(total.Nanoseconds()) / float64(rounds), edges
+}
+
+func benchRoundScale(blocks, rounds int) RoundBenchResult {
+	e := &cost.Expectation{}
+	incNs, edges := measureRounds(blocks, rounds, e, func() { *e = cost.Expectation{} })
+	naiveNs, _ := measureRounds(blocks, rounds, &cost.NaiveExpectation{}, func() {})
+	return RoundBenchResult{
+		Edges:              edges,
+		Components:         blocks,
+		IncrementalNsRound: incNs,
+		NaiveNsRound:       naiveNs,
+		Speedup:            naiveNs / incNs,
+	}
+}
+
+func benchJoinScale(n, workers, reps int) JoinBenchResult {
+	old := sim.JoinWorkers
+	defer func() { sim.JoinWorkers = old }()
+	sim.JoinWorkers = workers
+
+	r := stats.NewRNG(11)
+	words := []string{"univ", "of", "california", "chicago", "duke",
+		"dept", "nutrition", "cambridge", "microsoft", "lab", "inst"}
+	mk := func(n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			k := 1 + r.Intn(4)
+			s := ""
+			for w := 0; w < k; w++ {
+				if w > 0 {
+					s += " "
+				}
+				s += words[r.Intn(len(words))]
+			}
+			out[i] = s
+		}
+		return out
+	}
+	left, right := mk(n), mk(n)
+	sim.Join(sim.Gram2Jaccard, left, right, 0.5) // warm up
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		sim.Join(sim.Gram2Jaccard, left, right, 0.5)
+	}
+	effective := workers
+	if effective <= 0 {
+		effective = runtime.GOMAXPROCS(0)
+	}
+	return JoinBenchResult{
+		N:       n,
+		Workers: effective,
+		NsJoin:  float64(time.Since(start).Nanoseconds()) / float64(reps),
+	}
+}
+
+// RunCostBench executes the incremental-engine benchmarks and writes
+// the report to path (BENCH_cost.json), echoing a summary to w.
+func RunCostBench(path string, w io.Writer) error {
+	report := CostBenchReport{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, blocks := range []int{400, 1700} { // ~2.4k and ~10.2k edges
+		res := benchRoundScale(blocks, 80)
+		report.Rounds = append(report.Rounds, res)
+		fmt.Fprintf(w, "round scoring %6d edges: incremental %.2fms  naive %.2fms  speedup %.2fx\n",
+			res.Edges, res.IncrementalNsRound/1e6, res.NaiveNsRound/1e6, res.Speedup)
+	}
+	for _, n := range []int{300, 1000} {
+		for _, workers := range []int{1, 0} {
+			res := benchJoinScale(n, workers, 3)
+			report.Joins = append(report.Joins, res)
+			fmt.Fprintf(w, "sim.Join n=%d workers=%d: %.2fms\n", n, res.Workers, res.NsJoin/1e6)
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", path)
+	return nil
+}

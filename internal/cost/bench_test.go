@@ -1,0 +1,98 @@
+package cost
+
+import (
+	"testing"
+
+	"cdb/internal/graph"
+	"cdb/internal/stats"
+)
+
+// benchGraph builds a chain-query graph of disjoint 2-tuple blocks:
+// every block contributes 3 edges per predicate and forms its own
+// connected component, the regime the incremental engine targets (a
+// round's answers touch a few components out of thousands).
+func benchGraph(blocks int, r *stats.RNG) *graph.Graph {
+	s := &graph.Structure{
+		Tables: []string{"A", "B", "C"},
+		Preds:  []graph.QPred{{A: 0, B: 1}, {A: 1, B: 2}},
+	}
+	n := 2 * blocks
+	g := graph.MustNewGraph(s, []int{n, n, n})
+	for b := 0; b < blocks; b++ {
+		for p := range s.Preds {
+			g.AddEdge(p, 2*b, 2*b, 0.1+0.8*r.Float64())
+			g.AddEdge(p, 2*b, 2*b+1, 0.1+0.8*r.Float64())
+			g.AddEdge(p, 2*b+1, 2*b+1, 0.1+0.8*r.Float64())
+		}
+	}
+	return g
+}
+
+// colorSome colors the first k edges of batch from their weights,
+// simulating a round where answers arrived for a handful of tasks.
+func colorSome(g *graph.Graph, batch []int, k int, r *stats.RNG) {
+	if k > len(batch) {
+		k = len(batch)
+	}
+	for _, id := range batch[:k] {
+		if r.Bool(g.Edge(id).W) {
+			g.SetColor(id, graph.Blue)
+		} else {
+			g.SetColor(id, graph.Red)
+		}
+	}
+}
+
+// benchNextRound measures steady-state NextRound cost: after a priming
+// first round, each iteration colors a few edges of the pending batch
+// and reorders. The graph is rebuilt (outside the timer) when a run
+// exhausts it.
+func benchNextRound(b *testing.B, blocks int, strat Strategy, prime func()) {
+	r := stats.NewRNG(9)
+	g := benchGraph(blocks, r)
+	prime()
+	batch := strat.NextRound(g) // first round: full rescore for both paths
+	b.ReportMetric(float64(g.NumEdges()), "edges")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(batch) == 0 {
+			b.StopTimer()
+			g = benchGraph(blocks, r)
+			prime()
+			batch = strat.NextRound(g)
+			b.StartTimer()
+		}
+		colorSome(g, batch, 16, r)
+		batch = strat.NextRound(g)
+	}
+}
+
+func BenchmarkNextRoundIncremental2k(b *testing.B) {
+	e := &Expectation{}
+	benchNextRound(b, 400, e, func() { *e = Expectation{} })
+}
+
+func BenchmarkNextRoundNaive2k(b *testing.B) {
+	benchNextRound(b, 400, &NaiveExpectation{}, func() {})
+}
+
+func BenchmarkNextRoundIncremental10k(b *testing.B) {
+	e := &Expectation{}
+	benchNextRound(b, 1700, e, func() { *e = Expectation{} })
+}
+
+func BenchmarkNextRoundNaive10k(b *testing.B) {
+	benchNextRound(b, 1700, &NaiveExpectation{}, func() {})
+}
+
+// BenchmarkOrderScoredFirstRound isolates the cold full-rescore cost
+// shared by both paths (the incremental engine's overhead floor).
+func BenchmarkOrderScoredFirstRound(b *testing.B) {
+	r := stats.NewRNG(9)
+	g := benchGraph(1700, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := &Expectation{}
+		e.orderScored(g)
+	}
+}

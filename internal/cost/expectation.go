@@ -15,10 +15,22 @@
 // Each method is exposed as a Strategy: the executor repeatedly calls
 // NextRound, crowdsources the returned batch, colors the graph with
 // the inferred answers, and calls again until the strategy is done.
+//
+// The default Expectation strategy scores incrementally: it caches
+// every edge's pruning expectation and, after each round, rescores
+// only the edges whose connected component the round's answers
+// touched, repairing the ordering with a partial re-sort and merge.
+// Untouched components keep their cached scores, so a round over a
+// large graph costs O(dirty region), not O(E). Scoring fans out over
+// a GOMAXPROCS-sized worker pool when the dirty region is large. The
+// result is bit-identical to NaiveExpectation's full rescan — the
+// equivalence is enforced by property tests in this package.
 package cost
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"cdb/internal/graph"
 	"cdb/internal/latency"
@@ -35,13 +47,39 @@ type Strategy interface {
 	Flush(g *graph.Graph) []int
 }
 
+// parallelScoreThreshold is the dirty-region size below which scoring
+// stays on the calling goroutine (a CutEvaluator snapshot costs O(V),
+// so tiny regions are cheaper sequentially). A variable so tests can
+// force the parallel path.
+var parallelScoreThreshold = 256
+
 // Expectation is CDB's default task-selection strategy: rank every
 // valid uncolored edge by its pruning expectation (Eq. 1) and ask the
 // largest conflict-free prefix in parallel each round.
+//
+// The struct carries the incremental score cache, so it must not be
+// shared between goroutines; one strategy value drives one execution
+// at a time (it may be reused across graphs — the cache resets itself
+// when the graph changes identity or shape).
 type Expectation struct {
 	// Serial disables the latency scheduler (one task per round); used
 	// only by ablations.
 	Serial bool
+	// Workers caps the scoring worker pool; 0 means GOMAXPROCS.
+	Workers int
+
+	// Incremental score cache.
+	cacheUID     uint64 // graph identity the cache belongs to
+	cacheEdges   int
+	cacheWeightV int
+	cursor       int // ColorEvents consumed so far
+	haveCache    bool
+	score        []float64 // dense, by edge id
+	order        []int     // cached ordering (valid uncolored at last scoring)
+
+	// Reusable scratch.
+	cleanBuf, dirtyBuf, mergeBuf []int
+	dirtyComp                    []bool
 }
 
 // Name implements Strategy.
@@ -49,37 +87,24 @@ func (e *Expectation) Name() string { return "CDB" }
 
 // Order ranks valid uncolored edges by pruning expectation,
 // descending; ties broken by smaller weight first (cheaper to refute),
-// then id for determinism.
+// then id for determinism. The returned slice is the caller's to keep.
 func (e *Expectation) Order(g *graph.Graph) []int {
-	order, _ := e.OrderScored(g)
-	return order
+	order, _ := e.orderScored(g)
+	return append([]int(nil), order...)
 }
 
-// OrderScored additionally returns each edge's pruning expectation,
-// which the latency scheduler uses to decide which tasks may share a
-// round.
-func (e *Expectation) OrderScored(g *graph.Graph) ([]int, map[int]float64) {
-	edges := g.ValidUncolored()
-	exp := make(map[int]float64, len(edges))
-	for _, id := range edges {
-		exp[id] = PruningExpectation(g, id)
-	}
-	sort.Slice(edges, func(i, j int) bool {
-		a, b := edges[i], edges[j]
-		if exp[a] != exp[b] {
-			return exp[a] > exp[b]
-		}
-		if wa, wb := g.Edge(a).W, g.Edge(b).W; wa != wb {
-			return wa < wb
-		}
-		return a < b
-	})
-	return edges, exp
+// OrderScored additionally returns each edge's pruning expectation as
+// a dense slice indexed by edge id, which the latency scheduler uses
+// to decide which tasks may share a round. Both returned slices are
+// the caller's to keep.
+func (e *Expectation) OrderScored(g *graph.Graph) ([]int, []float64) {
+	order, score := e.orderScored(g)
+	return append([]int(nil), order...), append([]float64(nil), score...)
 }
 
 // NextRound implements Strategy.
 func (e *Expectation) NextRound(g *graph.Graph) []int {
-	order, score := e.OrderScored(g)
+	order, score := e.orderScored(g)
 	if len(order) == 0 {
 		return nil
 	}
@@ -92,16 +117,201 @@ func (e *Expectation) NextRound(g *graph.Graph) []int {
 // Flush implements Strategy: everything valid and uncolored.
 func (e *Expectation) Flush(g *graph.Graph) []int { return g.ValidUncolored() }
 
+// orderScored returns the current ordering and dense scores, serving
+// from the cache when possible. The returned slices are owned by the
+// strategy and valid until the next call.
+func (e *Expectation) orderScored(g *graph.Graph) ([]int, []float64) {
+	g.Revalidate()
+	events := g.ColorEvents()
+	reset := !e.haveCache || e.cacheUID != g.UID() || e.cacheEdges != g.NumEdges() ||
+		e.cacheWeightV != g.WeightVersion() || e.cursor > len(events)
+	if !reset {
+		// Validity and the valid-uncolored set shrink monotonically
+		// under Unknown→{Blue,Red}; a reverse transition can grow them,
+		// which the delta path cannot represent — rescore from scratch.
+		for _, ev := range events[e.cursor:] {
+			if ev.New == graph.Unknown || ev.Old == graph.Red {
+				reset = true
+				break
+			}
+		}
+	}
+	switch {
+	case reset:
+		e.rescoreAll(g)
+	case e.cursor < len(events):
+		e.rescoreDirty(g, events[e.cursor:])
+	}
+	e.cursor = len(events)
+	e.haveCache = true
+	e.cacheUID = g.UID()
+	e.cacheEdges = g.NumEdges()
+	e.cacheWeightV = g.WeightVersion()
+	return e.order, e.score
+}
+
+// rescoreAll scores and sorts every valid uncolored edge.
+func (e *Expectation) rescoreAll(g *graph.Graph) {
+	e.order = g.ValidUncoloredInto(e.order)
+	if len(e.score) != g.NumEdges() {
+		e.score = make([]float64, g.NumEdges())
+	}
+	e.scoreEdges(g, e.order)
+	sortEdgesByScore(g, e.order, e.score)
+}
+
+// rescoreDirty repairs the cached ordering after the given color
+// transitions: every component currently containing an edge incident
+// to a changed edge's endpoint is rescored; everything else keeps its
+// cached score (a pruning expectation only depends on state inside
+// its component, and every fragment of a split component still holds
+// an edge adjacent to one of the transition endpoints).
+func (e *Expectation) rescoreDirty(g *graph.Graph, events []graph.ColorEvent) {
+	compOf, nComp := g.ComponentIndex()
+	if cap(e.dirtyComp) < nComp {
+		e.dirtyComp = make([]bool, nComp)
+	} else {
+		e.dirtyComp = e.dirtyComp[:nComp]
+		for i := range e.dirtyComp {
+			e.dirtyComp[i] = false
+		}
+	}
+	for _, ev := range events {
+		ed := g.Edge(ev.Edge)
+		for _, v := range [2]int{ed.U, ed.V} {
+			for _, pred := range g.TablePreds(g.TableOf(v)) {
+				for _, f := range g.EdgesAt(v, pred) {
+					if ci := compOf[f]; ci >= 0 {
+						e.dirtyComp[ci] = true
+					}
+				}
+			}
+		}
+	}
+
+	// Split the surviving ordering into clean (scores unchanged, still
+	// sorted among themselves) and dirty (rescore + re-sort) runs.
+	clean, dirty := e.cleanBuf[:0], e.dirtyBuf[:0]
+	for _, id := range e.order {
+		if g.Edge(id).Color != graph.Unknown || !g.IsValid(id) {
+			continue
+		}
+		if ci := compOf[id]; ci >= 0 && e.dirtyComp[ci] {
+			dirty = append(dirty, id)
+		} else {
+			clean = append(clean, id)
+		}
+	}
+	e.scoreEdges(g, dirty)
+	sortEdgesByScore(g, dirty, e.score)
+
+	// Merge the two sorted runs. The comparator is a strict total
+	// order (ties fall through to the edge id), so the merge equals
+	// the full sort of the naive path.
+	merged := e.mergeBuf[:0]
+	i, j := 0, 0
+	for i < len(clean) && j < len(dirty) {
+		if scoredLess(g, e.score, clean[i], dirty[j]) {
+			merged = append(merged, clean[i])
+			i++
+		} else {
+			merged = append(merged, dirty[j])
+			j++
+		}
+	}
+	merged = append(merged, clean[i:]...)
+	merged = append(merged, dirty[j:]...)
+	e.cleanBuf, e.dirtyBuf = clean, dirty
+	e.mergeBuf, e.order = e.order, merged
+}
+
+// scoreEdges fills e.score for the given edges, fanning out over a
+// worker pool when the batch is large. Each worker snapshots the
+// graph's validity state into a private CutEvaluator, so the workers
+// never contend; scores land in disjoint slots of the dense slice, and
+// each score is a pure function of (frozen) graph state, making the
+// result independent of scheduling.
+func (e *Expectation) scoreEdges(g *graph.Graph, edges []int) {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(edges) {
+		workers = len(edges)
+	}
+	if !g.TreeShaped() || workers <= 1 || len(edges) < parallelScoreThreshold {
+		for _, id := range edges {
+			e.score[id] = PruningExpectation(g, id)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(edges) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(edges) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		wg.Add(1)
+		go func(part []int) {
+			defer wg.Done()
+			ev := g.NewCutEvaluator()
+			for _, id := range part {
+				e.score[id] = PruningExpectationOn(ev, id)
+			}
+		}(edges[lo:hi])
+	}
+	wg.Wait()
+}
+
+// scoredLess is the expectation ordering: score descending, then
+// weight ascending (cheaper to refute), then id — a strict total
+// order, which both the sort and the incremental merge rely on.
+func scoredLess(g *graph.Graph, score []float64, a, b int) bool {
+	if score[a] != score[b] {
+		return score[a] > score[b]
+	}
+	if wa, wb := g.Edge(a).W, g.Edge(b).W; wa != wb {
+		return wa < wb
+	}
+	return a < b
+}
+
+func sortEdgesByScore(g *graph.Graph, edges []int, score []float64) {
+	sort.Slice(edges, func(i, j int) bool {
+		return scoredLess(g, score, edges[i], edges[j])
+	})
+}
+
+// cutLosser abstracts where a hypothetical cut is evaluated: the graph
+// itself (single-threaded) or a private CutEvaluator (worker pools).
+type cutLosser interface {
+	CutLoss(v, pred int) (loss, bundle int)
+}
+
 // PruningExpectation computes Eq. 1 for edge id: the expected number
 // of tasks saved by asking it, from both endpoint bundles. A bundle
 // containing a blue edge can never fully disconnect, so its term is
 // zero.
 func PruningExpectation(g *graph.Graph, id int) float64 {
 	e := g.Edge(id)
-	return bundleTerm(g, e.U, e.Pred) + bundleTerm(g, e.V, e.Pred)
+	return bundleTerm(g, g, e.U, e.Pred) + bundleTerm(g, g, e.V, e.Pred)
 }
 
-func bundleTerm(g *graph.Graph, v, pred int) float64 {
+// PruningExpectationOn is PruningExpectation with the cut losses
+// evaluated on a private CutEvaluator, safe to call from concurrent
+// workers as long as the graph itself is not mutated meanwhile.
+func PruningExpectationOn(ev *graph.CutEvaluator, id int) float64 {
+	g := ev.Graph()
+	e := g.Edge(id)
+	return bundleTerm(g, ev, e.U, e.Pred) + bundleTerm(g, ev, e.V, e.Pred)
+}
+
+func bundleTerm(g *graph.Graph, cl cutLosser, v, pred int) float64 {
 	prod := 1.0
 	x := 0
 	for _, eid := range g.EdgesAt(v, pred) {
@@ -116,6 +326,6 @@ func bundleTerm(g *graph.Graph, v, pred int) float64 {
 	if x == 0 {
 		return 0
 	}
-	loss, _ := g.CutLoss(v, pred)
+	loss, _ := cl.CutLoss(v, pred)
 	return prod / float64(x) * float64(loss)
 }

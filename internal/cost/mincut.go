@@ -39,11 +39,11 @@ func (m *MinCutSampling) Order(g *graph.Graph) []int {
 	return order
 }
 
-// OrderScored additionally returns the occurrence counts as scores for
-// the latency scheduler.
-func (m *MinCutSampling) OrderScored(g *graph.Graph) ([]int, map[int]float64) {
+// OrderScored additionally returns the occurrence counts as dense
+// scores (indexed by edge id) for the latency scheduler.
+func (m *MinCutSampling) OrderScored(g *graph.Graph) ([]int, []float64) {
 	g.Revalidate()
-	count := map[int]int{}
+	count := make([]int, g.NumEdges())
 	sampled := make([]graph.Color, g.NumEdges())
 	colorOf := func(e int) graph.Color { return sampled[e] }
 	for s := 0; s < m.Samples; s++ {
@@ -74,7 +74,7 @@ func (m *MinCutSampling) OrderScored(g *graph.Graph) ([]int, map[int]float64) {
 		}
 		return a < b
 	})
-	score := make(map[int]float64, len(edges))
+	score := make([]float64, g.NumEdges())
 	for _, e := range edges {
 		score[e] = float64(count[e])
 	}

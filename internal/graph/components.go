@@ -1,0 +1,195 @@
+package graph
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Cached edge-component partition. Components connect edges through
+// non-red edges sharing a vertex; red edges belong to no component.
+// The latency scheduler consults the partition every round (§5.2), and
+// the incremental cost engine uses it to bound the region whose
+// pruning expectations a round's answers can have changed — so instead
+// of re-deriving the partition per round, the graph keeps it cached
+// and refreshes only the components a color change touched.
+//
+// Invalidation rules per color transition:
+//   - Unknown↔Blue: the partition is unchanged (both are non-red).
+//   - →Red: the edge leaves the partition and may split its component;
+//     only that component is re-derived.
+//   - Red→ anything: the edge rejoins and may merge components; this
+//     never happens on the crowdsourcing path, so it simply forces a
+//     full rebuild.
+//
+// Adding an edge also forces a full rebuild.
+
+var graphUIDCounter uint64
+
+func nextGraphUID() uint64 { return atomic.AddUint64(&graphUIDCounter, 1) }
+
+// noteColorChange maintains the component cache across one effective
+// color transition. Called by SetColor after the edge is updated.
+func (g *Graph) noteColorChange(id int, old, new Color) {
+	if !g.compsValid {
+		return
+	}
+	switch {
+	case old == Red:
+		// Rejoining edge may merge components: rebuild from scratch.
+		g.compsValid = false
+	case new == Red:
+		g.markCompDirty(g.compOf[id])
+	default:
+		// Unknown↔Blue: partition unchanged.
+	}
+}
+
+func (g *Graph) markCompDirty(ci int) {
+	if ci < 0 || g.compDirtyMark[ci] {
+		return
+	}
+	g.compDirtyMark[ci] = true
+	g.compDirty = append(g.compDirty, ci)
+}
+
+// ComponentIndex returns the cached component id per edge (-1 for red
+// edges) and an exclusive upper bound on component ids (retired ids —
+// components split by answers — map to nil member lists). The slice is
+// owned by the graph and valid until the next mutation; callers must
+// not modify it.
+func (g *Graph) ComponentIndex() (compOf []int, numCompIDs int) {
+	g.refreshComponents()
+	return g.compOf, len(g.compMembers)
+}
+
+// ComponentMembers returns the sorted member edge ids of component ci,
+// nil when the id is retired. The slice is owned by the graph; callers
+// must not modify it.
+func (g *Graph) ComponentMembers(ci int) []int {
+	g.refreshComponents()
+	return g.compMembers[ci]
+}
+
+// ConnectedComponents partitions the *edges* into components connected
+// through non-red edges sharing a vertex. Red edges are excluded
+// entirely (they can no longer interact with any candidate). Used by
+// the latency scheduler (§5.2): tasks in different components are
+// always non-conflicting. Served from the component cache; members are
+// sorted ascending and components ordered by smallest member id.
+func (g *Graph) ConnectedComponents() [][]int {
+	g.refreshComponents()
+	out := make([][]int, 0, len(g.compMembers))
+	for _, members := range g.compMembers {
+		if members != nil {
+			out = append(out, members)
+		}
+	}
+	// Live member lists are sorted and disjoint, so ordering by first
+	// member is a strict total order.
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// refreshComponents brings the cache up to date: a full rebuild when
+// invalidated wholesale (new edges, rejoined red edges, first use),
+// otherwise a re-derivation of just the dirtied components.
+func (g *Graph) refreshComponents() {
+	if !g.compsValid {
+		g.buildComponents()
+		return
+	}
+	if len(g.compDirty) == 0 {
+		return
+	}
+	for _, ci := range g.compDirty {
+		members := g.compMembers[ci]
+		g.compMembers[ci] = nil
+		g.compDirtyMark[ci] = false
+		// Unassign the old membership, then re-flood each remaining
+		// non-red member. Floods stay inside the old component (two
+		// non-red edges sharing a vertex were already connected), so the
+		// unassigned sentinel confines them.
+		for _, e := range members {
+			if g.edges[e].Color == Red {
+				g.compOf[e] = -1
+			} else {
+				g.compOf[e] = compUnassigned
+			}
+		}
+		for _, e := range members {
+			if g.compOf[e] == compUnassigned {
+				g.floodComponent(e)
+			}
+		}
+	}
+	g.compDirty = g.compDirty[:0]
+	// compDirtyMark may have grown stale entries for ids created above;
+	// marks for fresh ids start false by construction.
+	if len(g.compDirtyMark) < len(g.compMembers) {
+		grown := make([]bool, len(g.compMembers))
+		copy(grown, g.compDirtyMark)
+		g.compDirtyMark = grown
+	}
+}
+
+const compUnassigned = -2
+
+// buildComponents recomputes the whole partition.
+func (g *Graph) buildComponents() {
+	if len(g.compOf) != len(g.edges) {
+		g.compOf = make([]int, len(g.edges))
+	}
+	for i := range g.compOf {
+		if g.edges[i].Color == Red {
+			g.compOf[i] = -1
+		} else {
+			g.compOf[i] = compUnassigned
+		}
+	}
+	g.compMembers = g.compMembers[:0]
+	g.compDirty = g.compDirty[:0]
+	for start := range g.edges {
+		if g.compOf[start] == compUnassigned {
+			g.floodComponent(start)
+		}
+	}
+	if len(g.compDirtyMark) < len(g.compMembers) {
+		g.compDirtyMark = make([]bool, len(g.compMembers))
+	} else {
+		for i := range g.compDirtyMark {
+			g.compDirtyMark[i] = false
+		}
+	}
+	g.compsValid = true
+}
+
+// floodComponent assigns a fresh component id to every unassigned
+// non-red edge reachable from start and records the sorted member
+// list.
+func (g *Graph) floodComponent(start int) {
+	id := len(g.compMembers)
+	var members []int
+	stack := []int{start}
+	g.compOf[start] = id
+	for len(stack) > 0 {
+		eID := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		members = append(members, eID)
+		e := g.edges[eID]
+		for _, v := range [2]int{e.U, e.V} {
+			for _, lst := range g.adj[v] {
+				for _, nb := range lst {
+					if g.compOf[nb] == compUnassigned {
+						g.compOf[nb] = id
+						stack = append(stack, nb)
+					}
+				}
+			}
+		}
+	}
+	sort.Ints(members)
+	g.compMembers = append(g.compMembers, members)
+	if len(g.compDirtyMark) < len(g.compMembers) {
+		g.compDirtyMark = append(g.compDirtyMark, false)
+	}
+}

@@ -1,0 +1,209 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+
+	"cdb/internal/stats"
+)
+
+// naivePartition computes the edge-component partition from scratch
+// with union-find — deliberately a different algorithm from the cached
+// flood fill, so the property tests cross-check implementations.
+func naivePartition(g *Graph) []int {
+	parent := make([]int, g.NumEdges())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for v := 0; v < g.NumVertices(); v++ {
+		first := -1
+		for _, lst := range g.adj[v] {
+			for _, e := range lst {
+				if g.edges[e].Color == Red {
+					continue
+				}
+				if first < 0 {
+					first = e
+				} else {
+					union(first, e)
+				}
+			}
+		}
+	}
+	out := make([]int, g.NumEdges())
+	for i := range out {
+		if g.edges[i].Color == Red {
+			out[i] = -1
+		} else {
+			out[i] = find(i)
+		}
+	}
+	return out
+}
+
+// samePartition checks that two component labelings induce the same
+// equivalence classes (labels themselves may differ).
+func samePartition(t *testing.T, got, want []int, ctx string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: labeling lengths %d vs %d", ctx, len(got), len(want))
+	}
+	remap := map[int]int{}
+	seen := map[int]bool{}
+	for i := range got {
+		if (got[i] < 0) != (want[i] < 0) {
+			t.Fatalf("%s: edge %d red-membership mismatch: got %d want %d", ctx, i, got[i], want[i])
+		}
+		if got[i] < 0 {
+			continue
+		}
+		if m, ok := remap[got[i]]; ok {
+			if m != want[i] {
+				t.Fatalf("%s: edge %d: component %d maps to both %d and %d", ctx, i, got[i], m, want[i])
+			}
+		} else {
+			if seen[want[i]] {
+				t.Fatalf("%s: edge %d: naive component %d claimed by two cached components", ctx, i, want[i])
+			}
+			remap[got[i]] = want[i]
+			seen[want[i]] = true
+		}
+	}
+}
+
+// TestComponentIndexIncremental colors random graphs edge by edge and
+// checks after every transition that the incrementally maintained
+// partition matches a from-scratch union-find.
+func TestComponentIndexIncremental(t *testing.T) {
+	r := stats.NewRNG(31337)
+	for trial := 0; trial < 200; trial++ {
+		g := randomGraph(r)
+		compOf, _ := g.ComponentIndex()
+		samePartition(t, compOf, naivePartition(g), "initial")
+		for step := 0; step < 2*g.NumEdges(); step++ {
+			e := r.Intn(g.NumEdges())
+			switch r.Intn(3) {
+			case 0:
+				g.SetColor(e, Red)
+			case 1:
+				g.SetColor(e, Blue)
+			case 2:
+				g.SetColor(e, Unknown) // forces the full-rebuild path when old was red
+			}
+			compOf, _ = g.ComponentIndex()
+			samePartition(t, compOf, naivePartition(g), "after step")
+		}
+	}
+}
+
+// TestComponentMembersConsistent verifies member lists agree with the
+// index and are sorted.
+func TestComponentMembersConsistent(t *testing.T) {
+	r := stats.NewRNG(99)
+	for trial := 0; trial < 50; trial++ {
+		g := randomGraph(r)
+		// A few incremental splits first.
+		for i := 0; i < g.NumEdges()/2; i++ {
+			g.SetColor(r.Intn(g.NumEdges()), Red)
+			g.ComponentIndex()
+		}
+		compOf, n := g.ComponentIndex()
+		counted := 0
+		for ci := 0; ci < n; ci++ {
+			members := g.ComponentMembers(ci)
+			for k, e := range members {
+				if compOf[e] != ci {
+					t.Fatalf("member %d of comp %d has compOf %d", e, ci, compOf[e])
+				}
+				if k > 0 && members[k-1] >= e {
+					t.Fatalf("comp %d members not strictly sorted: %v", ci, members)
+				}
+			}
+			counted += len(members)
+		}
+		nonRed := 0
+		for e := 0; e < g.NumEdges(); e++ {
+			if g.Edge(e).Color != Red {
+				nonRed++
+			}
+		}
+		if counted != nonRed {
+			t.Fatalf("members cover %d edges, want %d non-red", counted, nonRed)
+		}
+	}
+}
+
+// TestColorEventsJournal checks the journal records exactly the
+// effective transitions.
+func TestColorEventsJournal(t *testing.T) {
+	g := buildSmall()
+	if len(g.ColorEvents()) != 0 {
+		t.Fatal("fresh graph has events")
+	}
+	g.SetColor(0, Blue)
+	g.SetColor(0, Blue) // no-op
+	g.SetColor(3, Red)
+	g.SetColor(0, Red)
+	ev := g.ColorEvents()
+	want := []ColorEvent{
+		{Edge: 0, Old: Unknown, New: Blue},
+		{Edge: 3, Old: Unknown, New: Red},
+		{Edge: 0, Old: Blue, New: Red},
+	}
+	if len(ev) != len(want) {
+		t.Fatalf("journal = %v, want %v", ev, want)
+	}
+	for i := range want {
+		if ev[i] != want[i] {
+			t.Fatalf("journal[%d] = %v, want %v", i, ev[i], want[i])
+		}
+	}
+}
+
+// TestCutEvaluatorMatchesGraph runs concurrent evaluators over random
+// graphs and checks every result against the graph's own CutLoss.
+func TestCutEvaluatorMatchesGraph(t *testing.T) {
+	r := stats.NewRNG(4242)
+	for trial := 0; trial < 60; trial++ {
+		g := randomGraph(r)
+		g.Revalidate()
+		type q struct{ v, pred int }
+		var queries []q
+		for v := 0; v < g.NumVertices(); v++ {
+			for _, pred := range g.predsByTable[g.TableOf(v)] {
+				queries = append(queries, q{v, pred})
+			}
+		}
+		wantLoss := make([]int, len(queries))
+		wantBundle := make([]int, len(queries))
+		for i, qq := range queries {
+			wantLoss[i], wantBundle[i] = g.CutLoss(qq.v, qq.pred)
+		}
+		const workers = 4
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ev := g.NewCutEvaluator()
+				for i := w; i < len(queries); i += workers {
+					loss, bundle := ev.CutLoss(queries[i].v, queries[i].pred)
+					if loss != wantLoss[i] || bundle != wantBundle[i] {
+						t.Errorf("trial %d query %d: evaluator (%d,%d), graph (%d,%d)",
+							trial, i, loss, bundle, wantLoss[i], wantBundle[i])
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+}

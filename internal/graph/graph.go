@@ -139,10 +139,11 @@ type Edge struct {
 
 // Graph is the instantiated query graph over concrete data.
 type Graph struct {
-	S      *Structure
-	counts []int // tuples per table
-	base   []int // vertex id offset per table
-	nVerts int
+	S       *Structure
+	counts  []int // tuples per table
+	base    []int // vertex id offset per table
+	tableOf []int // table index per vertex id
+	nVerts  int
 
 	edges []Edge
 	// adj[v][k] lists edge ids incident to v on the k-th predicate of
@@ -156,13 +157,30 @@ type Graph struct {
 	// Validity state (see validity.go).
 	dirty      bool
 	valid      []bool
-	cover      [][]bool // cover[v][slot]: v can cover the subtree beyond that pred
-	support    [][]int  // supporting-edge counters for cover facts
-	falseCount []int    // number of false cover facts per vertex
+	cs         cutState // cover facts + hypothetical-cut scratch
 	treeShaped bool     // whether S is acyclic (enables the DP)
+	factWork   []fact   // reusable worklist for revalidateTree
 
-	epoch     int
-	edgeEpoch []int // scratch for hypothetical-cut dedup
+	// Color journal: every effective SetColor is appended, so
+	// incremental consumers (the cost engine) can locate the dirty
+	// region of a round instead of rescanning the whole graph.
+	colorLog []ColorEvent
+
+	// Cached edge-component partition (components.go).
+	compOf        []int   // per edge: component id, -1 for red edges
+	compMembers   [][]int // per component id: sorted member edge ids (nil = retired)
+	compDirty     []int   // component ids pending an incremental refresh
+	compDirtyMark []bool  // per component id: already queued in compDirty
+	compsValid    bool    // false forces a full rebuild
+
+	uid           uint64 // process-unique graph identity for external caches
+	weightVersion int    // bumped by SetWeight; score caches reset on change
+}
+
+// ColorEvent is one journaled color transition.
+type ColorEvent struct {
+	Edge     int
+	Old, New Color
 }
 
 // NewGraph creates an empty graph over the structure with the given
@@ -183,6 +201,12 @@ func NewGraph(s *Structure, counts []int) (*Graph, error) {
 		g.base[i] = g.nVerts
 		g.nVerts += c
 	}
+	g.tableOf = make([]int, g.nVerts)
+	for t, b := range g.base {
+		for v := b; v < b+counts[t]; v++ {
+			g.tableOf[v] = t
+		}
+	}
 	g.predsByTable = make([][]int, len(s.Tables))
 	g.predSlot = make([]map[int]int, len(s.Tables))
 	for t := range s.Tables {
@@ -198,6 +222,7 @@ func NewGraph(s *Structure, counts []int) (*Graph, error) {
 	}
 	g.treeShaped = s.Kind() != Cyclic
 	g.dirty = true
+	g.uid = nextGraphUID()
 	return g, nil
 }
 
@@ -232,13 +257,10 @@ func (g *Graph) VertexID(tab, row int) int {
 
 // TableOf returns the table index of vertex v.
 func (g *Graph) TableOf(v int) int {
-	// counts are small (≤ #tables); linear scan of bases.
-	for t := len(g.base) - 1; t >= 0; t-- {
-		if v >= g.base[t] {
-			return t
-		}
+	if v < 0 || v >= len(g.tableOf) {
+		panic(fmt.Sprintf("graph: vertex %d out of range", v))
 	}
-	panic(fmt.Sprintf("graph: vertex %d out of range", v))
+	return g.tableOf[v]
 }
 
 // RowOf returns the row index of vertex v within its table.
@@ -259,6 +281,7 @@ func (g *Graph) AddEdge(pred, rowA, rowB int, w float64) int {
 	g.adj[u][g.predSlot[p.A][pred]] = append(g.adj[u][g.predSlot[p.A][pred]], id)
 	g.adj[v][g.predSlot[p.B][pred]] = append(g.adj[v][g.predSlot[p.B][pred]], id)
 	g.dirty = true
+	g.compsValid = false
 	return id
 }
 
@@ -267,18 +290,51 @@ func (g *Graph) Edge(id int) Edge { return g.edges[id] }
 
 // SetColor records a crowd answer (or an inference) for an edge.
 func (g *Graph) SetColor(id int, c Color) {
-	if g.edges[id].Color == c {
+	old := g.edges[id].Color
+	if old == c {
 		return
 	}
 	g.edges[id].Color = c
-	g.dirty = true
+	g.colorLog = append(g.colorLog, ColorEvent{Edge: id, Old: old, New: c})
+	g.noteColorChange(id, old, c)
+	g.noteColorValidity(id, old, c)
 }
+
+// ColorEvents returns the full journal of effective color transitions
+// since graph creation, oldest first. Incremental consumers remember
+// the length they last consumed and read only the suffix. The slice is
+// owned by the graph; callers must not modify it.
+func (g *Graph) ColorEvents() []ColorEvent { return g.colorLog }
+
+// UID returns a process-unique identity for this graph, letting
+// external caches detect that they are looking at a different graph
+// even when pointer values are reused.
+func (g *Graph) UID() uint64 { return g.uid }
+
+// TreeShaped reports whether the query structure is acyclic, which
+// enables the incremental cover-fact machinery (and with it concurrent
+// CutEvaluators).
+func (g *Graph) TreeShaped() bool { return g.treeShaped }
 
 // SetWeight updates an edge's matching probability (used when a
 // requester supplies a trained probability model).
 func (g *Graph) SetWeight(id int, w float64) {
+	if g.edges[id].W == w {
+		return
+	}
 	g.edges[id].W = w
+	g.weightVersion++
 }
+
+// WeightVersion counts effective SetWeight calls; external score
+// caches reset when it changes, since every pruning expectation can
+// depend on reweighted probabilities.
+func (g *Graph) WeightVersion() int { return g.weightVersion }
+
+// TablePreds returns the predicate ids incident to table t. Unlike
+// Structure.PredsOf it serves the cached list without allocating; the
+// slice is shared and must not be modified.
+func (g *Graph) TablePreds(t int) []int { return g.predsByTable[t] }
 
 // EdgesAt returns the edge ids incident to vertex v on predicate pred.
 // The returned slice is shared; callers must not mutate it.
@@ -322,44 +378,4 @@ func (g *Graph) CountColors() (unknown, blue, red int) {
 		}
 	}
 	return
-}
-
-// ConnectedComponents partitions the *edges* into components connected
-// through non-red edges sharing a vertex. Red edges are excluded
-// entirely (they can no longer interact with any candidate). Used by
-// the latency scheduler (§5.2): tasks in different components are
-// always non-conflicting.
-func (g *Graph) ConnectedComponents() [][]int {
-	comp := make([]int, len(g.edges))
-	for i := range comp {
-		comp[i] = -1
-	}
-	var comps [][]int
-	for start := range g.edges {
-		if comp[start] >= 0 || g.edges[start].Color == Red {
-			continue
-		}
-		id := len(comps)
-		var members []int
-		stack := []int{start}
-		comp[start] = id
-		for len(stack) > 0 {
-			eID := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			members = append(members, eID)
-			e := g.edges[eID]
-			for _, v := range [2]int{e.U, e.V} {
-				for _, lst := range g.adj[v] {
-					for _, nb := range lst {
-						if comp[nb] < 0 && g.edges[nb].Color != Red {
-							comp[nb] = id
-							stack = append(stack, nb)
-						}
-					}
-				}
-			}
-		}
-		comps = append(comps, members)
-	}
-	return comps
 }

@@ -16,6 +16,69 @@ package graph
 // Cyclic structures fall back to per-edge backtracking (correct,
 // slower); the planner normally rewrites cycles away first
 // (BreakCycles), matching §5.1.1.
+//
+// The cover facts and the scratch used by hypothetical cuts live in a
+// cutState so the cost engine can clone them into CutEvaluators and
+// compute cut losses for disjoint edge sets concurrently.
+
+// cutState bundles the cover-fact arrays consulted — and temporarily
+// mutated, with rollback — by hypothetical cuts. The graph owns one
+// primary instance (kept current by Revalidate); CutEvaluators carry
+// private copies.
+type cutState struct {
+	cover      [][]bool // cover[v][slot]: v can cover the subtree beyond that pred
+	support    [][]int  // supporting-edge counters for cover facts
+	falseCount []int    // number of false cover facts per vertex
+
+	epoch     int
+	edgeEpoch []int // scratch for hypothetical-cut dedup
+	journal   []journalEntry
+	work      []fact
+}
+
+// copyFrom deep-copies src's cover facts into cs, reusing cs's
+// allocations where sizes match.
+func (cs *cutState) copyFrom(src *cutState) {
+	if len(cs.cover) != len(src.cover) {
+		cs.cover = make([][]bool, len(src.cover))
+		cs.support = make([][]int, len(src.support))
+	}
+	for v := range src.cover {
+		if len(cs.cover[v]) != len(src.cover[v]) {
+			cs.cover[v] = make([]bool, len(src.cover[v]))
+			cs.support[v] = make([]int, len(src.support[v]))
+		}
+		copy(cs.cover[v], src.cover[v])
+		copy(cs.support[v], src.support[v])
+	}
+	if len(cs.falseCount) != len(src.falseCount) {
+		cs.falseCount = make([]int, len(src.falseCount))
+	}
+	copy(cs.falseCount, src.falseCount)
+	if len(cs.edgeEpoch) != len(src.edgeEpoch) {
+		cs.edgeEpoch = make([]int, len(src.edgeEpoch))
+	} else {
+		for i := range cs.edgeEpoch {
+			cs.edgeEpoch[i] = 0
+		}
+	}
+	cs.epoch = 0
+	cs.journal = cs.journal[:0]
+	cs.work = cs.work[:0]
+}
+
+// coversAllExcept reports whether vertex v's cover facts hold for
+// every incident predicate slot except skip (-1 means all slots).
+func (cs *cutState) coversAllExcept(v, skipSlot int) bool {
+	switch cs.falseCount[v] {
+	case 0:
+		return true
+	case 1:
+		return skipSlot >= 0 && !cs.cover[v][skipSlot]
+	default:
+		return false
+	}
+}
 
 // Revalidate recomputes edge validity from the current colors. It is
 // cheap to call repeatedly: a no-op while the graph is unchanged.
@@ -41,61 +104,156 @@ func (g *Graph) IsValid(id int) bool {
 // ValidUncolored returns the ids of edges that still need to be asked:
 // valid and not yet colored.
 func (g *Graph) ValidUncolored() []int {
-	g.Revalidate()
-	var out []int
-	for i, e := range g.edges {
-		if e.Color == Unknown && g.valid[i] {
-			out = append(out, i)
-		}
-	}
-	return out
+	return g.ValidUncoloredInto(nil)
 }
 
-// coversAllExcept reports whether vertex v's cover facts hold for
-// every incident predicate slot except skip (-1 means all slots).
-func (g *Graph) coversAllExcept(v, skipSlot int) bool {
-	switch g.falseCount[v] {
-	case 0:
-		return true
-	case 1:
-		return skipSlot >= 0 && !g.cover[v][skipSlot]
-	default:
-		return false
+// ValidUncoloredInto appends the valid uncolored edge ids to buf[:0]
+// and returns it, letting hot paths reuse one buffer across rounds
+// instead of allocating per call.
+func (g *Graph) ValidUncoloredInto(buf []int) []int {
+	g.Revalidate()
+	buf = buf[:0]
+	for i := range g.edges {
+		if g.edges[i].Color == Unknown && g.valid[i] {
+			buf = append(buf, i)
+		}
 	}
+	return buf
+}
+
+// noteColorValidity routes a color transition to the validity state.
+// On tree-shaped graphs with current cover facts the steady-state
+// crowd transitions are absorbed in place — Unknown→Blue changes no
+// fact (validity only distinguishes red from non-red), Unknown→Red
+// removes a single edge's support and propagates — so a round that
+// colored k edges costs O(affected region), not O(E). Every other
+// transition (un-coloring, blue→red repairs, or any change while a
+// full rebuild is already pending) falls back to the dirty flag.
+func (g *Graph) noteColorValidity(id int, old, c Color) {
+	if !g.dirty && g.treeShaped && old == Unknown &&
+		len(g.valid) == len(g.edges) && len(g.cs.cover) == g.nVerts {
+		if c == Blue {
+			return
+		}
+		g.reddenEdgeTree(id)
+		return
+	}
+	g.dirty = true
+}
+
+// reddenEdgeTree applies one Unknown→Red transition to the live cover
+// facts: the removed edge stops supporting its endpoints' facts, and
+// the same monotone false-propagation revalidateTree runs from scratch
+// is seeded with just the affected facts, clearing edge validity along
+// the way. False-fact propagation is confluent, so the state lands on
+// the identical fixpoint the full rebuild would compute (enforced by
+// TestIncrementalValidityMatchesRebuild).
+func (g *Graph) reddenEdgeTree(id int) {
+	cs := &g.cs
+	e := g.edges[id]
+	g.valid[id] = false
+	uSlot := g.predSlot[g.TableOf(e.U)][e.Pred]
+	vSlot := g.predSlot[g.TableOf(e.V)][e.Pred]
+	work := g.factWork[:0]
+	// The edge contributed to an endpoint's support only while the
+	// other endpoint covered everything beyond it (the invariant the
+	// propagation maintains), so only live contributions are removed.
+	if cs.coversAllExcept(e.U, uSlot) {
+		cs.support[e.V][vSlot]--
+		if cs.support[e.V][vSlot] == 0 && cs.cover[e.V][vSlot] {
+			work = append(work, fact{e.V, vSlot})
+		}
+	}
+	if cs.coversAllExcept(e.V, vSlot) {
+		cs.support[e.U][uSlot]--
+		if cs.support[e.U][uSlot] == 0 && cs.cover[e.U][uSlot] {
+			work = append(work, fact{e.U, uSlot})
+		}
+	}
+	for len(work) > 0 {
+		f := work[len(work)-1]
+		work = work[:len(work)-1]
+		if !cs.cover[f.v][f.slot] {
+			continue
+		}
+		cs.cover[f.v][f.slot] = false
+		cs.falseCount[f.v]++
+		switch cs.falseCount[f.v] {
+		case 1:
+			for q := range cs.cover[f.v] {
+				if q != f.slot {
+					work = g.dropSupportInvalidate(cs, f.v, q, work)
+				}
+			}
+		case 2:
+			for q := range cs.cover[f.v] {
+				if q != f.slot && !cs.cover[f.v][q] {
+					work = g.dropSupportInvalidate(cs, f.v, q, work)
+					break
+				}
+			}
+		}
+	}
+	g.factWork = work[:0]
+}
+
+// dropSupportInvalidate is dropSupportSlot with permanent edge
+// invalidation: coversAllExcept(v, q) just flipped false, so every
+// non-red edge at v on slot q left its last candidate.
+func (g *Graph) dropSupportInvalidate(cs *cutState, v, q int, work []fact) []fact {
+	pred := g.predsByTable[g.TableOf(v)][q]
+	for _, eID := range g.adj[v][q] {
+		e := g.edges[eID]
+		if e.Color == Red {
+			continue
+		}
+		g.valid[eID] = false
+		w := e.U
+		if w == v {
+			w = e.V
+		}
+		wSlot := g.predSlot[g.TableOf(w)][pred]
+		cs.support[w][wSlot]--
+		if cs.support[w][wSlot] == 0 && cs.cover[w][wSlot] {
+			work = append(work, fact{w, wSlot})
+		}
+	}
+	return work
 }
 
 func (g *Graph) revalidateTree() {
 	n := g.nVerts
-	if g.cover == nil || len(g.cover) != n {
-		g.cover = make([][]bool, n)
-		g.support = make([][]int, n)
-		g.falseCount = make([]int, n)
+	cs := &g.cs
+	if cs.cover == nil || len(cs.cover) != n {
+		cs.cover = make([][]bool, n)
+		cs.support = make([][]int, n)
+		cs.falseCount = make([]int, n)
 		for v := 0; v < n; v++ {
 			slots := len(g.predsByTable[g.TableOf(v)])
-			g.cover[v] = make([]bool, slots)
-			g.support[v] = make([]int, slots)
+			cs.cover[v] = make([]bool, slots)
+			cs.support[v] = make([]int, slots)
 		}
 	}
 	// Optimistic init: everything covers; supports count non-red
 	// incident edges per slot.
 	for v := 0; v < n; v++ {
-		g.falseCount[v] = 0
-		for s := range g.cover[v] {
-			g.cover[v][s] = true
+		cs.falseCount[v] = 0
+		for s := range cs.cover[v] {
+			cs.cover[v][s] = true
 			cnt := 0
 			for _, eID := range g.adj[v][s] {
 				if g.edges[eID].Color != Red {
 					cnt++
 				}
 			}
-			g.support[v][s] = cnt
+			cs.support[v][s] = cnt
 		}
 	}
 	// Worklist of facts that are false: zero support.
-	var work []fact
+	work := g.factWork[:0]
 	for v := 0; v < n; v++ {
-		for s := range g.cover[v] {
-			if g.support[v][s] == 0 {
+		for s := range cs.cover[v] {
+			if cs.support[v][s] == 0 {
 				work = append(work, fact{v, s})
 			}
 		}
@@ -103,28 +261,28 @@ func (g *Graph) revalidateTree() {
 	for len(work) > 0 {
 		f := work[len(work)-1]
 		work = work[:len(work)-1]
-		if !g.cover[f.v][f.slot] {
+		if !cs.cover[f.v][f.slot] {
 			continue
 		}
-		g.cover[f.v][f.slot] = false
-		g.falseCount[f.v]++
+		cs.cover[f.v][f.slot] = false
+		cs.falseCount[f.v]++
 		// f.v stops supporting neighbor facts through every slot q where
 		// coversAllExcept(f.v, q) just flipped from true to false.
-		switch g.falseCount[f.v] {
+		switch cs.falseCount[f.v] {
 		case 1:
 			// Previously covered everything: coversAllExcept flipped for
 			// every slot except the newly false one.
-			for q := range g.cover[f.v] {
+			for q := range cs.cover[f.v] {
 				if q != f.slot {
-					work = g.dropSupportSlot(f.v, q, work)
+					work = g.dropSupportSlot(cs, f.v, q, work)
 				}
 			}
 		case 2:
 			// Previously exactly one false slot f0: coversAllExcept was
 			// true only for q==f0; it flips there now.
-			for q := range g.cover[f.v] {
-				if q != f.slot && !g.cover[f.v][q] {
-					work = g.dropSupportSlot(f.v, q, work)
+			for q := range cs.cover[f.v] {
+				if q != f.slot && !cs.cover[f.v][q] {
+					work = g.dropSupportSlot(cs, f.v, q, work)
 					break
 				}
 			}
@@ -132,6 +290,7 @@ func (g *Graph) revalidateTree() {
 			// Already covered nothing; no supports to drop.
 		}
 	}
+	g.factWork = work[:0]
 	// Edge validity.
 	if len(g.valid) != len(g.edges) {
 		g.valid = make([]bool, len(g.edges))
@@ -139,9 +298,9 @@ func (g *Graph) revalidateTree() {
 	for i := range g.edges {
 		g.valid[i] = g.edgeValidNow(i)
 	}
-	if len(g.edgeEpoch) != len(g.edges) {
-		g.edgeEpoch = make([]int, len(g.edges))
-		g.epoch = 0
+	if len(cs.edgeEpoch) != len(g.edges) {
+		cs.edgeEpoch = make([]int, len(g.edges))
+		cs.epoch = 0
 	}
 }
 
@@ -151,7 +310,7 @@ type fact struct{ v, slot int }
 
 // dropSupportSlot removes v's contribution from neighbor facts across
 // predicate slot q of v (v no longer covers "away from q").
-func (g *Graph) dropSupportSlot(v, q int, work []fact) []fact {
+func (g *Graph) dropSupportSlot(cs *cutState, v, q int, work []fact) []fact {
 	pred := g.predsByTable[g.TableOf(v)][q]
 	for _, eID := range g.adj[v][q] {
 		e := g.edges[eID]
@@ -163,8 +322,8 @@ func (g *Graph) dropSupportSlot(v, q int, work []fact) []fact {
 			w = e.V
 		}
 		wSlot := g.predSlot[g.TableOf(w)][pred]
-		g.support[w][wSlot]--
-		if g.support[w][wSlot] == 0 && g.cover[w][wSlot] {
+		cs.support[w][wSlot]--
+		if cs.support[w][wSlot] == 0 && cs.cover[w][wSlot] {
 			work = append(work, fact{w, wSlot})
 		}
 	}
@@ -179,7 +338,7 @@ func (g *Graph) edgeValidNow(id int) bool {
 	}
 	uSlot := g.predSlot[g.TableOf(e.U)][e.Pred]
 	vSlot := g.predSlot[g.TableOf(e.V)][e.Pred]
-	return g.coversAllExcept(e.U, uSlot) && g.coversAllExcept(e.V, vSlot)
+	return g.cs.coversAllExcept(e.U, uSlot) && g.cs.coversAllExcept(e.V, vSlot)
 }
 
 // revalidateBacktrack is the general fallback: per-edge existence
@@ -195,9 +354,9 @@ func (g *Graph) revalidateBacktrack() {
 		}
 		g.valid[i] = g.existsEmbeddingWith(map[int]int{i: i}, nil)
 	}
-	if len(g.edgeEpoch) != len(g.edges) {
-		g.edgeEpoch = make([]int, len(g.edges))
-		g.epoch = 0
+	if len(g.cs.edgeEpoch) != len(g.edges) {
+		g.cs.edgeEpoch = make([]int, len(g.edges))
+		g.cs.epoch = 0
 	}
 }
 
@@ -205,10 +364,9 @@ func (g *Graph) revalidateBacktrack() {
 
 // journalEntry records one state mutation for rollback.
 type journalEntry struct {
-	kind int // 0 support dec, 1 cover flip, 2 edge virtually reddened
+	kind int // 0 support dec, 1 cover flip
 	v    int
 	slot int
-	edge int
 }
 
 // CutLoss computes how many currently-valid uncolored edges (excluding
@@ -224,25 +382,70 @@ func (g *Graph) CutLoss(v, pred int) (loss, bundle int) {
 	if !g.treeShaped {
 		return g.cutLossBrute(v, pred)
 	}
+	return g.cutLossTree(&g.cs, v, pred)
+}
+
+// CutEvaluator computes cut losses against a private copy of the
+// graph's cover-fact state. Because CutLoss temporarily mutates that
+// state, the graph's own CutLoss must not run concurrently with
+// itself; evaluators carry their own copies, so any number of them may
+// run in parallel — as long as nothing mutates the graph (colors,
+// edges, weights) while they do. Only meaningful for tree-shaped
+// structures; on cyclic graphs the evaluator falls back to the
+// (non-concurrent) brute-force path.
+type CutEvaluator struct {
+	g  *Graph
+	cs cutState
+}
+
+// NewCutEvaluator snapshots the current validity state into a fresh
+// evaluator. It revalidates first, so create evaluators from a single
+// goroutine before fanning out.
+func (g *Graph) NewCutEvaluator() *CutEvaluator {
+	g.Revalidate()
+	ev := &CutEvaluator{g: g}
+	if g.treeShaped {
+		ev.cs.copyFrom(&g.cs)
+	}
+	return ev
+}
+
+// Graph returns the underlying graph (for read-only access).
+func (ev *CutEvaluator) Graph() *Graph { return ev.g }
+
+// CutLoss is Graph.CutLoss evaluated on the evaluator's private state.
+func (ev *CutEvaluator) CutLoss(v, pred int) (loss, bundle int) {
+	if !ev.g.treeShaped {
+		return ev.g.CutLoss(v, pred)
+	}
+	return ev.g.cutLossTree(&ev.cs, v, pred)
+}
+
+// cutLossTree runs the journaled hypothetical cut on cs, which must
+// mirror the graph's current cover facts. Only cs is mutated (and
+// rolled back); everything read from the graph itself is immutable
+// during the call, which is what makes concurrent evaluators safe.
+func (g *Graph) cutLossTree(cs *cutState, v, pred int) (loss, bundle int) {
 	t := g.TableOf(v)
 	slot, ok := g.predSlot[t][pred]
 	if !ok {
 		return 0, 0
 	}
-	var journal []journalEntry
-	var work []fact
-	g.epoch++
+	journal := cs.journal[:0]
+	work := cs.work[:0]
+	cs.epoch++
 
 	// Virtually redden the bundle: each non-red edge (v,w) on pred
-	// stops supporting cover facts on BOTH sides.
-	cutEdges := map[int]bool{}
+	// stops supporting cover facts on BOTH sides. Bundle members are
+	// stamped with the epoch so the loss count can exclude them.
+	epoch := cs.epoch
 	for _, eID := range g.adj[v][slot] {
 		e := g.edges[eID]
 		if e.Color != Unknown {
 			continue
 		}
 		bundle++
-		cutEdges[eID] = true
+		cs.edgeEpoch[eID] = -epoch
 		w := e.U
 		if w == v {
 			w = e.V
@@ -252,17 +455,17 @@ func (g *Graph) CutLoss(v, pred int) (loss, bundle int) {
 		// endpoint covers-all-except the predicate (that is the
 		// invariant the propagation maintains), so removing the edge
 		// decrements only live contributions.
-		if g.coversAllExcept(v, slot) {
-			g.support[w][wSlot]--
+		if cs.coversAllExcept(v, slot) {
+			cs.support[w][wSlot]--
 			journal = append(journal, journalEntry{kind: 0, v: w, slot: wSlot})
-			if g.support[w][wSlot] == 0 && g.cover[w][wSlot] {
+			if cs.support[w][wSlot] == 0 && cs.cover[w][wSlot] {
 				work = append(work, fact{w, wSlot})
 			}
 		}
-		if g.coversAllExcept(w, wSlot) {
-			g.support[v][slot]--
+		if cs.coversAllExcept(w, wSlot) {
+			cs.support[v][slot]--
 			journal = append(journal, journalEntry{kind: 0, v: v, slot: slot})
-			if g.support[v][slot] == 0 && g.cover[v][slot] {
+			if cs.support[v][slot] == 0 && cs.cover[v][slot] {
 				work = append(work, fact{v, slot})
 			}
 		}
@@ -271,38 +474,39 @@ func (g *Graph) CutLoss(v, pred int) (loss, bundle int) {
 	// Propagate false facts, counting newly-invalid edges.
 	newlyInvalid := 0
 	// Only uncolored edges count toward the loss: invalidating an
-	// already-asked (blue) edge saves no task.
+	// already-asked (blue) edge saves no task. Bundle members carry
+	// -epoch, already-counted edges +epoch; both are excluded.
 	markInvalid := func(eID int) {
-		if cutEdges[eID] {
+		if cs.edgeEpoch[eID] == -epoch {
 			return
 		}
-		if g.edges[eID].Color == Unknown && g.valid[eID] && g.edgeEpoch[eID] != g.epoch {
-			g.edgeEpoch[eID] = g.epoch
+		if g.edges[eID].Color == Unknown && g.valid[eID] && cs.edgeEpoch[eID] != epoch {
+			cs.edgeEpoch[eID] = epoch
 			newlyInvalid++
 		}
 	}
 	for len(work) > 0 {
 		f := work[len(work)-1]
 		work = work[:len(work)-1]
-		if !g.cover[f.v][f.slot] {
+		if !cs.cover[f.v][f.slot] {
 			continue
 		}
-		g.cover[f.v][f.slot] = false
-		g.falseCount[f.v]++
+		cs.cover[f.v][f.slot] = false
+		cs.falseCount[f.v]++
 		journal = append(journal, journalEntry{kind: 1, v: f.v, slot: f.slot})
 
 		// Which coversAllExcept(f.v, q) facts flipped false?
 		var affected []int
-		switch g.falseCount[f.v] {
+		switch cs.falseCount[f.v] {
 		case 1:
-			for q := range g.cover[f.v] {
+			for q := range cs.cover[f.v] {
 				if q != f.slot {
 					affected = append(affected, q)
 				}
 			}
 		case 2:
-			for q := range g.cover[f.v] {
-				if q != f.slot && !g.cover[f.v][q] {
+			for q := range cs.cover[f.v] {
+				if q != f.slot && !cs.cover[f.v][q] {
 					affected = append(affected, q)
 					break
 				}
@@ -321,9 +525,9 @@ func (g *Graph) CutLoss(v, pred int) (loss, bundle int) {
 					w = e.V
 				}
 				wSlot := g.predSlot[g.TableOf(w)][predQ]
-				g.support[w][wSlot]--
+				cs.support[w][wSlot]--
 				journal = append(journal, journalEntry{kind: 0, v: w, slot: wSlot})
-				if g.support[w][wSlot] == 0 && g.cover[w][wSlot] {
+				if cs.support[w][wSlot] == 0 && cs.cover[w][wSlot] {
 					work = append(work, fact{w, wSlot})
 				}
 			}
@@ -339,12 +543,14 @@ func (g *Graph) CutLoss(v, pred int) (loss, bundle int) {
 		j := journal[i]
 		switch j.kind {
 		case 0:
-			g.support[j.v][j.slot]++
+			cs.support[j.v][j.slot]++
 		case 1:
-			g.cover[j.v][j.slot] = true
-			g.falseCount[j.v]--
+			cs.cover[j.v][j.slot] = true
+			cs.falseCount[j.v]--
 		}
 	}
+	cs.journal = journal[:0]
+	cs.work = work[:0]
 	return newlyInvalid, bundle
 }
 

@@ -1,0 +1,84 @@
+package graph
+
+import (
+	"testing"
+
+	"cdb/internal/stats"
+)
+
+// TestIncrementalValidityMatchesRebuild drives random coloring
+// sequences (including un-colorings) against the event-driven validity
+// updates and compares every edge's validity to a replica graph that
+// receives all colors before its first revalidation — forcing the
+// from-scratch rebuild path. The two must agree exactly after every
+// step.
+func TestIncrementalValidityMatchesRebuild(t *testing.T) {
+	for trial := 0; trial < 250; trial++ {
+		seed := uint64(5000 + trial)
+		g := randomGraph(stats.NewRNG(seed))
+		g.Revalidate() // make the live state current so deltas engage
+		r := stats.NewRNG(uint64(99 + trial))
+		for step := 0; step < 25 && g.NumEdges() > 0; step++ {
+			e := r.Intn(g.NumEdges())
+			var c Color
+			switch r.Intn(5) {
+			case 0:
+				c = Unknown // forces the full-rebuild fallback
+			case 1, 2:
+				c = Blue
+			default:
+				c = Red
+			}
+			g.SetColor(e, c)
+
+			rep := randomGraph(stats.NewRNG(seed))
+			for id := 0; id < g.NumEdges(); id++ {
+				rep.SetColor(id, g.Edge(id).Color)
+			}
+			for id := 0; id < g.NumEdges(); id++ {
+				if g.IsValid(id) != rep.IsValid(id) {
+					t.Fatalf("trial %d step %d: edge %d incremental valid=%v, rebuild=%v",
+						trial, step, id, g.IsValid(id), rep.IsValid(id))
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalValidityCutLossConsistent checks that cut losses
+// evaluated on incrementally-maintained cover facts match a freshly
+// rebuilt graph — CutLoss journals over the same state the deltas
+// update in place.
+func TestIncrementalValidityCutLossConsistent(t *testing.T) {
+	for trial := 0; trial < 60; trial++ {
+		seed := uint64(9000 + trial)
+		g := randomGraph(stats.NewRNG(seed))
+		g.Revalidate()
+		r := stats.NewRNG(uint64(31 + trial))
+		for step := 0; step < 8 && g.NumEdges() > 0; step++ {
+			e := r.Intn(g.NumEdges())
+			if g.Edge(e).Color == Unknown {
+				if r.Bool(0.5) {
+					g.SetColor(e, Blue)
+				} else {
+					g.SetColor(e, Red)
+				}
+			}
+		}
+		rep := randomGraph(stats.NewRNG(seed))
+		for id := 0; id < g.NumEdges(); id++ {
+			rep.SetColor(id, g.Edge(id).Color)
+		}
+		for id := 0; id < g.NumEdges(); id++ {
+			ed := g.Edge(id)
+			for _, v := range [2]int{ed.U, ed.V} {
+				l1, b1 := g.CutLoss(v, ed.Pred)
+				l2, b2 := rep.CutLoss(v, ed.Pred)
+				if l1 != l2 || b1 != b2 {
+					t.Fatalf("trial %d edge %d vertex %d: incremental CutLoss=(%d,%d), rebuild=(%d,%d)",
+						trial, id, v, l1, b1, l2, b2)
+				}
+			}
+		}
+	}
+}

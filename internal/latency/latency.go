@@ -12,8 +12,35 @@
 package latency
 
 import (
+	"sync"
+
 	"cdb/internal/graph"
 )
+
+// batchScratch holds scanBatch's per-round dense scratch slices. Rounds
+// over large graphs need a few hundred KB of zeroed scratch; recycling
+// it through a pool keeps the steady-state scheduler allocation-free.
+type batchScratch struct {
+	bestRank []int
+	rankOf   []int
+	accepted [][]int
+	closed   []bool
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// grabInts returns a zeroed int slice of length n backed by buf when
+// capacity allows.
+func grabInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
 
 // ParallelBatch selects the sub-sequence of order (task ids, most
 // valuable first) that can be crowdsourced simultaneously: it scans
@@ -37,8 +64,9 @@ func ParallelBatch(g *graph.Graph, order []int) []int {
 // order: an edge is deferred only behind a strictly more valuable
 // pending edge at the same tuple (score more than double), so
 // co-equal gates share a round and the round count stays near one per
-// predicate while the cheap-gate-first inference is preserved.
-func ParallelBatchScored(g *graph.Graph, order []int, score map[int]float64) []int {
+// predicate while the cheap-gate-first inference is preserved. score
+// is dense, indexed by edge id.
+func ParallelBatchScored(g *graph.Graph, order []int, score []float64) []int {
 	return scanBatch(g, order, score, false)
 }
 
@@ -49,47 +77,67 @@ func PrefixBatch(g *graph.Graph, order []int) []int {
 	return scanBatch(g, order, nil, true)
 }
 
-func scanBatch(g *graph.Graph, order []int, score map[int]float64, prefixOnly bool) []int {
+func scanBatch(g *graph.Graph, order []int, score []float64, prefixOnly bool) []int {
 	g.Revalidate()
-	comps := g.ConnectedComponents()
-	compOf := make(map[int]int, g.NumEdges())
-	for ci, members := range comps {
-		for _, e := range members {
-			compOf[e] = ci
-		}
-	}
+	// The component partition is cached by the graph and refreshed
+	// incrementally as answers arrive, so consulting it per round is
+	// O(changed region), not O(E).
+	compOf, nComp := g.ComponentIndex()
+	nPreds := len(g.S.Preds)
 
 	// Priority-aware deferral: an edge waits when a higher-priority
 	// valid edge touches one of its endpoints on a DIFFERENT predicate
 	// — that edge is this tuple's "gate", and its answer may prune this
 	// one. Per-tuple gates of every predicate still go out together, so
 	// rounds stay near one-per-predicate while preserving inference.
-	// bestRank[v][slotKey] is the best (smallest) scan rank of a valid
-	// uncolored edge at vertex v and predicate.
-	type vp struct{ v, pred int }
-	bestRank := map[vp]int{}
-	rankOf := make(map[int]int, len(order))
+	// bestRank[v*nPreds+pred] is the best (smallest) scan rank of a
+	// valid uncolored edge at vertex v and predicate, stored as rank+1
+	// so the zero value means "unset" and the dense slices need no
+	// -1 fill. Edge and vertex ids are dense, so flat slices replace
+	// the former maps.
+	sc := scratchPool.Get().(*batchScratch)
+	defer scratchPool.Put(sc)
+	bestRank := grabInts(sc.bestRank, g.NumVertices()*nPreds)
+	rankOf := grabInts(sc.rankOf, g.NumEdges())
+	sc.bestRank, sc.rankOf = bestRank, rankOf
 	for rank, e := range order {
 		ed := g.Edge(e)
 		if ed.Color != graph.Unknown || !g.IsValid(e) {
 			continue
 		}
-		if _, seen := rankOf[e]; seen {
+		if rankOf[e] != 0 {
 			continue
 		}
-		rankOf[e] = rank
+		rankOf[e] = rank + 1
 		for _, v := range [2]int{ed.U, ed.V} {
-			key := vp{v, ed.Pred}
-			if r, ok := bestRank[key]; !ok || rank < r {
-				bestRank[key] = rank
+			key := v*nPreds + ed.Pred
+			if r := bestRank[key]; r == 0 || rank+1 < r {
+				bestRank[key] = rank + 1
 			}
 		}
 	}
 
 	// accepted edges per component; closed marks components whose
 	// prefix has ended (a conflicting edge was encountered).
-	accepted := make(map[int][]int)
-	closed := make(map[int]bool)
+	accepted := sc.accepted
+	if cap(accepted) < nComp {
+		accepted = make([][]int, nComp)
+	} else {
+		accepted = accepted[:nComp]
+		for i := range accepted {
+			accepted[i] = accepted[i][:0]
+		}
+	}
+	closed := sc.closed
+	if cap(closed) < nComp {
+		closed = make([]bool, nComp)
+	} else {
+		closed = closed[:nComp]
+		for i := range closed {
+			closed[i] = false
+		}
+	}
+	sc.accepted, sc.closed = accepted, closed
 	var batch []int
 
 	for _, e := range order {
@@ -97,23 +145,23 @@ func scanBatch(g *graph.Graph, order []int, score map[int]float64, prefixOnly bo
 		if ed.Color != graph.Unknown || !g.IsValid(e) {
 			continue
 		}
-		ci, ok := compOf[e]
-		if !ok {
+		ci := compOf[e]
+		if ci < 0 {
 			continue // red/isolated; nothing to schedule
 		}
 		if closed[ci] {
 			continue
 		}
-		rank := rankOf[e]
+		rank := rankOf[e] - 1
 		if !prefixOnly {
 			deferred := false
 			for _, v := range [2]int{ed.U, ed.V} {
-				for _, q := range g.S.PredsOf(g.TableOf(v)) {
+				for _, q := range g.TablePreds(g.TableOf(v)) {
 					if q == ed.Pred {
 						continue
 					}
-					r, okq := bestRank[vp{v, q}]
-					if !okq || r >= rank {
+					r := bestRank[v*nPreds+q] - 1
+					if r < 0 || r >= rank {
 						continue
 					}
 					if score != nil {

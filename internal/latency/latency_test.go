@@ -202,7 +202,8 @@ func TestParallelBatchScoredDefersVictims(t *testing.T) {
 	v2 := g.AddEdge(0, 2, 0, 0.5)
 	gate := g.AddEdge(1, 0, 0, 0.3)
 	order := []int{gate, v0, v1, v2}
-	score := map[int]float64{gate: 10, v0: 1, v1: 1, v2: 1}
+	score := make([]float64, g.NumEdges())
+	score[gate], score[v0], score[v1], score[v2] = 10, 1, 1, 1
 	batch := ParallelBatchScored(g, order, score)
 	if len(batch) != 1 || batch[0] != gate {
 		t.Fatalf("scored batch = %v, want just the gate %d", batch, gate)
@@ -228,7 +229,8 @@ func TestParallelBatchScoredPacksCoequalGates(t *testing.T) {
 	mid1 := g.AddEdge(0, 1, 1, 0.5) // chain 2 victim
 	e1 := g.AddEdge(1, 1, 1, 0.5)   // chain 2 gate (pred 1)
 	order := []int{e0, e1, mid0, mid1}
-	score := map[int]float64{e0: 5, e1: 4.5, mid0: 1, mid1: 1}
+	score := make([]float64, g.NumEdges())
+	score[e0], score[e1], score[mid0], score[mid1] = 5, 4.5, 1, 1
 	batch := ParallelBatchScored(g, order, score)
 	if len(batch) != 2 || batch[0] != e0 || batch[1] != e1 {
 		t.Fatalf("batch = %v, want both gates [%d %d]", batch, e0, e1)

@@ -1,8 +1,21 @@
 package sim
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 )
+
+// JoinWorkers caps the goroutines used by the similarity join's probe
+// phase; 0 (the default) means GOMAXPROCS. Results are identical for
+// any setting — shards produce independent candidate sets that are
+// merged and sorted deterministically.
+var JoinWorkers = 0
+
+// joinParallelThreshold is the probe-side size below which sharding is
+// not worth the goroutine overhead. A variable so tests can force the
+// parallel path on small inputs.
+var joinParallelThreshold = 128
 
 // Pair is one candidate match produced by the similarity join: row
 // indices into the left and right string slices plus the computed
@@ -38,28 +51,31 @@ func Join(f Func, left, right []string, eps float64) []Pair {
 			pre = 0.05
 		}
 		cands := prefixFilterJoin(left, right, pre, Grams2, Jaccard2Gram)
-		out := cands[:0]
+		// Verify into a fresh slice: filtering in place over cands'
+		// backing array would alias reads and writes, which silently
+		// corrupts shard buffers once candidate generation is parallel.
+		out := make([]Pair, 0, len(cands))
 		for _, p := range cands {
 			s := NormalizedEditSim(left[p.Left], right[p.Right])
 			if s >= eps {
 				out = append(out, Pair{Left: p.Left, Right: p.Right, Sim: s})
 			}
 		}
-		return append([]Pair(nil), out...)
+		return out
 	case Cosine:
 		pre := eps * eps / 2
 		if pre < 0.05 {
 			pre = 0.05
 		}
 		cands := prefixFilterJoin(left, right, pre, Grams2, Jaccard2Gram)
-		out := cands[:0]
+		out := make([]Pair, 0, len(cands))
 		for _, p := range cands {
 			s := CosineSim(left[p.Left], right[p.Right])
 			if s >= eps {
 				out = append(out, Pair{Left: p.Left, Right: p.Right, Sim: s})
 			}
 		}
-		return append([]Pair(nil), out...)
+		return out
 	case NoSim:
 		out := make([]Pair, 0, len(left)*len(right))
 		for i := range left {
@@ -173,29 +189,79 @@ func prefixFilterJoin(left, right []string, eps float64,
 		}
 	}
 
-	var out []Pair
-	seen := map[int64]struct{}{}
-	for i, set := range leftSets {
-		pl := prefixLen(len(set))
-		for _, tok := range set[:pl] {
-			for _, j := range index[tok] {
-				key := int64(i)<<32 | int64(j)
-				if _, dup := seen[key]; dup {
-					continue
-				}
-				seen[key] = struct{}{}
-				// Length filter: |a|/|b| must be within [eps, 1/eps].
-				la, lb := len(leftSets[i]), len(rightSets[j])
-				if la == 0 || lb == 0 {
-					continue
-				}
-				if float64(la) < eps*float64(lb) || float64(lb) < eps*float64(la) {
-					continue
-				}
-				if s := jaccardSorted(lexLeft[i], lexRight[j]); s >= eps {
-					out = append(out, Pair{Left: i, Right: j, Sim: s})
+	// Probe phase: each left record's prefix tokens are looked up in
+	// the index and survivors verified exactly. Probes are independent
+	// per left record, so the probe side is sharded across a worker
+	// pool — per-shard candidate buffers and dedup sets, merged in
+	// shard order. The final sort is by (Left, Right), a strict total
+	// order over the deduplicated pairs, so the output is bit-identical
+	// for any worker count.
+	probe := func(lo, hi int, out []Pair) []Pair {
+		seen := map[int64]struct{}{}
+		for i := lo; i < hi; i++ {
+			set := leftSets[i]
+			pl := prefixLen(len(set))
+			for _, tok := range set[:pl] {
+				for _, j := range index[tok] {
+					key := int64(i)<<32 | int64(j)
+					if _, dup := seen[key]; dup {
+						continue
+					}
+					seen[key] = struct{}{}
+					// Length filter: |a|/|b| must be within [eps, 1/eps].
+					la, lb := len(leftSets[i]), len(rightSets[j])
+					if la == 0 || lb == 0 {
+						continue
+					}
+					if float64(la) < eps*float64(lb) || float64(lb) < eps*float64(la) {
+						continue
+					}
+					if s := jaccardSorted(lexLeft[i], lexRight[j]); s >= eps {
+						out = append(out, Pair{Left: i, Right: j, Sim: s})
+					}
 				}
 			}
+		}
+		return out
+	}
+
+	workers := JoinWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(left) {
+		workers = len(left)
+	}
+	var out []Pair
+	if workers <= 1 || len(left) < joinParallelThreshold {
+		out = probe(0, len(left), nil)
+	} else {
+		shards := make([][]Pair, workers)
+		chunk := (len(left) + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			if lo >= len(left) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(left) {
+				hi = len(left)
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				shards[w] = probe(lo, hi, nil)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		n := 0
+		for _, s := range shards {
+			n += len(s)
+		}
+		out = make([]Pair, 0, n)
+		for _, s := range shards {
+			out = append(out, s...)
 		}
 	}
 	sort.Slice(out, func(a, b int) bool {

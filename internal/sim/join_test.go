@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"testing"
+
+	"cdb/internal/stats"
+)
+
+// randomStrings generates n strings over a small alphabet so that both
+// near-duplicates and disjoint records occur, exercising the prefix
+// filter's prune and verify paths.
+func randomStrings(r *stats.RNG, n int) []string {
+	words := []string{"univ", "of", "california", "chicago", "duke",
+		"dept", "nutrition", "cambridge", "microsoft", "lab", "inst"}
+	out := make([]string, n)
+	for i := range out {
+		k := 1 + r.Intn(4)
+		s := ""
+		for w := 0; w < k; w++ {
+			if w > 0 {
+				s += " "
+			}
+			s += words[r.Intn(len(words))]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func pairsEqual(a, b []Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestJoinParallelMatchesSequential forces the sharded probe path and
+// checks the output is bit-identical (same pairs, same order, same
+// similarity bits) to the single-worker run, across functions,
+// thresholds, and worker counts.
+func TestJoinParallelMatchesSequential(t *testing.T) {
+	oldW, oldT := JoinWorkers, joinParallelThreshold
+	defer func() { JoinWorkers, joinParallelThreshold = oldW, oldT }()
+	joinParallelThreshold = 1
+
+	r := stats.NewRNG(99)
+	left := randomStrings(r, 120)
+	right := randomStrings(r, 90)
+	for _, f := range []Func{Gram2Jaccard, TokenJaccard, EditDistance, Cosine} {
+		for _, eps := range []float64{0.3, 0.6} {
+			JoinWorkers = 1
+			want := Join(f, left, right, eps)
+			for _, w := range []int{2, 3, 8} {
+				JoinWorkers = w
+				got := Join(f, left, right, eps)
+				if !pairsEqual(got, want) {
+					t.Fatalf("%v eps=%v workers=%d: %d pairs vs %d sequential",
+						f, eps, w, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestJoinParallelMatchesBruteForce cross-checks the sharded join
+// against the quadratic reference on random inputs.
+func TestJoinParallelMatchesBruteForce(t *testing.T) {
+	oldW, oldT := JoinWorkers, joinParallelThreshold
+	defer func() { JoinWorkers, joinParallelThreshold = oldW, oldT }()
+	JoinWorkers, joinParallelThreshold = 4, 1
+
+	r := stats.NewRNG(7)
+	for trial := 0; trial < 10; trial++ {
+		left := randomStrings(r, 40)
+		right := randomStrings(r, 30)
+		eps := 0.3 + 0.4*r.Float64()
+		fast := joinKeys(Join(Gram2Jaccard, left, right, eps))
+		slow := joinKeys(BruteForceJoin(Gram2Jaccard, left, right, eps))
+		if len(fast) != len(slow) {
+			t.Fatalf("trial %d eps=%v: fast %d pairs, slow %d", trial, eps, len(fast), len(slow))
+		}
+		for k, v := range slow {
+			if fv, ok := fast[k]; !ok || !almostEq(fv, v) {
+				t.Fatalf("trial %d eps=%v: pair %s missing or wrong (%v vs %v)", trial, eps, k, fv, v)
+			}
+		}
+	}
+}
