@@ -31,6 +31,7 @@ import (
 	"cdb/internal/dataset"
 	"cdb/internal/exec"
 	"cdb/internal/meta"
+	"cdb/internal/obs"
 	"cdb/internal/quality"
 	"cdb/internal/sim"
 	"cdb/internal/stats"
@@ -80,6 +81,8 @@ type DB struct {
 	router     *crowd.Router
 	meta       *meta.Store
 	calibrate  bool
+	observer   obs.Observer
+	tracing    bool
 }
 
 // Option configures Open.
@@ -277,26 +280,48 @@ type Result struct {
 	Rows    [][]string
 	Message string
 	Stats   Stats
+	// Trace is the statement's span tree when tracing is enabled via
+	// WithObserver or WithTracing; nil otherwise.
+	Trace *Trace
 }
 
 // Exec parses and executes one CQL statement.
 func (db *DB) Exec(q string) (*Result, error) {
+	tr := db.tracer()
+	root := tr.Begin(obs.SpanQuery)
+	tr.Mutate(root, func(s *obs.Span) { s.Query = q })
+
+	parseSpan := tr.Begin(obs.SpanParse)
 	st, err := cql.Parse(q)
+	tr.End(parseSpan)
 	if err != nil {
+		tr.Mutate(root, func(s *obs.Span) { s.Err = err.Error() })
+		tr.End(root)
+		tr.Finish()
 		return nil, err
 	}
+
+	var res *Result
 	switch s := st.(type) {
 	case *cql.CreateTable:
-		return db.execCreate(s)
+		res, err = db.execCreate(s)
 	case *cql.Select:
-		return db.execSelect(s)
+		res, err = db.execSelect(s, tr)
 	case *cql.Fill:
-		return db.execFill(s)
+		res, err = db.execFill(s)
 	case *cql.Collect:
-		return db.execCollect(s)
+		res, err = db.execCollect(s)
 	default:
-		return nil, fmt.Errorf("cdb: unsupported statement %T", st)
+		err = fmt.Errorf("cdb: unsupported statement %T", st)
 	}
+	if err != nil {
+		tr.Mutate(root, func(s *obs.Span) { s.Err = err.Error() })
+	}
+	tr.End(root)
+	if trace := tr.Finish(); trace != nil && res != nil {
+		res.Trace = trace
+	}
+	return res, err
 }
 
 // MustExec is Exec that panics on error (for examples and tests).
@@ -404,11 +429,15 @@ func (db *DB) strategyFor(p *exec.Plan, budget int) cost.Strategy {
 	}
 }
 
-func (db *DB) execSelect(s *cql.Select) (*Result, error) {
+func (db *DB) execSelect(s *cql.Select, tr *obs.Tracer) (*Result, error) {
+	planSpan := tr.Begin(obs.SpanPlan)
 	plan, err := exec.BuildPlan(s, db.catalog, db.oracle, exec.PlanConfig{Sim: db.simFunc, Epsilon: db.epsilon})
 	if err != nil {
+		tr.End(planSpan)
 		return nil, err
 	}
+	tr.Mutate(planSpan, func(sp *obs.Span) { sp.Edges = plan.G.NumEdges() })
+	tr.End(planSpan)
 	qm := exec.MajorityVoting
 	if db.qualityOn {
 		qm = exec.CDBPlus
@@ -422,6 +451,7 @@ func (db *DB) execSelect(s *cql.Select) (*Result, error) {
 		Router:     db.router,
 		Meta:       db.meta,
 		Calibrate:  db.calibrate,
+		Trace:      tr,
 	})
 	if err != nil {
 		return nil, err

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"cdb/internal/bench"
+	"cdb/internal/obs"
 )
 
 func main() {
@@ -30,8 +31,51 @@ func main() {
 		samples   = flag.Int("samples", 20, "MinCut sampling count")
 		costbench = flag.Bool("costbench", false, "run the incremental cost-engine benchmarks and write BENCH_cost.json")
 		benchOut  = flag.String("costbenchout", "BENCH_cost.json", "output path for -costbench")
+
+		traceOut    = flag.String("trace", "", "write query-lifecycle spans as JSONL to this file")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (\":0\" picks a port)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		bound, shutdown, err := obs.Serve(*metricsAddr, obs.Default)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdbench: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "cdbench: metrics on http://%s/metrics\n", bound)
+	}
+	if *cpuProfile != "" || *memProfile != "" {
+		stop, err := obs.StartProfiles(*cpuProfile, *memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdbench: profiling: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintf(os.Stderr, "cdbench: profiling: %v\n", err)
+			}
+		}()
+	}
+	var observer obs.Observer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdbench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		jw := obs.NewJSONLWriter(f)
+		observer = jw
+		defer func() {
+			if err := jw.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "cdbench: trace: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *costbench {
 		if err := bench.RunCostBench(*benchOut, os.Stdout); err != nil {
@@ -49,6 +93,7 @@ func main() {
 	cfg.Redundancy = *red
 	cfg.WorkerQ = *workerQ
 	cfg.Samples = *samples
+	cfg.Observer = observer
 
 	ids := []string{*exp}
 	if *exp == "all" {

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"cdb/internal/dataset"
+	"cdb/internal/obs"
 )
 
 func main() {
@@ -21,8 +22,23 @@ func main() {
 		scale = flag.Float64("scale", 1.0, "scale (1.0 = the paper's Table 2/3 sizes)")
 		seed  = flag.Uint64("seed", 1, "random seed")
 		out   = flag.String("out", ".", "output directory")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" || *memProfile != "" {
+		stop, err := obs.StartProfiles(*cpuProfile, *memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	var d *dataset.Data
 	switch *name {

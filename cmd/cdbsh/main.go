@@ -9,6 +9,7 @@
 //
 //	\tables          list tables
 //	\dump <table>    print a table
+//	\metrics         print the process metrics (Prometheus text format)
 //	\quit            exit
 package main
 
@@ -31,8 +32,35 @@ func main() {
 		accuracy    = flag.Float64("accuracy", 0.85, "mean worker accuracy")
 		strategy    = flag.String("strategy", "cdb", "task selection strategy (cdb, mincut, crowddb, qurk, deco, opttree, trans, acd)")
 		qc          = flag.Bool("quality", false, "enable CDB+ quality control (EM + task assignment)")
+
+		traceOut    = flag.String("trace", "", "write query-lifecycle spans as JSONL to this file")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (\":0\" picks a port)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		bound, shutdown, err := cdb.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdbsh: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "cdbsh: metrics on http://%s/metrics\n", bound)
+	}
+	if *cpuProfile != "" || *memProfile != "" {
+		stop, err := cdb.StartProfiles(*cpuProfile, *memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdbsh: profiling: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintf(os.Stderr, "cdbsh: profiling: %v\n", err)
+			}
+		}()
+	}
 
 	opts := []cdb.Option{
 		cdb.WithSeed(*seed),
@@ -40,6 +68,21 @@ func main() {
 		cdb.WithStrategy(*strategy),
 		cdb.WithQualityControl(*qc),
 		cdb.WithMetadata(),
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdbsh: trace: %v\n", err)
+			os.Exit(1)
+		}
+		jw := cdb.NewJSONLWriter(f)
+		opts = append(opts, cdb.WithObserver(jw))
+		defer func() {
+			if err := jw.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "cdbsh: trace: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 	if *datasetName != "" {
 		opts = append(opts, cdb.WithDataset(*datasetName, *scale, *seed))
@@ -91,6 +134,10 @@ func command(db *cdb.DB, cmd string) bool {
 		fmt.Println(strings.Join(db.TableNames(), ", "))
 	case "\\meta":
 		db.Metadata().WriteReport(os.Stdout)
+	case "\\metrics":
+		if err := cdb.WriteMetrics(os.Stdout); err != nil {
+			fmt.Println("error:", err)
+		}
 	case "\\dump":
 		if len(fields) < 2 {
 			fmt.Println("usage: \\dump <table>")
@@ -103,7 +150,7 @@ func command(db *cdb.DB, cmd string) bool {
 		}
 		printGrid(rows)
 	default:
-		fmt.Println("unknown command; try \\tables, \\dump <table>, \\meta, \\quit")
+		fmt.Println("unknown command; try \\tables, \\dump <table>, \\meta, \\metrics, \\quit")
 	}
 	return true
 }

@@ -1,10 +1,38 @@
 package cdb_test
 
 import (
+	"bytes"
 	"fmt"
 
 	"cdb"
 )
+
+// ExampleWithObserver traces a crowd join: the observer streams every
+// finished span as JSONL while the Result carries the full span tree.
+// The per-round task counts in the trace reconcile exactly with the
+// query's cost metric.
+func ExampleWithObserver() {
+	var buf bytes.Buffer
+	db := cdb.Open(
+		cdb.WithDataset("example", 0, 1),
+		cdb.WithPerfectWorkers(30),
+		cdb.WithSeed(7),
+		cdb.WithObserver(cdb.NewJSONLWriter(&buf)),
+	)
+	res := db.MustExec(`SELECT * FROM Paper, Researcher
+	    WHERE Paper.author CROWDJOIN Researcher.name;`)
+
+	tasks := 0
+	for _, s := range res.Trace.ByName(cdb.SpanRound) {
+		tasks += s.Tasks
+	}
+	fmt.Println("round tasks == Stats.Tasks:", tasks == res.Stats.Tasks)
+	fmt.Println("jsonl lines == spans:",
+		bytes.Count(buf.Bytes(), []byte("\n")) == len(res.Trace.Spans))
+	// Output:
+	// round tasks == Stats.Tasks: true
+	// jsonl lines == spans: true
+}
 
 // ExampleOpen runs the paper's running example (Table 1 / Figure 4)
 // end to end with an infallible crowd and prints the three answers.

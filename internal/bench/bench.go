@@ -22,6 +22,7 @@ import (
 	"cdb/internal/crowd"
 	"cdb/internal/dataset"
 	"cdb/internal/exec"
+	"cdb/internal/obs"
 	"cdb/internal/quality"
 	"cdb/internal/sim"
 	"cdb/internal/stats"
@@ -39,6 +40,9 @@ type Config struct {
 	WorkerSD   float64 // accuracy stddev (paper: 0.1, i.e. variance 0.01)
 	PoolSize   int     // simulated workers available
 	Samples    int     // MinCut sampling count (paper real exp: 100)
+	// Observer, when set, receives the lifecycle spans of every query
+	// execution the harness performs (one trace per runCell).
+	Observer obs.Observer
 }
 
 // DefaultConfig returns settings sized for minutes-scale regeneration.
@@ -64,6 +68,10 @@ var Methods = []string{"Trans", "ACD", "CrowdDB", "Qurk", "Deco", "OptTree", "Mi
 type Row struct {
 	Labels []string  // dimension values, aligned with Table.LabelNames
 	Values []float64 // metric values, aligned with Table.ValueNames
+	// CI optionally holds the 95% confidence half-width of each value
+	// (aligned with Values); rendered as "v±ci". nil or zero entries
+	// render as the bare value.
+	CI []float64
 }
 
 // Table is one regenerated figure/table.
@@ -82,8 +90,12 @@ func (t *Table) Render(w io.Writer) {
 	fmt.Fprintln(w, strings.Join(pad(header), "  "))
 	for _, r := range t.Rows {
 		cells := append([]string{}, r.Labels...)
-		for _, v := range r.Values {
-			cells = append(cells, fmt.Sprintf("%.3f", v))
+		for i, v := range r.Values {
+			if i < len(r.CI) && r.CI[i] > 0 {
+				cells = append(cells, fmt.Sprintf("%.3f±%.3f", v, r.CI[i]))
+			} else {
+				cells = append(cells, fmt.Sprintf("%.3f", v))
+			}
 		}
 		fmt.Fprintln(w, strings.Join(pad(cells), "  "))
 	}
@@ -158,6 +170,13 @@ func runCell(d *dataset.Data, query, method string, cfg Config, rng *stats.RNG,
 	if method == "CDB+" {
 		qm = exec.CDBPlus
 	}
+	var tr *obs.Tracer
+	var root obs.SpanID
+	if cfg.Observer != nil {
+		tr = obs.NewTracer(cfg.Observer)
+		root = tr.Begin(obs.SpanQuery)
+		tr.Mutate(root, func(s *obs.Span) { s.Query = query; s.Label = method })
+	}
 	rep, err := exec.Run(p, exec.Options{
 		Strategy:   strategyFor(method, p, cfg, rng),
 		Redundancy: cfg.Redundancy,
@@ -165,7 +184,12 @@ func runCell(d *dataset.Data, query, method string, cfg Config, rng *stats.RNG,
 		MaxRounds:  maxRounds,
 		Pool:       crowd.NewPool(cfg.PoolSize, cfg.WorkerQ, cfg.WorkerSD, rng.Split()),
 		Workers:    workers,
+		Trace:      tr,
 	})
+	if tr != nil {
+		tr.End(root)
+		tr.Finish()
+	}
 	if err != nil {
 		return stats.Metrics{}, err
 	}

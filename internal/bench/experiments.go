@@ -118,9 +118,10 @@ func Fig8to10(cfg Config) ([]*Table, error) {
 				return nil, fmt.Errorf("fig8 %s/%s: %w", q, method, err)
 			}
 			tasks, rounds, _, _, f1 := agg.Mean()
-			cost8.Rows = append(cost8.Rows, Row{Labels: []string{q, method}, Values: []float64{tasks}})
-			qual9.Rows = append(qual9.Rows, Row{Labels: []string{q, method}, Values: []float64{f1}})
-			lat10.Rows = append(lat10.Rows, Row{Labels: []string{q, method}, Values: []float64{rounds}})
+			ciT, ciR, _, _, ciF := agg.CI95()
+			cost8.Rows = append(cost8.Rows, Row{Labels: []string{q, method}, Values: []float64{tasks}, CI: []float64{ciT}})
+			qual9.Rows = append(qual9.Rows, Row{Labels: []string{q, method}, Values: []float64{f1}, CI: []float64{ciF}})
+			lat10.Rows = append(lat10.Rows, Row{Labels: []string{q, method}, Values: []float64{rounds}, CI: []float64{ciR}})
 		}
 	}
 	return []*Table{cost8, qual9, lat10}, nil

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"cdb/internal/graph"
+	"cdb/internal/obs"
 	"cdb/internal/stats"
 )
 
@@ -83,6 +84,44 @@ func BenchmarkNextRoundIncremental10k(b *testing.B) {
 
 func BenchmarkNextRoundNaive10k(b *testing.B) {
 	benchNextRound(b, 1700, &NaiveExpectation{}, func() {})
+}
+
+// BenchmarkObsOverhead quantifies the observability probes in the
+// round-scoring hot path. "disabled" is the production default — nil
+// tracer, so every probe is one branch and zero allocation — and runs
+// the exact configuration of BenchmarkNextRoundIncremental2k; compare
+// the two to bound the instrumentation regression (<2% is the
+// contract). "traced" attaches a live collecting tracer, the cost a
+// query pays when tracing is actually on.
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		e := &Expectation{}
+		benchNextRound(b, 400, e, func() { *e = Expectation{} })
+	})
+	b.Run("traced", func(b *testing.B) {
+		b.ReportAllocs()
+		r := stats.NewRNG(9)
+		e := &Expectation{}
+		g := benchGraph(400, r)
+		e.SetTracer(obs.NewTracer(nil))
+		batch := e.NextRound(g)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if len(batch) == 0 {
+				b.StopTimer()
+				g = benchGraph(400, r)
+				*e = Expectation{}
+				b.StartTimer()
+			}
+			// A fresh tracer per iteration, as the executor hands each
+			// query its own: span storage stays bounded and the tracer
+			// setup cost is charged to the traced path where it belongs.
+			e.SetTracer(obs.NewTracer(nil))
+			colorSome(g, batch, 16, r)
+			batch = e.NextRound(g)
+		}
+	})
 }
 
 // BenchmarkOrderScoredFirstRound isolates the cold full-rescore cost

@@ -34,6 +34,7 @@ import (
 
 	"cdb/internal/graph"
 	"cdb/internal/latency"
+	"cdb/internal/obs"
 )
 
 // Strategy produces, round by round, the tasks to crowdsource. A nil
@@ -46,6 +47,17 @@ type Strategy interface {
 	NextRound(g *graph.Graph) []int
 	Flush(g *graph.Graph) []int
 }
+
+// Incremental score-cache health metrics (once-per-round updates, not
+// per-edge): a "full" rescore is the naive O(E) path, a "delta"
+// rescore repaired only dirtied components, and a "hit" served the
+// cached ordering untouched.
+var (
+	mRescoreFull  = obs.Default.Counter("cdb_cost_rescore_full_total")
+	mRescoreDelta = obs.Default.Counter("cdb_cost_rescore_delta_total")
+	mOrderHit     = obs.Default.Counter("cdb_cost_order_cache_hit_total")
+	mScoredEdges  = obs.Default.Histogram("cdb_cost_scored_edges_per_rescore", obs.SizeBuckets)
+)
 
 // parallelScoreThreshold is the dirty-region size below which scoring
 // stays on the calling goroutine (a CutEvaluator snapshot costs O(V),
@@ -80,6 +92,11 @@ type Expectation struct {
 	// Reusable scratch.
 	cleanBuf, dirtyBuf, mergeBuf []int
 	dirtyComp                    []bool
+
+	// Cache activity totals (see CacheStats) and the per-query tracer
+	// the executor may install; both are inert by default.
+	statFull, statDelta, statHit uint64
+	tracer                       *obs.Tracer
 }
 
 // Name implements Strategy.
@@ -104,14 +121,34 @@ func (e *Expectation) OrderScored(g *graph.Graph) ([]int, []float64) {
 
 // NextRound implements Strategy.
 func (e *Expectation) NextRound(g *graph.Graph) []int {
+	sc := e.tracer.Begin(obs.SpanScore)
 	order, score := e.orderScored(g)
+	e.tracer.Mutate(sc, func(s *obs.Span) { s.Edges = len(order) })
+	e.tracer.End(sc)
 	if len(order) == 0 {
 		return nil
 	}
+	bt := e.tracer.Begin(obs.SpanBatch)
+	var batch []int
 	if e.Serial {
-		return latency.SerialBatch(g, order)
+		batch = latency.SerialBatch(g, order)
+	} else {
+		batch = latency.ParallelBatchScored(g, order, score)
 	}
-	return latency.ParallelBatchScored(g, order, score)
+	e.tracer.Mutate(bt, func(s *obs.Span) { s.Tasks = len(batch) })
+	e.tracer.End(bt)
+	return batch
+}
+
+// SetTracer implements obs.TraceCarrier: the executor attributes the
+// strategy's scoring and batching phases to the current query's round
+// spans. A nil tracer (the default) keeps both phases span-free.
+func (e *Expectation) SetTracer(t *obs.Tracer) { e.tracer = t }
+
+// CacheStats implements obs.CacheStatser with monotone totals of the
+// incremental cache's full rescans, delta rescans and pure hits.
+func (e *Expectation) CacheStats() (full, delta, hit uint64) {
+	return e.statFull, e.statDelta, e.statHit
 }
 
 // Flush implements Strategy: everything valid and uncolored.
@@ -138,9 +175,16 @@ func (e *Expectation) orderScored(g *graph.Graph) ([]int, []float64) {
 	}
 	switch {
 	case reset:
+		e.statFull++
+		mRescoreFull.Inc()
 		e.rescoreAll(g)
 	case e.cursor < len(events):
+		e.statDelta++
+		mRescoreDelta.Inc()
 		e.rescoreDirty(g, events[e.cursor:])
+	default:
+		e.statHit++
+		mOrderHit.Inc()
 	}
 	e.cursor = len(events)
 	e.haveCache = true
@@ -232,6 +276,7 @@ func (e *Expectation) rescoreDirty(g *graph.Graph, events []graph.ColorEvent) {
 // each score is a pure function of (frozen) graph state, making the
 // result independent of scheduling.
 func (e *Expectation) scoreEdges(g *graph.Graph, edges []int) {
+	mScoredEdges.Observe(float64(len(edges)))
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -14,7 +14,16 @@ package crowd
 import (
 	"fmt"
 
+	"cdb/internal/obs"
 	"cdb/internal/stats"
+)
+
+// Platform-side metrics: worker arrivals drawn from pools and answers
+// produced by simulated workers. The answers:arrivals ratio exposes
+// how often CDB+ assignment rejects an arriving worker.
+var (
+	mArrivals = obs.Default.Counter("cdb_crowd_arrivals_total")
+	mAnswers  = obs.Default.Counter("cdb_crowd_answers_total")
 )
 
 // TaskType enumerates CDB's four crowd UI templates (§2.1).
@@ -63,6 +72,7 @@ func (w *Worker) LatentAccuracy() float64 { return w.acc }
 // AnswerChoice answers a single-choice task with truth ∈ [0, choices):
 // correct with probability acc, otherwise uniform over wrong options.
 func (w *Worker) AnswerChoice(truth, choices int) int {
+	mAnswers.Inc()
 	if choices < 2 {
 		return truth
 	}
@@ -164,7 +174,10 @@ func (p *Pool) Workers() []*Worker { return p.workers }
 
 // Arrive simulates a worker arriving at the platform: uniformly random
 // among the pool.
-func (p *Pool) Arrive() *Worker { return stats.Pick(p.rng, p.workers) }
+func (p *Pool) Arrive() *Worker {
+	mArrivals.Inc()
+	return stats.Pick(p.rng, p.workers)
+}
 
 // DistinctArrivals draws k distinct workers (k ≤ Size), modelling a
 // HIT that forbids repeat judgements by the same worker.
@@ -177,6 +190,7 @@ func (p *Pool) DistinctArrivals(k int) []*Worker {
 	for i := 0; i < k; i++ {
 		out[i] = p.workers[perm[i]]
 	}
+	mArrivals.Add(int64(k))
 	return out
 }
 

@@ -7,8 +7,19 @@ import (
 	"cdb/internal/crowd"
 	"cdb/internal/graph"
 	"cdb/internal/meta"
+	"cdb/internal/obs"
 	"cdb/internal/quality"
 	"cdb/internal/stats"
+)
+
+// Executor metrics: totals across all queries of the process plus
+// per-query shape histograms (how many rounds/tasks a query takes).
+var (
+	mQueries    = obs.Default.Counter("cdb_exec_queries_total")
+	mRounds     = obs.Default.Counter("cdb_exec_rounds_total")
+	mTasks      = obs.Default.Counter("cdb_exec_tasks_total")
+	mQueryTasks = obs.Default.Histogram("cdb_exec_query_tasks", obs.SizeBuckets)
+	mQueryRnds  = obs.Default.Histogram("cdb_exec_query_rounds", obs.SizeBuckets)
 )
 
 // QualityMode selects the answer-aggregation machinery.
@@ -68,6 +79,11 @@ type Options struct {
 	// labelled pair, and once enough evidence accumulates the remaining
 	// edges are re-weighted with isotonic-calibrated probabilities.
 	Calibrate bool
+	// Trace receives the execution's lifecycle spans (one per round,
+	// with scoring/batching/issue/inference children). nil disables
+	// tracing; the round loop then pays a single branch per round and
+	// allocates nothing for observability.
+	Trace *obs.Tracer
 }
 
 // Report is the outcome of one execution.
@@ -109,10 +125,21 @@ func Run(p *Plan, opts Options) (*Report, error) {
 		opts.Pricing = crowd.DefaultPricing
 	}
 
+	mQueries.Inc()
 	rep := &Report{}
 	g := p.G
+	tr := opts.Trace
+	// Attribute the strategy's internal phases (scoring, batching) and
+	// its score-cache activity to this query's trace.
+	if tc, ok := opts.Strategy.(obs.TraceCarrier); ok {
+		tc.SetTracer(tr)
+		defer tc.SetTracer(nil)
+	}
+	cacheStats, _ := opts.Strategy.(obs.CacheStatser)
+
 	var calib *quality.Calibrator
 	var rawW []float64
+	calibAnnounced := false
 	if opts.Calibrate {
 		calib = quality.NewCalibrator(10)
 		rawW = make([]float64, g.NumEdges())
@@ -122,42 +149,109 @@ func Run(p *Plan, opts Options) (*Report, error) {
 	}
 	rounds, tasks := 0, 0
 	for {
+		roundSpan := tr.Begin(obs.SpanRound)
+		validBefore := 0
+		var cacheF0, cacheD0, cacheH0 uint64
+		if tr != nil {
+			validBefore = g.CountValidUncolored()
+			if cacheStats != nil {
+				cacheF0, cacheD0, cacheH0 = cacheStats.CacheStats()
+			}
+		}
+
 		var batch []int
 		if opts.MaxRounds > 0 && rounds == opts.MaxRounds-1 {
 			batch = opts.Strategy.Flush(g)
 		} else {
 			batch = opts.Strategy.NextRound(g)
 		}
-		batch = dedupeUncolored(g, batch)
+		batch, err := dedupeUncolored(g, batch)
+		if err != nil {
+			// Wrap with query + round context so a misbehaving strategy
+			// is attributable from the error alone.
+			err = fmt.Errorf("exec: %s: round %d: %w", opts.Strategy.Name(), rounds+1, err)
+			tr.Mutate(roundSpan, func(s *obs.Span) { s.Err = err.Error() })
+			tr.End(roundSpan)
+			return nil, err
+		}
 		if len(batch) == 0 {
+			// The final strategy probe that found nothing to ask: not a
+			// crowd round, but its scoring work is real — keep the span
+			// under a distinct name so round spans count exactly
+			// Metrics.Rounds.
+			tr.Mutate(roundSpan, func(s *obs.Span) { s.Name = obs.SpanDrain })
+			tr.End(roundSpan)
 			break
 		}
 		rounds++
 		tasks += len(batch)
+		mRounds.Inc()
+		mTasks.Add(int64(len(batch)))
 
+		asksBefore := rep.Assignments
+		issueSpan := tr.Begin(obs.SpanIssue)
 		var verdicts map[int]bool
 		if opts.Quality == CDBPlus {
 			verdicts = rep.crowdsourceAdaptive(p, batch, opts)
 		} else {
 			verdicts = rep.crowdsourceMajority(p, batch, opts)
 		}
+		tr.Mutate(issueSpan, func(s *obs.Span) {
+			s.Tasks = len(batch)
+			s.Asks = rep.Assignments - asksBefore
+		})
+		tr.End(issueSpan)
+
+		colorSpan := tr.Begin(obs.SpanColor)
+		blue, red := 0, 0
 		for e, match := range verdicts {
 			if match {
 				g.SetColor(e, graph.Blue)
+				blue++
 			} else {
 				g.SetColor(e, graph.Red)
+				red++
 			}
 			if calib != nil {
 				calib.Observe(rawW[e], match)
 			}
 		}
 		if calib != nil && calib.Fitted() {
+			if !calibAnnounced {
+				calibAnnounced = true
+				tr.Event("calibration-fitted", nil)
+			}
 			for e := 0; e < g.NumEdges(); e++ {
 				if g.Edge(e).Color == graph.Unknown {
 					g.SetWeight(e, calib.Prob(rawW[e]))
 				}
 			}
 		}
+		tr.End(colorSpan)
+
+		if tr != nil {
+			validAfter := g.CountValidUncolored()
+			colored := len(verdicts)
+			round := rounds
+			tr.Mutate(roundSpan, func(s *obs.Span) {
+				s.Round = round
+				s.Tasks = len(batch)
+				s.Asks = rep.Assignments - asksBefore
+				s.Blue = blue
+				s.Red = red
+				s.Edges = validAfter
+				if pruned := validBefore - validAfter - colored; pruned > 0 {
+					s.Pruned = pruned
+				}
+				if cacheStats != nil {
+					f1, d1, h1 := cacheStats.CacheStats()
+					s.CacheFull = int(f1 - cacheF0)
+					s.CacheDelta = int(d1 - cacheD0)
+					s.CacheHit = int(h1 - cacheH0)
+				}
+			})
+		}
+		tr.End(roundSpan)
 		if opts.MaxRounds > 0 && rounds >= opts.MaxRounds {
 			break
 		}
@@ -166,9 +260,12 @@ func Run(p *Plan, opts Options) (*Report, error) {
 	// Strategies that crowdsource tasks outside the query graph (the
 	// ER baselines' within-side dedup pairs) report them here.
 	if et, ok := opts.Strategy.(interface{ ExtraTasks() int }); ok {
-		extra := et.ExtraTasks()
-		tasks += extra
-		rep.Assignments += extra * opts.Redundancy
+		if extra := et.ExtraTasks(); extra > 0 {
+			tasks += extra
+			rep.Assignments += extra * opts.Redundancy
+			mTasks.Add(int64(extra))
+			tr.Event("extra-tasks", func(s *obs.Span) { s.Tasks = extra })
+		}
 	}
 
 	rep.Answers = g.Answers()
@@ -176,20 +273,28 @@ func Run(p *Plan, opts Options) (*Report, error) {
 	rep.Metrics = stats.Metrics{Tasks: tasks, Rounds: rounds, Precision: precision, Recall: recall}
 	rep.HITs = opts.Pricing.HITs(rep.Assignments)
 	rep.Dollars = opts.Pricing.Cost(rep.Assignments)
+	mQueryTasks.Observe(float64(tasks))
+	mQueryRnds.Observe(float64(rounds))
 	return rep, nil
 }
 
-func dedupeUncolored(g *graph.Graph, batch []int) []int {
+// dedupeUncolored drops duplicate and already-colored edges from a
+// strategy's batch, rejecting out-of-range ids (a buggy strategy used
+// to panic deep inside the graph instead).
+func dedupeUncolored(g *graph.Graph, batch []int) ([]int, error) {
 	seen := map[int]bool{}
 	var out []int
 	for _, e := range batch {
+		if e < 0 || e >= g.NumEdges() {
+			return nil, fmt.Errorf("batch edge %d out of range [0,%d)", e, g.NumEdges())
+		}
 		if seen[e] || g.Edge(e).Color != graph.Unknown {
 			continue
 		}
 		seen[e] = true
 		out = append(out, e)
 	}
-	return out
+	return out, nil
 }
 
 // crowdsourceMajority asks k distinct workers per task and majority-
@@ -349,7 +454,10 @@ func (rep *Report) crowdsourceAdaptive(p *Plan, batch []int, opts Options) map[i
 	// posteriors of its own tasks.
 	base := len(rep.emHistory)
 	rep.emHistory = append(rep.emHistory, taskList...)
+	inferSpan := opts.Trace.Begin(obs.SpanInfer)
 	post := opts.Workers.InferEM(rep.emHistory, 50)
+	opts.Trace.Mutate(inferSpan, func(s *obs.Span) { s.Tasks = len(rep.emHistory) })
+	opts.Trace.End(inferSpan)
 	verdicts := make(map[int]bool, len(batch))
 	for i, e := range batch {
 		verdicts[e] = quality.EstimateTruth(post[base+i]) == 1

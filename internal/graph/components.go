@@ -3,6 +3,8 @@ package graph
 import (
 	"sort"
 	"sync/atomic"
+
+	"cdb/internal/obs"
 )
 
 // Cached edge-component partition. Components connect edges through
@@ -26,6 +28,16 @@ import (
 var graphUIDCounter uint64
 
 func nextGraphUID() uint64 { return atomic.AddUint64(&graphUIDCounter, 1) }
+
+// Component-cache health metrics: a full rebuild is the O(E) slow
+// path; an incremental refresh re-floods only dirtied components. A
+// high rebuild:refresh ratio on the crowdsourcing path indicates the
+// invalidation rules are being defeated.
+var (
+	mCompRebuildFull = obs.Default.Counter("cdb_graph_component_rebuild_full_total")
+	mCompRefreshIncr = obs.Default.Counter("cdb_graph_component_refresh_incr_total")
+	mCompDirtySize   = obs.Default.Histogram("cdb_graph_component_dirty_per_refresh", obs.SizeBuckets)
+)
 
 // noteColorChange maintains the component cache across one effective
 // color transition. Called by SetColor after the edge is updated.
@@ -101,6 +113,8 @@ func (g *Graph) refreshComponents() {
 	if len(g.compDirty) == 0 {
 		return
 	}
+	mCompRefreshIncr.Inc()
+	mCompDirtySize.Observe(float64(len(g.compDirty)))
 	for _, ci := range g.compDirty {
 		members := g.compMembers[ci]
 		g.compMembers[ci] = nil
@@ -136,6 +150,7 @@ const compUnassigned = -2
 
 // buildComponents recomputes the whole partition.
 func (g *Graph) buildComponents() {
+	mCompRebuildFull.Inc()
 	if len(g.compOf) != len(g.edges) {
 		g.compOf = make([]int, len(g.edges))
 	}

@@ -121,6 +121,20 @@ func (g *Graph) ValidUncoloredInto(buf []int) []int {
 	return buf
 }
 
+// CountValidUncolored returns len(ValidUncolored()) without
+// allocating; the tracer records it per round as the "edges remaining"
+// gauge of query progress.
+func (g *Graph) CountValidUncolored() int {
+	g.Revalidate()
+	n := 0
+	for i := range g.edges {
+		if g.edges[i].Color == Unknown && g.valid[i] {
+			n++
+		}
+	}
+	return n
+}
+
 // noteColorValidity routes a color transition to the validity state.
 // On tree-shaped graphs with current cover facts the steady-state
 // crowd transitions are absorbed in place — Unknown→Blue changes no

@@ -15,6 +15,15 @@ import (
 	"sync"
 
 	"cdb/internal/graph"
+	"cdb/internal/obs"
+)
+
+// Scheduler metrics, updated once per scheduled batch: how many
+// batches were packed and how large they came out (latency control is
+// working when batch sizes track the per-predicate gate counts, not 1).
+var (
+	mBatches   = obs.Default.Counter("cdb_latency_batches_total")
+	mBatchSize = obs.Default.Histogram("cdb_latency_batch_size", obs.SizeBuckets)
 )
 
 // batchScratch holds scanBatch's per-round dense scratch slices. Rounds
@@ -199,6 +208,8 @@ func scanBatch(g *graph.Graph, order []int, score []float64, prefixOnly bool) []
 		accepted[ci] = append(accepted[ci], e)
 		batch = append(batch, e)
 	}
+	mBatches.Inc()
+	mBatchSize.Observe(float64(len(batch)))
 	return batch
 }
 

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("cdb_exec_tasks_total").Add(42)
+	r.Counter("cdb_exec_queries_total").Inc()
+	r.Gauge("cdb_exec_inflight").Set(3)
+	h := r.Histogram("cdb_latency_batch_size", []float64{1, 4, 16})
+	for _, x := range []float64{1, 2, 3, 5, 17, 0.5} {
+		h.Observe(x)
+	}
+	d := r.Histogram("cdb_round_duration_seconds", []float64{0.001, 0.01, 0.1})
+	d.Observe(0.0005)
+	d.Observe(0.25)
+	return r
+}
+
+// TestPrometheusGolden locks the text exposition format byte-for-byte:
+// sorted metric families, cumulative histogram buckets with a +Inf
+// terminal, and shortest-round-trip float formatting.
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("prometheus text drifted from golden file.\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := goldenRegistry()
+	addr, shutdown, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	if !bytes.Contains([]byte(metrics), []byte("cdb_exec_tasks_total 42")) {
+		t.Fatalf("/metrics missing counter:\n%s", metrics)
+	}
+	if !bytes.Contains([]byte(metrics), []byte(`cdb_latency_batch_size_bucket{le="+Inf"} 6`)) {
+		t.Fatalf("/metrics missing histogram:\n%s", metrics)
+	}
+	if idx := get("/debug/pprof/"); !bytes.Contains([]byte(idx), []byte("heap")) {
+		t.Fatalf("/debug/pprof/ index unexpected:\n%.200s", idx)
+	}
+}
+
+func TestStartProfilesWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	stop, err := StartProfiles(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to flush.
+	x := 0
+	for i := 0; i < 1e6; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles turns on the runtime profilers requested by the
+// command-line flags: a CPU profile streamed to cpuPath (when
+// non-empty) and a heap profile written to memPath at stop time. The
+// returned stop function must be called exactly once before process
+// exit (defer it from main).
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("obs: create mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("obs: write mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	// Prometheus semantics: bucket i counts x <= bound i.
+	for _, x := range []float64{0, 0.5, 1} { // <= 1
+		h.Observe(x)
+	}
+	for _, x := range []float64{1.0001, 5, 10} { // (1, 10]
+		h.Observe(x)
+	}
+	h.Observe(99)  // (10, 100]
+	h.Observe(100) // (10, 100]
+	h.Observe(1e9) // +Inf
+	h.Observe(-3)  // below every bound lands in the first bucket
+	counts := h.BucketCounts()
+	want := []int64{4, 3, 2, 1}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts=%v)", i, counts[i], w, counts)
+		}
+	}
+	if h.Count() != 10 {
+		t.Errorf("count = %d, want 10", h.Count())
+	}
+	wantSum := 0.0 + 0.5 + 1 + 1.0001 + 5 + 10 + 99 + 100 + 1e9 - 3
+	if math.Abs(h.Sum()-wantSum) > 1e-9*wantSum {
+		t.Errorf("sum = %g, want %g", h.Sum(), wantSum)
+	}
+}
+
+func TestHistogramUnsortedBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unsorted bounds")
+		}
+	}()
+	newHistogram([]float64{10, 1})
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total")
+	c2 := r.Counter("x_total")
+	if c1 != c2 {
+		t.Fatal("Counter did not return the same instance")
+	}
+	h1 := r.Histogram("h", SizeBuckets)
+	h2 := r.Histogram("h", DurationBuckets) // bounds ignored after first
+	if h1 != h2 {
+		t.Fatal("Histogram did not return the same instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on cross-type name reuse")
+		}
+	}()
+	r.Gauge("x_total")
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines;
+// run under -race (the CI obs job does) to verify the lock-free metric
+// updates and locked lookups are sound.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared_total")
+			g := r.Gauge("shared_gauge")
+			h := r.Histogram("shared_hist", []float64{10, 100, 1000})
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Set(int64(j))
+				h.Observe(float64(j))
+				if j%512 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Histogram("shared_hist", nil).Count(); got != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+	wantSum := float64(goroutines) * float64(perG*(perG-1)) / 2
+	if got := r.Histogram("shared_hist", nil).Sum(); math.Abs(got-wantSum) > 1e-6 {
+		t.Fatalf("histogram sum = %g, want %g", got, wantSum)
+	}
+}
+
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total").Inc()
+	r.Gauge("g").Set(-5)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	s := r.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "a_total" || s.Counters[1].Name != "b_total" {
+		t.Fatalf("counters = %+v", s.Counters)
+	}
+	if s.Counters[1].Value != 2 {
+		t.Fatalf("b_total = %d", s.Counters[1].Value)
+	}
+	if len(s.Gauges) != 1 || s.Gauges[0].Value != -5 {
+		t.Fatalf("gauges = %+v", s.Gauges)
+	}
+	if len(s.Histograms) != 1 || s.Histograms[0].Count != 1 {
+		t.Fatalf("histograms = %+v", s.Histograms)
+	}
+}

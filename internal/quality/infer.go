@@ -14,6 +14,16 @@ package quality
 
 import (
 	"math"
+
+	"cdb/internal/obs"
+)
+
+// Truth-inference metrics: EM invocations, how many iterations each
+// took to converge, and the task-history size it ran over.
+var (
+	mEMRuns  = obs.Default.Counter("cdb_quality_em_runs_total")
+	mEMIters = obs.Default.Counter("cdb_quality_em_iters_total")
+	mEMTasks = obs.Default.Histogram("cdb_quality_em_tasks_per_run", obs.SizeBuckets)
 )
 
 // ChoiceAnswer is one worker's judgement on a choice task.
@@ -150,8 +160,11 @@ func (m *WorkerModel) InferEM(tasks []ChoiceTask, maxIters int) [][]float64 {
 	if maxIters <= 0 {
 		maxIters = 50
 	}
+	mEMRuns.Inc()
+	mEMTasks.Observe(float64(len(tasks)))
 	posteriors := make([][]float64, len(tasks))
 	for iter := 0; iter < maxIters; iter++ {
+		mEMIters.Inc()
 		// E-step.
 		for i, t := range tasks {
 			posteriors[i] = BayesianPosterior(t, m.Quality)

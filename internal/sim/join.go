@@ -4,6 +4,15 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"cdb/internal/obs"
+)
+
+// Similarity-join metrics: joins executed and candidate pairs emitted
+// (the edge count of the instantiated query graph, before pruning).
+var (
+	mJoins     = obs.Default.Counter("cdb_sim_joins_total")
+	mJoinPairs = obs.Default.Counter("cdb_sim_join_pairs_total")
 )
 
 // JoinWorkers caps the goroutines used by the similarity join's probe
@@ -35,6 +44,13 @@ type Pair struct {
 // NoSim it falls back to gram-overlap pre-filtering or a full scan
 // (NoSim keeps every pair at weight 0.5, like the paper's ablation).
 func Join(f Func, left, right []string, eps float64) []Pair {
+	pairs := joinPairs(f, left, right, eps)
+	mJoins.Inc()
+	mJoinPairs.Add(int64(len(pairs)))
+	return pairs
+}
+
+func joinPairs(f Func, left, right []string, eps float64) []Pair {
 	switch f {
 	case Gram2Jaccard:
 		return prefixFilterJoin(left, right, eps, Grams2, Jaccard2Gram)

@@ -52,26 +52,57 @@ func PrecisionRecall[K comparable](returned, truth map[K]bool) (precision, recal
 	return precision, recall
 }
 
-// Agg accumulates Metrics over experiment repetitions and reports
-// their means, mirroring the paper's "repeat 1K times and report the
-// average" protocol.
+// onlineStat tracks one metric component's running mean, spread and
+// range with Welford's online algorithm: numerically stable, O(1)
+// memory, no stored samples.
+type onlineStat struct {
+	mean, m2 float64
+	min, max float64
+}
+
+func (s *onlineStat) add(x float64, n int) {
+	if n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(n)
+	s.m2 += d * (x - s.mean)
+}
+
+// stddev is the sample standard deviation (n-1 denominator); zero for
+// fewer than two observations.
+func (s *onlineStat) stddev(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(n-1))
+}
+
+// Agg accumulates Metrics over experiment repetitions, mirroring the
+// paper's "repeat 1K times and report the average" protocol — but it
+// keeps the distribution, not just the sum: per-component min/max and
+// Welford online variance, so the benchmark harness can attach
+// confidence intervals to every reported mean.
 type Agg struct {
-	n         int
-	tasks     float64
-	rounds    float64
-	precision float64
-	recall    float64
-	f1        float64
+	n                                    int
+	tasks, rounds, precision, recall, f1 onlineStat
 }
 
 // Add folds one repetition into the aggregate.
 func (a *Agg) Add(m Metrics) {
 	a.n++
-	a.tasks += float64(m.Tasks)
-	a.rounds += float64(m.Rounds)
-	a.precision += m.Precision
-	a.recall += m.Recall
-	a.f1 += m.F1()
+	a.tasks.add(float64(m.Tasks), a.n)
+	a.rounds.add(float64(m.Rounds), a.n)
+	a.precision.add(m.Precision, a.n)
+	a.recall.add(m.Recall, a.n)
+	a.f1.add(m.F1(), a.n)
 }
 
 // N reports how many repetitions have been added.
@@ -83,8 +114,36 @@ func (a *Agg) Mean() (tasks, rounds, precision, recall, f1 float64) {
 	if a.n == 0 {
 		return 0, 0, 0, 0, 0
 	}
-	n := float64(a.n)
-	return a.tasks / n, a.rounds / n, a.precision / n, a.recall / n, a.f1 / n
+	return a.tasks.mean, a.rounds.mean, a.precision.mean, a.recall.mean, a.f1.mean
+}
+
+// Stddev returns the component-wise sample standard deviations (zero
+// with fewer than two repetitions).
+func (a *Agg) Stddev() (tasks, rounds, precision, recall, f1 float64) {
+	return a.tasks.stddev(a.n), a.rounds.stddev(a.n), a.precision.stddev(a.n),
+		a.recall.stddev(a.n), a.f1.stddev(a.n)
+}
+
+// Min returns the component-wise minima (zeros when empty).
+func (a *Agg) Min() (tasks, rounds, precision, recall, f1 float64) {
+	return a.tasks.min, a.rounds.min, a.precision.min, a.recall.min, a.f1.min
+}
+
+// Max returns the component-wise maxima (zeros when empty).
+func (a *Agg) Max() (tasks, rounds, precision, recall, f1 float64) {
+	return a.tasks.max, a.rounds.max, a.precision.max, a.recall.max, a.f1.max
+}
+
+// CI95 returns the half-width of the 95% confidence interval of each
+// mean (1.96·stddev/√n, the normal approximation); zeros with fewer
+// than two repetitions.
+func (a *Agg) CI95() (tasks, rounds, precision, recall, f1 float64) {
+	if a.n < 2 {
+		return 0, 0, 0, 0, 0
+	}
+	h := 1.96 / math.Sqrt(float64(a.n))
+	return h * a.tasks.stddev(a.n), h * a.rounds.stddev(a.n), h * a.precision.stddev(a.n),
+		h * a.recall.stddev(a.n), h * a.f1.stddev(a.n)
 }
 
 // String renders the aggregate in the compact form used by the

@@ -193,6 +193,46 @@ func TestAgg(t *testing.T) {
 	}
 }
 
+func TestAggWelford(t *testing.T) {
+	// Tasks 2,4,4,4,5,5,7,9: mean 5, population variance 4, sample
+	// variance 32/7. Welford must match the two-pass result exactly.
+	var a Agg
+	for _, v := range []int{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(Metrics{Tasks: v})
+	}
+	tasks, _, _, _, _ := a.Mean()
+	if tasks != 5 {
+		t.Fatalf("mean = %v, want 5", tasks)
+	}
+	sd, _, _, _, _ := a.Stddev()
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(sd-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", sd, want)
+	}
+	mn, _, _, _, _ := a.Min()
+	mx, _, _, _, _ := a.Max()
+	if mn != 2 || mx != 9 {
+		t.Fatalf("min/max = %v/%v, want 2/9", mn, mx)
+	}
+	ci, _, _, _, _ := a.CI95()
+	if want := 1.96 * sd / math.Sqrt(8); math.Abs(ci-want) > 1e-12 {
+		t.Fatalf("ci95 = %v, want %v", ci, want)
+	}
+}
+
+func TestAggStddevDegenerate(t *testing.T) {
+	var a Agg
+	sd, _, _, _, _ := a.Stddev()
+	if sd != 0 {
+		t.Fatalf("empty stddev = %v", sd)
+	}
+	a.Add(Metrics{Tasks: 3})
+	sd, _, _, _, _ = a.Stddev()
+	ci, _, _, _, _ := a.CI95()
+	if sd != 0 || ci != 0 {
+		t.Fatalf("single-sample stddev/ci = %v/%v, want 0/0", sd, ci)
+	}
+}
+
 func TestAggEmpty(t *testing.T) {
 	var a Agg
 	tasks, rounds, p, r, f1 := a.Mean()

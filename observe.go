@@ -1,0 +1,106 @@
+package cdb
+
+import (
+	"io"
+
+	"cdb/internal/obs"
+)
+
+// Observability surface. The heavy lifting lives in internal/obs; the
+// aliases below re-export the handful of types an embedding application
+// needs so that `import "cdb"` is enough to stream traces or scrape
+// metrics. With no observer configured and tracing off, every probe in
+// the execution stack is a nil check and the hot path allocates nothing
+// for observability.
+
+// Observer receives every finished span of a traced query, children
+// before parents, the root query span last. Implementations must be
+// safe for reuse across queries; spans arrive as values and may be
+// retained.
+type Observer = obs.Observer
+
+// Span is one timed node of a query trace: parse, plan, each crowd
+// round, and the scoring/batching/issue/inference/coloring phases
+// within a round. See internal/obs for the span-name taxonomy and the
+// meaning of the count fields.
+type Span = obs.Span
+
+// Trace is the complete span tree of one executed statement, in
+// Begin order (the root query span first).
+type Trace = obs.Trace
+
+// JSONLWriter is an Observer that appends one JSON object per finished
+// span to an io.Writer — point it at a file and every traced query
+// streams its rounds as they complete.
+type JSONLWriter = obs.JSONLWriter
+
+// NewJSONLWriter returns a JSONLWriter writing to w. Check Err() after
+// the run: write failures are retained, not panicked.
+func NewJSONLWriter(w io.Writer) *JSONLWriter { return obs.NewJSONLWriter(w) }
+
+// Span names as they appear in Span.Name and in trace JSONL output.
+// The tree is query → {parse, plan, round*} and each round nests
+// score/batch (inside the strategy) plus issue/infer/color.
+const (
+	SpanQuery = obs.SpanQuery
+	SpanParse = obs.SpanParse
+	SpanPlan  = obs.SpanPlan
+	SpanRound = obs.SpanRound
+	SpanScore = obs.SpanScore
+	SpanBatch = obs.SpanBatch
+	SpanIssue = obs.SpanIssue
+	SpanInfer = obs.SpanInfer
+	SpanColor = obs.SpanColor
+	SpanDrain = obs.SpanDrain
+)
+
+// MetricsRegistry aggregates the process-wide counters, gauges and
+// histograms the execution stack maintains (task, round, batch, cache,
+// EM and join metrics — all under the cdb_ prefix).
+type MetricsRegistry = obs.Registry
+
+// Metrics returns the process-wide registry every cdb subsystem
+// records into.
+func Metrics() *MetricsRegistry { return obs.Default }
+
+// WriteMetrics writes the current metric values to w in Prometheus
+// text exposition format (version 0.0.4).
+func WriteMetrics(w io.Writer) error { return obs.Default.WritePrometheus(w) }
+
+// ServeMetrics starts an HTTP listener on addr (":0" picks a free
+// port) exposing /metrics (Prometheus text), /debug/vars (expvar) and
+// /debug/pprof. It returns the bound address and a shutdown func.
+func ServeMetrics(addr string) (boundAddr string, shutdown func() error, err error) {
+	return obs.Serve(addr, obs.Default)
+}
+
+// StartProfiles begins a CPU profile at cpuPath (empty to skip) and
+// arranges a heap profile at memPath (empty to skip). The returned
+// stop func flushes both; call it before exit.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	return obs.StartProfiles(cpuPath, memPath)
+}
+
+// WithObserver streams every traced span of every statement to o as it
+// finishes, and attaches the full trace to each Result. Use
+// NewJSONLWriter for a ready-made file sink.
+func WithObserver(o Observer) Option {
+	return func(db *DB) { db.observer = o }
+}
+
+// WithTracing toggles trace collection without an observer: each
+// Result carries its Trace, but nothing is streamed. WithObserver
+// implies tracing.
+func WithTracing(on bool) Option {
+	return func(db *DB) { db.tracing = on }
+}
+
+// tracer returns a fresh per-statement tracer, or nil when
+// observability is off — the nil tracer disables every probe downstream
+// at the cost of one branch each.
+func (db *DB) tracer() *obs.Tracer {
+	if db.observer == nil && !db.tracing {
+		return nil
+	}
+	return obs.NewTracer(db.observer)
+}

@@ -1,0 +1,156 @@
+package cdb_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"cdb"
+)
+
+// TestTraceSpanTree executes a CROWDJOIN query end to end with tracing
+// on and checks the structural invariants of the resulting span tree:
+// exactly one root query span with parse/plan children, one round span
+// per crowd round, and per-round task counts that reconcile exactly
+// with the query's cost metric.
+func TestTraceSpanTree(t *testing.T) {
+	db := cdb.Open(
+		cdb.WithDataset("example", 0, 1),
+		cdb.WithPerfectWorkers(30),
+		cdb.WithSeed(3),
+		cdb.WithTracing(true),
+	)
+	res, err := db.Exec(`SELECT * FROM Paper, Researcher, Citation, University
+	    WHERE Paper.author CROWDJOIN Researcher.name AND
+	          Paper.title CROWDJOIN Citation.title AND
+	          Researcher.affiliation CROWDJOIN University.name;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("WithTracing(true) produced no Result.Trace")
+	}
+	spans := res.Trace.Spans
+
+	byID := map[int]cdb.Span{}
+	for _, s := range spans {
+		if _, dup := byID[s.ID]; dup {
+			t.Fatalf("duplicate span id %d", s.ID)
+		}
+		byID[s.ID] = s
+	}
+	for _, s := range spans {
+		if s.Parent == -1 {
+			continue
+		}
+		p, ok := byID[s.Parent]
+		if !ok {
+			t.Fatalf("span %d (%s) has unknown parent %d", s.ID, s.Name, s.Parent)
+		}
+		if p.ID >= s.ID {
+			t.Fatalf("span %d (%s) begins before its parent %d (%s)", s.ID, s.Name, p.ID, p.Name)
+		}
+		if s.Start < p.Start {
+			t.Fatalf("span %d (%s) starts at %dµs before parent %d at %dµs", s.ID, s.Name, s.Start, p.ID, p.Start)
+		}
+	}
+
+	roots := res.Trace.ByName(cdb.SpanQuery)
+	if len(roots) != 1 {
+		t.Fatalf("got %d query spans, want 1", len(roots))
+	}
+	root := roots[0]
+	if root.Parent != -1 {
+		t.Fatalf("query span has parent %d, want -1", root.Parent)
+	}
+	if root.Query == "" {
+		t.Fatal("query span is missing the statement text")
+	}
+	if n := len(res.Trace.ByName(cdb.SpanParse)); n != 1 {
+		t.Fatalf("got %d parse spans, want 1", n)
+	}
+	plans := res.Trace.ByName(cdb.SpanPlan)
+	if len(plans) != 1 {
+		t.Fatalf("got %d plan spans, want 1", len(plans))
+	}
+	if plans[0].Parent != root.ID {
+		t.Fatalf("plan span parented by %d, want query %d", plans[0].Parent, root.ID)
+	}
+	if plans[0].Edges == 0 {
+		t.Fatal("plan span reports zero candidate edges")
+	}
+
+	rounds := res.Trace.ByName(cdb.SpanRound)
+	if len(rounds) != res.Stats.Rounds {
+		t.Fatalf("got %d round spans, want Stats.Rounds=%d", len(rounds), res.Stats.Rounds)
+	}
+	tasks, asks := 0, 0
+	for i, r := range rounds {
+		if r.Parent != root.ID {
+			t.Fatalf("round span %d parented by %d, want query %d", r.ID, r.Parent, root.ID)
+		}
+		if r.Round != i+1 {
+			t.Fatalf("round spans out of order: got round=%d at position %d", r.Round, i)
+		}
+		if r.Blue+r.Red != r.Tasks {
+			t.Fatalf("round %d: blue(%d)+red(%d) != tasks(%d)", r.Round, r.Blue, r.Red, r.Tasks)
+		}
+		tasks += r.Tasks
+		asks += r.Asks
+	}
+	if tasks != res.Stats.Tasks {
+		t.Fatalf("round task counts sum to %d, want Stats.Tasks=%d", tasks, res.Stats.Tasks)
+	}
+	if asks != res.Stats.Assignments {
+		t.Fatalf("round ask counts sum to %d, want Stats.Assignments=%d", asks, res.Stats.Assignments)
+	}
+	for _, name := range []string{cdb.SpanIssue, cdb.SpanColor} {
+		got := res.Trace.ByName(name)
+		if len(got) != len(rounds) {
+			t.Fatalf("got %d %s spans, want one per round (%d)", len(got), name, len(rounds))
+		}
+		for _, s := range got {
+			if byID[s.Parent].Name != cdb.SpanRound {
+				t.Fatalf("%s span %d parented by %q, want a round span", name, s.ID, byID[s.Parent].Name)
+			}
+		}
+	}
+
+	// The JSONL rendering must round-trip: one valid JSON object per
+	// span, in begin order.
+	var buf bytes.Buffer
+	if err := res.Trace.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != len(spans) {
+		t.Fatalf("JSONL has %d lines, want %d", len(lines), len(spans))
+	}
+	for i, line := range lines {
+		var s cdb.Span
+		if err := json.Unmarshal(line, &s); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if s.ID != spans[i].ID || s.Name != spans[i].Name {
+			t.Fatalf("line %d decodes to span %d/%s, want %d/%s", i, s.ID, s.Name, spans[i].ID, spans[i].Name)
+		}
+	}
+}
+
+// TestTracingOffByDefault pins the zero-overhead contract at the API
+// boundary: without WithObserver/WithTracing the Result carries no
+// trace.
+func TestTracingOffByDefault(t *testing.T) {
+	db := cdb.Open(
+		cdb.WithDataset("example", 0, 1),
+		cdb.WithPerfectWorkers(30),
+	)
+	res, err := db.Exec(`SELECT * FROM Paper, Researcher
+	    WHERE Paper.author CROWDJOIN Researcher.name;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Fatal("tracing off, but Result.Trace is set")
+	}
+}
