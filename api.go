@@ -21,6 +21,7 @@
 package cdb
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -30,6 +31,7 @@ import (
 	"cdb/internal/crowd"
 	"cdb/internal/dataset"
 	"cdb/internal/exec"
+	"cdb/internal/faults"
 	"cdb/internal/meta"
 	"cdb/internal/obs"
 	"cdb/internal/quality"
@@ -83,6 +85,8 @@ type DB struct {
 	calibrate  bool
 	observer   obs.Observer
 	tracing    bool
+	faults     *faults.Injector
+	reliable   *exec.Reliability
 }
 
 // Option configures Open.
@@ -229,6 +233,79 @@ func WithMarkets(specs ...MarketSpec) Option {
 	}
 }
 
+// BlackoutSpec is a market outage window in the transport's virtual
+// ticks; an empty Market blacks out every platform.
+type BlackoutSpec struct {
+	Market string
+	From   int64
+	Until  int64
+}
+
+// FaultConfig configures the deterministic chaos engine: simulated
+// platform unreliability applied to every crowd answer. Rates are
+// probabilities in [0, 1]; equal seeds replay identical chaos.
+type FaultConfig struct {
+	Seed          uint64
+	DropRate      float64 // worker abandons the HIT; answer never arrives
+	StragglerRate float64 // answer arrives after the round deadline
+	DuplicateRate float64 // answer delivered twice
+	CorruptRate   float64 // answer replaced by a random verdict
+	Blackouts     []BlackoutSpec
+}
+
+// WithFaults turns on fault injection, which also switches execution
+// to the fault-tolerant asynchronous transport (see WithReliability
+// for the policy knobs). Queries then degrade gracefully: instead of
+// wedging on lost answers, they return partial results flagged in
+// Stats.Partial with per-answer confidences.
+func WithFaults(fc FaultConfig) Option {
+	return func(db *DB) {
+		cfg := faults.Config{
+			Seed:          fc.Seed,
+			DropRate:      fc.DropRate,
+			StragglerRate: fc.StragglerRate,
+			DuplicateRate: fc.DuplicateRate,
+			CorruptRate:   fc.CorruptRate,
+		}
+		for _, b := range fc.Blackouts {
+			cfg.Blackouts = append(cfg.Blackouts, faults.Blackout{Market: b.Market, From: b.From, Until: b.Until})
+		}
+		db.faults = faults.New(cfg)
+	}
+}
+
+// ReliabilityPolicy tunes the executor's fault tolerance over the
+// asynchronous transport. Zero fields take the documented defaults;
+// see exec.Reliability for the full semantics.
+type ReliabilityPolicy struct {
+	TaskDeadline int64   // virtual ticks per HIT attempt (default 64)
+	MaxRetries   int     // reissue waves per round (default 2, negative disables)
+	RetryBudget  int     // extra assignments chargeable per query (default 256)
+	BackoffBase  float64 // deadline multiplier per wave (default 2)
+	JitterFrac   float64 // deterministic reissue jitter (default 0.25)
+	HedgeAfter   float64 // hedge point as a fraction of the deadline (default 0.5)
+	HedgeFrac    float64 // slowest fraction of a round hedged (default 0.1)
+	Strict       bool    // fail fast instead of returning partial results
+}
+
+// WithReliability selects the fault policy and switches execution to
+// the asynchronous transport even without injected faults (useful to
+// impose deadlines and cancellation on clean runs).
+func WithReliability(rp ReliabilityPolicy) Option {
+	return func(db *DB) {
+		db.reliable = &exec.Reliability{
+			TaskDeadline: rp.TaskDeadline,
+			MaxRetries:   rp.MaxRetries,
+			RetryBudget:  rp.RetryBudget,
+			BackoffBase:  rp.BackoffBase,
+			JitterFrac:   rp.JitterFrac,
+			HedgeAfter:   rp.HedgeAfter,
+			HedgeFrac:    rp.HedgeFrac,
+			Strict:       rp.Strict,
+		}
+	}
+}
+
 // Open creates a CDB instance.
 func Open(options ...Option) *DB {
 	db := &DB{
@@ -269,6 +346,19 @@ type Stats struct {
 	Precision   float64 // vs the oracle's ground truth
 	Recall      float64
 	F1          float64
+
+	// Reliability telemetry, populated on the fault-tolerant transport
+	// (WithFaults / WithReliability). Partial marks a degraded result:
+	// the query ran out of time, retries, or was cancelled, and Reason
+	// says which. The counters attribute where answers went.
+	Partial         bool
+	Reason          string
+	Lost            int // tasks that never got any answer
+	Retried         int // tasks reissued after missing a deadline
+	Hedged          int // tasks speculatively reissued before the deadline
+	Late            int // answers that arrived after their round deadline
+	Duplicates      int // redundant deliveries deduplicated away
+	RoundsTruncated int // rounds discarded by cancellation or deadline
 }
 
 // Result is the outcome of one Exec call.
@@ -280,13 +370,28 @@ type Result struct {
 	Rows    [][]string
 	Message string
 	Stats   Stats
+	// Confidence holds one entry per row of Rows on the fault-tolerant
+	// transport: the weakest per-edge posterior backing that answer
+	// (1.0 when every supporting verdict is certain). Nil on the
+	// synchronous path.
+	Confidence []float64
 	// Trace is the statement's span tree when tracing is enabled via
 	// WithObserver or WithTracing; nil otherwise.
 	Trace *Trace
 }
 
-// Exec parses and executes one CQL statement.
+// Exec parses and executes one CQL statement. It is ExecContext with
+// a background context: no deadline, never cancelled.
 func (db *DB) Exec(q string) (*Result, error) {
+	return db.ExecContext(context.Background(), q)
+}
+
+// ExecContext parses and executes one CQL statement under ctx.
+// Cancellation and deadlines are honored at crowd-round boundaries: a
+// query interrupted mid-flight returns the partial result of its
+// completed rounds (Stats.Partial set) rather than an error, unless
+// the Strict reliability policy is selected.
+func (db *DB) ExecContext(ctx context.Context, q string) (*Result, error) {
 	tr := db.tracer()
 	root := tr.Begin(obs.SpanQuery)
 	tr.Mutate(root, func(s *obs.Span) { s.Query = q })
@@ -306,7 +411,7 @@ func (db *DB) Exec(q string) (*Result, error) {
 	case *cql.CreateTable:
 		res, err = db.execCreate(s)
 	case *cql.Select:
-		res, err = db.execSelect(s, tr)
+		res, err = db.execSelect(ctx, s, tr)
 	case *cql.Fill:
 		res, err = db.execFill(s)
 	case *cql.Collect:
@@ -429,7 +534,26 @@ func (db *DB) strategyFor(p *exec.Plan, budget int) cost.Strategy {
 	}
 }
 
-func (db *DB) execSelect(s *cql.Select, tr *obs.Tracer) (*Result, error) {
+// transportFor builds the per-query asynchronous transport when the
+// fault-tolerant path is selected (fault injection or an explicit
+// reliability policy), nil for the legacy synchronous path. The caller
+// owns Close.
+func (db *DB) transportFor() *crowd.Transport {
+	if db.faults == nil && db.reliable == nil {
+		return nil
+	}
+	markets := []*crowd.Market{crowd.NewMarket("default", true, db.pool)}
+	if db.router != nil && len(db.router.Markets) > 0 {
+		markets = db.router.Markets
+	}
+	return crowd.NewTransport(crowd.TransportConfig{
+		Markets: markets,
+		Faults:  db.faults,
+		Seed:    db.rng.Split().Uint64(),
+	})
+}
+
+func (db *DB) execSelect(ctx context.Context, s *cql.Select, tr *obs.Tracer) (*Result, error) {
 	planSpan := tr.Begin(obs.SpanPlan)
 	plan, err := exec.BuildPlan(s, db.catalog, db.oracle, exec.PlanConfig{Sim: db.simFunc, Epsilon: db.epsilon})
 	if err != nil {
@@ -442,7 +566,7 @@ func (db *DB) execSelect(s *cql.Select, tr *obs.Tracer) (*Result, error) {
 	if db.qualityOn {
 		qm = exec.CDBPlus
 	}
-	rep, err := exec.Run(plan, exec.Options{
+	opts := exec.Options{
 		Strategy:   db.strategyFor(plan, s.Budget),
 		Redundancy: db.redundancy,
 		Quality:    qm,
@@ -452,7 +576,15 @@ func (db *DB) execSelect(s *cql.Select, tr *obs.Tracer) (*Result, error) {
 		Meta:       db.meta,
 		Calibrate:  db.calibrate,
 		Trace:      tr,
-	})
+	}
+	if tp := db.transportFor(); tp != nil {
+		defer tp.Close()
+		opts.Transport = tp
+		if db.reliable != nil {
+			opts.Reliability = *db.reliable
+		}
+	}
+	rep, err := exec.Run(ctx, plan, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -466,6 +598,15 @@ func (db *DB) execSelect(s *cql.Select, tr *obs.Tracer) (*Result, error) {
 			Precision:   rep.Metrics.Precision,
 			Recall:      rep.Metrics.Recall,
 			F1:          rep.Metrics.F1(),
+
+			Partial:         rep.Reliability.Partial,
+			Reason:          rep.Reliability.Reason,
+			Lost:            rep.Reliability.Lost,
+			Retried:         rep.Reliability.Retried,
+			Hedged:          rep.Reliability.Hedged,
+			Late:            rep.Reliability.Late,
+			Duplicates:      rep.Reliability.Duplicates,
+			RoundsTruncated: rep.Reliability.RoundsTruncated,
 		},
 	}
 	res.Columns = projectionColumns(plan)
@@ -476,10 +617,14 @@ func (db *DB) execSelect(s *cql.Select, tr *obs.Tracer) (*Result, error) {
 		}
 		res.Rows = append(res.Rows, row)
 	}
+	res.Confidence = rep.Confidence
 	if err := db.applyGroupSort(s, res); err != nil {
 		return nil, err
 	}
 	res.Message = fmt.Sprintf("%d answers, %d tasks, %d rounds", len(res.Rows), res.Stats.Tasks, res.Stats.Rounds)
+	if res.Stats.Partial {
+		res.Message += fmt.Sprintf(" (partial: %s)", res.Stats.Reason)
+	}
 	return res, nil
 }
 

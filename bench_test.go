@@ -7,6 +7,7 @@ package cdb
 // paper-sized runs.
 
 import (
+	"context"
 	"testing"
 
 	"cdb/internal/bench"
@@ -193,7 +194,7 @@ func BenchmarkEndToEnd2J(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		_, err = exec.Run(p, exec.Options{
+		_, err = exec.Run(context.Background(), p, exec.Options{
 			Strategy:   &cost.Expectation{},
 			Redundancy: 1,
 			Pool:       crowd.NewPerfectPool(20, stats.NewRNG(uint64(i))),
@@ -217,7 +218,7 @@ func BenchmarkAblationSamplerSize(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				_, err = exec.Run(p, exec.Options{
+				_, err = exec.Run(context.Background(), p, exec.Options{
 					Strategy:   cost.NewMinCutSampling(samples, stats.NewRNG(uint64(i))),
 					Redundancy: 1,
 					Pool:       crowd.NewPerfectPool(20, stats.NewRNG(uint64(i))),
@@ -270,7 +271,7 @@ func BenchmarkAblationEpsilon(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				_, err = exec.Run(p, exec.Options{
+				_, err = exec.Run(context.Background(), p, exec.Options{
 					Strategy:   &cost.Expectation{},
 					Redundancy: 1,
 					Pool:       crowd.NewPerfectPool(20, stats.NewRNG(uint64(i))),
@@ -313,7 +314,7 @@ func BenchmarkAblationScheduler(b *testing.B) {
 					b.Fatal(err)
 				}
 				strat := &cost.Expectation{Serial: mode == "serial"}
-				rep, err := exec.Run(p, exec.Options{
+				rep, err := exec.Run(context.Background(), p, exec.Options{
 					Strategy:   strat,
 					Redundancy: 1,
 					Pool:       crowd.NewPerfectPool(20, stats.NewRNG(uint64(i))),
@@ -345,7 +346,7 @@ func BenchmarkAblationCalibration(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				rep, err := exec.Run(p, exec.Options{
+				rep, err := exec.Run(context.Background(), p, exec.Options{
 					Strategy:   &cost.Expectation{},
 					Redundancy: 1,
 					Pool:       crowd.NewPerfectPool(20, stats.NewRNG(uint64(i))),

@@ -1,0 +1,131 @@
+package cdb_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"strconv"
+	"testing"
+
+	"cdb"
+	"cdb/internal/dataset"
+)
+
+// The acceptance scenario of the fault-tolerant transport: the paper
+// benchmark's 2-join query under a 10% drop rate, 20% stragglers, and
+// a permanent blackout of one of the two markets. The benchmark size
+// (rather than the 12-tuple running example) keeps F1 smooth enough
+// that "degrades gracefully" is a meaningful bound.
+var chaosQuery = dataset.Queries("paper")["2J"]
+
+// chaosSeed lets CI sweep a seed matrix via CDB_CHAOS_SEED.
+func chaosSeed(t *testing.T) uint64 {
+	t.Helper()
+	env := os.Getenv("CDB_CHAOS_SEED")
+	if env == "" {
+		return 1
+	}
+	seed, err := strconv.ParseUint(env, 10, 64)
+	if err != nil {
+		t.Fatalf("CDB_CHAOS_SEED=%q: %v", env, err)
+	}
+	return seed
+}
+
+// openChaos builds a two-market DB on the fault-tolerant transport.
+// faulty adds the chaos engine; with faulty=false the async path still
+// runs (WithReliability) so the fault-free baseline is an
+// apples-to-apples comparison.
+func openChaos(seed uint64, faulty bool) *cdb.DB {
+	opts := []cdb.Option{
+		cdb.WithSeed(seed),
+		cdb.WithDataset("paper", 0.1, 1),
+		cdb.WithMarkets(
+			cdb.MarketSpec{Name: "amt", AssignControl: true, Workers: 30, Accuracy: 0.9, Stddev: 0.05},
+			cdb.MarketSpec{Name: "crowdflower", AssignControl: false, Workers: 30, Accuracy: 0.9, Stddev: 0.05},
+		),
+		// Four backoff waves and an uncapped retry budget: enough
+		// persistence that a permanent one-market outage costs a few
+		// stray tasks, not whole rounds.
+		cdb.WithReliability(cdb.ReliabilityPolicy{MaxRetries: 4, RetryBudget: -1}),
+	}
+	if faulty {
+		opts = append(opts, cdb.WithFaults(cdb.FaultConfig{
+			Seed:          seed,
+			DropRate:      0.1,
+			StragglerRate: 0.2,
+			Blackouts:     []cdb.BlackoutSpec{{Market: "amt", From: 0, Until: 1 << 40}},
+		}))
+	}
+	return cdb.Open(opts...)
+}
+
+// TestChaosEndToEnd is the robustness acceptance test: under drops,
+// stragglers and a market-wide outage the query still completes, is
+// flagged as a partial result, and its F1 stays within 5 points of the
+// fault-free run on the same seed. When CDB_CHAOS_OUT is set, the
+// faulty run's stats are written there as JSON (the CI chaos job
+// uploads them as an artifact).
+func TestChaosEndToEnd(t *testing.T) {
+	seed := chaosSeed(t)
+
+	clean, err := openChaos(seed, false).ExecContext(context.Background(), chaosQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Stats.Partial {
+		t.Fatalf("fault-free async run flagged partial: %+v", clean.Stats)
+	}
+
+	faulty, err := openChaos(seed, true).ExecContext(context.Background(), chaosQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The query must complete despite one of two markets being dark for
+	// the whole run, and be honest about the degradation.
+	if faulty.Stats.Rounds == 0 || len(faulty.Rows) == 0 {
+		t.Fatalf("faulty run produced nothing: %d rounds, %d rows", faulty.Stats.Rounds, len(faulty.Rows))
+	}
+	if !faulty.Stats.Partial || faulty.Stats.Reason != "tasks-lost" {
+		t.Fatalf("degraded run not flagged partial/tasks-lost: %+v", faulty.Stats)
+	}
+	if faulty.Stats.Lost == 0 || faulty.Stats.Retried == 0 {
+		t.Fatalf("blackout run should lose and retry tasks: %+v", faulty.Stats)
+	}
+	if len(faulty.Confidence) != len(faulty.Rows) {
+		t.Fatalf("confidence entries %d, rows %d", len(faulty.Confidence), len(faulty.Rows))
+	}
+
+	// Graceful degradation: the quality hit is bounded.
+	if faulty.Stats.F1 < clean.Stats.F1-0.05 {
+		t.Fatalf("F1 degraded %.3f → %.3f (more than 5 points)", clean.Stats.F1, faulty.Stats.F1)
+	}
+
+	// Determinism: replaying the same seed reproduces the same partial
+	// result, chaos and all.
+	again, err := openChaos(seed, true).ExecContext(context.Background(), chaosQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Stats != faulty.Stats {
+		t.Fatalf("chaos not deterministic:\n first %+v\nsecond %+v", faulty.Stats, again.Stats)
+	}
+	if len(again.Rows) != len(faulty.Rows) {
+		t.Fatalf("row count not deterministic: %d vs %d", len(again.Rows), len(faulty.Rows))
+	}
+
+	if out := os.Getenv("CDB_CHAOS_OUT"); out != "" {
+		blob, err := json.MarshalIndent(map[string]any{
+			"seed":   seed,
+			"clean":  clean.Stats,
+			"faulty": faulty.Stats,
+		}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

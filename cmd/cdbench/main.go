@@ -32,6 +32,16 @@ func main() {
 		costbench = flag.Bool("costbench", false, "run the incremental cost-engine benchmarks and write BENCH_cost.json")
 		benchOut  = flag.String("costbenchout", "BENCH_cost.json", "output path for -costbench")
 
+		faultSeed      = flag.Uint64("fault-seed", 1, "chaos engine seed (same seed replays identical faults)")
+		faultDrop      = flag.Float64("fault-drop", 0, "fraction of crowd answers dropped (chaos experiment sweeps its own grid unless set)")
+		faultStraggler = flag.Float64("fault-straggler", 0, "fraction of answers delayed past the round deadline")
+		faultDup       = flag.Float64("fault-dup", 0, "fraction of answers delivered twice")
+		faultCorrupt   = flag.Float64("fault-corrupt", 0, "fraction of answers replaced by random verdicts")
+		faultBlackout  = flag.String("fault-blackout", "", "market outage as market:from:until in virtual ticks (empty market = all)")
+		deadline       = flag.Int64("deadline", 0, "per-HIT deadline in virtual ticks (0 = executor default)")
+		retries        = flag.Int("retries", 0, "reissue waves per round (0 = executor default, negative disables)")
+		hedge          = flag.Float64("hedge", 0, "slowest fraction of a round hedged early (0 = executor default, negative disables)")
+
 		traceOut    = flag.String("trace", "", "write query-lifecycle spans as JSONL to this file")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (\":0\" picks a port)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -94,6 +104,19 @@ func main() {
 	cfg.WorkerQ = *workerQ
 	cfg.Samples = *samples
 	cfg.Observer = observer
+	cfg.FaultSeed = *faultSeed
+	cfg.FaultStraggler = *faultStraggler
+	cfg.FaultDup = *faultDup
+	cfg.FaultCorrupt = *faultCorrupt
+	cfg.FaultBlackout = *faultBlackout
+	cfg.TaskDeadline = *deadline
+	cfg.MaxRetries = *retries
+	cfg.HedgeFrac = *hedge
+	if *faultDrop > 0 {
+		// An explicit drop rate pins the chaos experiment's whole grid
+		// to that single intensity.
+		bench.SetChaosDropGrid([]float64{*faultDrop})
+	}
 
 	ids := []string{*exp}
 	if *exp == "all" {

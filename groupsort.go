@@ -37,14 +37,28 @@ func (db *DB) applyGroupSort(s *cql.Select, res *Result) error {
 		res.Stats.Assignments += gr.Tasks * cfg.Redundancy
 
 		// One output row per group: the first member as representative,
-		// plus the group size.
+		// plus the group size. A group is only as trustworthy as its
+		// least-confident member, so confidences fold by min.
 		var rows [][]string
+		var conf []float64
 		for _, g := range groups {
 			rep := append([]string(nil), res.Rows[g[0]]...)
 			rep = append(rep, strconv.Itoa(len(g)))
 			rows = append(rows, rep)
+			if res.Confidence != nil {
+				c := res.Confidence[g[0]]
+				for _, idx := range g[1:] {
+					if res.Confidence[idx] < c {
+						c = res.Confidence[idx]
+					}
+				}
+				conf = append(conf, c)
+			}
 		}
 		res.Rows = rows
+		if res.Confidence != nil {
+			res.Confidence = conf
+		}
 		res.Columns = append(append([]string(nil), res.Columns...), "group_count")
 	}
 	if s.OrderBy != nil {
@@ -62,6 +76,13 @@ func (db *DB) applyGroupSort(s *cql.Select, res *Result) error {
 			sorted[i] = res.Rows[idx]
 		}
 		res.Rows = sorted
+		if res.Confidence != nil {
+			conf := make([]float64, len(perm))
+			for i, idx := range perm {
+				conf[i] = res.Confidence[idx]
+			}
+			res.Confidence = conf
+		}
 	}
 	return nil
 }

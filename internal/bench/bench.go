@@ -12,6 +12,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -43,6 +44,19 @@ type Config struct {
 	// Observer, when set, receives the lifecycle spans of every query
 	// execution the harness performs (one trace per runCell).
 	Observer obs.Observer
+
+	// Chaos knobs (the "chaos" experiment and cdbench -fault-* flags):
+	// fault rates injected into the asynchronous transport, plus the
+	// executor's reliability policy. All zero means a clean transport.
+	FaultSeed      uint64
+	FaultDrop      float64
+	FaultStraggler float64
+	FaultDup       float64
+	FaultCorrupt   float64
+	FaultBlackout  string  // "market:from:until" (empty market = all)
+	TaskDeadline   int64   // per-HIT deadline in virtual ticks (0 = default)
+	MaxRetries     int     // reissue waves per round (0 = default)
+	HedgeFrac      float64 // slowest fraction hedged (0 = default)
 }
 
 // DefaultConfig returns settings sized for minutes-scale regeneration.
@@ -177,7 +191,7 @@ func runCell(d *dataset.Data, query, method string, cfg Config, rng *stats.RNG,
 		root = tr.Begin(obs.SpanQuery)
 		tr.Mutate(root, func(s *obs.Span) { s.Query = query; s.Label = method })
 	}
-	rep, err := exec.Run(p, exec.Options{
+	rep, err := exec.Run(context.Background(), p, exec.Options{
 		Strategy:   strategyFor(method, p, cfg, rng),
 		Redundancy: cfg.Redundancy,
 		Quality:    qm,
@@ -224,11 +238,12 @@ var Registry = map[string]func(Config) ([]*Table, error){
 	"fig22":  Fig22,
 	"fig23":  Fig23to24,
 	"table5": Table5,
+	"chaos":  Chaos,
 }
 
 // ExperimentIDs returns the registry keys in canonical order.
 func ExperimentIDs() []string {
-	return []string{"fig1", "fig8", "fig11", "fig14", "fig17", "fig18", "fig20", "fig21", "fig22", "fig23", "table5"}
+	return []string{"fig1", "fig8", "fig11", "fig14", "fig17", "fig18", "fig20", "fig21", "fig22", "fig23", "table5", "chaos"}
 }
 
 // aliases used by several experiments.

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cdb/internal/crowd"
+	"cdb/internal/dataset"
+	"cdb/internal/exec"
+	"cdb/internal/faults"
+	"cdb/internal/stats"
+)
+
+// chaosDropGrid is the fault intensities the chaos experiment sweeps
+// when no explicit -fault-drop is given: from a clean baseline to a
+// platform losing a fifth of its assignments.
+var chaosDropGrid = []float64{0, 0.05, 0.1, 0.2}
+
+// SetChaosDropGrid overrides the sweep (cdbench -fault-drop pins it to
+// one intensity).
+func SetChaosDropGrid(grid []float64) {
+	if len(grid) > 0 {
+		chaosDropGrid = grid
+	}
+}
+
+// ParseBlackout parses a "market:from:until" outage spec ("" market
+// means every platform, e.g. ":100:400").
+func ParseBlackout(s string) (faults.Blackout, error) {
+	if s == "" {
+		return faults.Blackout{}, fmt.Errorf("empty blackout spec")
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return faults.Blackout{}, fmt.Errorf("blackout spec %q: want market:from:until", s)
+	}
+	from, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return faults.Blackout{}, fmt.Errorf("blackout spec %q: from: %w", s, err)
+	}
+	until, err := strconv.ParseInt(parts[2], 10, 64)
+	if err != nil {
+		return faults.Blackout{}, fmt.Errorf("blackout spec %q: until: %w", s, err)
+	}
+	return faults.Blackout{Market: parts[0], From: from, Until: until}, nil
+}
+
+// injectorFor builds the chaos engine for one drop rate, inheriting
+// the other fault dimensions from the config.
+func injectorFor(cfg Config, drop float64) (*faults.Injector, error) {
+	fc := faults.Config{
+		Seed:          cfg.FaultSeed,
+		DropRate:      drop,
+		StragglerRate: cfg.FaultStraggler,
+		DuplicateRate: cfg.FaultDup,
+		CorruptRate:   cfg.FaultCorrupt,
+	}
+	if cfg.FaultBlackout != "" {
+		b, err := ParseBlackout(cfg.FaultBlackout)
+		if err != nil {
+			return nil, err
+		}
+		fc.Blackouts = append(fc.Blackouts, b)
+	}
+	return faults.New(fc), nil
+}
+
+// chaosCell runs one (method, fault-rate) cell over the asynchronous
+// transport and reports both the paper's quality metrics and the
+// reliability policy's telemetry.
+func chaosCell(d *dataset.Data, query, method string, cfg Config, rng *stats.RNG,
+	inj *faults.Injector) (stats.Metrics, exec.ReliabilityStats, error) {
+
+	p, err := buildPlan(d, query, exec.PlanConfig{Sim: defaultSim, Epsilon: 0.3})
+	if err != nil {
+		return stats.Metrics{}, exec.ReliabilityStats{}, err
+	}
+	qm := exec.MajorityVoting
+	if method == "CDB+" {
+		qm = exec.CDBPlus
+	}
+	pool := crowd.NewPool(cfg.PoolSize, cfg.WorkerQ, cfg.WorkerSD, rng.Split())
+	tp := crowd.NewTransport(crowd.TransportConfig{
+		Markets: []*crowd.Market{
+			crowd.NewMarket("amt", true, pool),
+			crowd.NewMarket("crowdflower", true, crowd.NewPool(cfg.PoolSize, cfg.WorkerQ, cfg.WorkerSD, rng.Split())),
+		},
+		Faults: inj,
+		Seed:   rng.Split().Uint64(),
+	})
+	defer tp.Close()
+	rep, err := exec.Run(context.Background(), p, exec.Options{
+		Strategy:   strategyFor(method, p, cfg, rng),
+		Redundancy: cfg.Redundancy,
+		Quality:    qm,
+		Pool:       pool,
+		Transport:  tp,
+		Reliability: exec.Reliability{
+			TaskDeadline: cfg.TaskDeadline,
+			MaxRetries:   cfg.MaxRetries,
+			HedgeFrac:    cfg.HedgeFrac,
+		},
+	})
+	if err != nil {
+		return stats.Metrics{}, exec.ReliabilityStats{}, err
+	}
+	return rep.Metrics, rep.Reliability, nil
+}
+
+// Chaos sweeps fault intensity over the fault-tolerant transport and
+// reports how gracefully quality and cost degrade: the robustness
+// counterpart of the paper's clean-crowd evaluation. Every cell runs
+// the 2-join query with CDB and CDB+ under drop rates of
+// chaosDropGrid (straggler/duplicate/corrupt rates and a blackout
+// window ride along from the config).
+func Chaos(cfg Config) ([]*Table, error) {
+	d := genData(cfg, cfg.Seed)
+	query := dataset.Queries(d.Name)["2J"]
+	rng := stats.NewRNG(cfg.Seed + 77)
+
+	t := &Table{
+		ID:         "chaos",
+		Title:      "graceful degradation under injected faults (2J query)",
+		LabelNames: []string{"method", "drop"},
+		ValueNames: []string{"f1", "tasks", "lost", "retried", "hedged", "late", "dups", "partial"},
+	}
+	for _, method := range []string{"CDB", "CDB+"} {
+		for _, drop := range chaosDropGrid {
+			var agg stats.Agg
+			var lost, retried, hedged, late, dups, partial float64
+			for rep := 0; rep < cfg.Reps; rep++ {
+				inj, err := injectorFor(cfg, drop)
+				if err != nil {
+					return nil, err
+				}
+				m, rel, err := chaosCell(d, query, method, cfg, rng, inj)
+				if err != nil {
+					return nil, err
+				}
+				agg.Add(m)
+				lost += float64(rel.Lost)
+				retried += float64(rel.Retried)
+				hedged += float64(rel.Hedged)
+				late += float64(rel.Late)
+				dups += float64(rel.Duplicates)
+				if rel.Partial {
+					partial++
+				}
+			}
+			n := float64(cfg.Reps)
+			tasks, _, _, _, f1 := agg.Mean()
+			t.Rows = append(t.Rows, Row{
+				Labels: []string{method, fmt.Sprintf("%.2f", drop)},
+				Values: []float64{
+					f1, tasks,
+					lost / n, retried / n, hedged / n, late / n, dups / n,
+					partial / n,
+				},
+			})
+		}
+	}
+	return []*Table{t}, nil
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -193,7 +194,7 @@ func Fig14to16(cfg Config) ([]*Table, error) {
 				if method == "CDB+" {
 					qm = exec.CDBPlus
 				}
-				r, err := exec.Run(p, exec.Options{
+				r, err := exec.Run(context.Background(), p, exec.Options{
 					Strategy:   strategyFor(method, p, c, rng),
 					Redundancy: c.Redundancy,
 					Quality:    qm,
@@ -243,7 +244,7 @@ func Fig18(cfg Config) ([]*Table, error) {
 				if method == "CDB+" {
 					qm = exec.CDBPlus
 				}
-				r, err := exec.Run(p, exec.Options{
+				r, err := exec.Run(context.Background(), p, exec.Options{
 					Strategy:   strat,
 					Redundancy: cfg.Redundancy,
 					Quality:    qm,
@@ -337,7 +338,7 @@ func Fig21(cfg Config) ([]*Table, error) {
 					label = "CDB+"
 				}
 				_ = label
-				r, err := exec.Run(p, exec.Options{
+				r, err := exec.Run(context.Background(), p, exec.Options{
 					Strategy:   cost.NewBudget(b),
 					Redundancy: c.Redundancy,
 					Quality:    qm,

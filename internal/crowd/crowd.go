@@ -72,10 +72,12 @@ func (w *Worker) LatentAccuracy() float64 { return w.acc }
 // AnswerChoice answers a single-choice task with truth ∈ [0, choices):
 // correct with probability acc, otherwise uniform over wrong options.
 func (w *Worker) AnswerChoice(truth, choices int) int {
-	mAnswers.Inc()
 	if choices < 2 {
+		// A degenerate task with one option is not a crowd answer; it
+		// must not inflate cdb_crowd_answers_total.
 		return truth
 	}
+	mAnswers.Inc()
 	if w.rng.Bool(w.acc) {
 		return truth
 	}

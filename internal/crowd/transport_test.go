@@ -1,0 +1,237 @@
+package crowd
+
+import (
+	"context"
+	"testing"
+
+	"cdb/internal/faults"
+	"cdb/internal/stats"
+	"cdb/internal/testutil"
+)
+
+func testTransport(seed uint64, inj *faults.Injector, nMarkets int) *Transport {
+	rng := stats.NewRNG(seed)
+	var markets []*Market
+	names := []string{"amt", "crowdflower", "chinacrowd"}
+	for i := 0; i < nMarkets; i++ {
+		markets = append(markets, NewMarket(names[i], true, NewPool(20, 0.85, 0.1, rng.Split())))
+	}
+	return NewTransport(TransportConfig{Markets: markets, Faults: inj, Seed: seed})
+}
+
+func issueRound(t *Transport, n, k int, deadline Tick) []TaskSpec {
+	specs := make([]TaskSpec, n)
+	for i := range specs {
+		specs[i] = TaskSpec{ID: i, Truth: i%2 == 0, K: k, Deadline: deadline}
+	}
+	t.Issue(specs)
+	return specs
+}
+
+// TestTransportCleanDelivery: with no faults every assignment arrives
+// before a deadline larger than the worst-case latency, none late.
+func TestTransportCleanDelivery(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)()
+	tp := testTransport(1, nil, 2)
+	defer tp.Close()
+
+	issueRound(tp, 10, 5, 100)
+	ans, err := tp.Collect(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 50 {
+		t.Fatalf("delivered %d answers, want 50", len(ans))
+	}
+	perTask := map[int]int{}
+	for _, a := range ans {
+		if a.Late {
+			t.Fatalf("clean transport delivered late answer %+v", a)
+		}
+		perTask[a.Task]++
+	}
+	for task, n := range perTask {
+		if n != 5 {
+			t.Fatalf("task %d got %d answers, want 5", task, n)
+		}
+	}
+	if tp.Now() != 100 {
+		t.Fatalf("clock = %d, want 100", tp.Now())
+	}
+}
+
+// TestTransportDeterministic: two transports with identical seeds and
+// fault configs produce identical answer streams, even across repeated
+// runs with different goroutine interleavings.
+func TestTransportDeterministic(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)()
+	run := func() []Answer {
+		inj := faults.New(faults.Config{Seed: 5, DropRate: 0.1, StragglerRate: 0.2, DuplicateRate: 0.1, CorruptRate: 0.05})
+		tp := testTransport(3, inj, 3)
+		defer tp.Close()
+		issueRound(tp, 20, 5, 40)
+		a1, err := tp.Collect(context.Background(), 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A second window catches the stragglers.
+		a2, err := tp.Collect(context.Background(), 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(a1, a2...)
+	}
+	want := run()
+	for trial := 0; trial < 3; trial++ {
+		got := run()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d answers vs %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: answer %d differs: %+v vs %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTransportFaults: drops reduce delivery count, stragglers arrive
+// late in a later window, duplicates repeat (task, worker) pairs.
+func TestTransportFaults(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)()
+	inj := faults.New(faults.Config{Seed: 11, DropRate: 0.3, StragglerRate: 0.3, DuplicateRate: 0.2})
+	tp := testTransport(2, inj, 2)
+	defer tp.Close()
+
+	issueRound(tp, 40, 5, 40)
+	onTime, err := tp.Collect(context.Background(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := tp.Collect(context.Background(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := inj.Stats()
+	if s.Dropped == 0 || s.Straggled == 0 || s.Duplicated == 0 {
+		t.Fatalf("expected all fault kinds injected, got %v", s)
+	}
+	total := len(onTime) + len(late)
+	want := 40*5 - int(s.Dropped) + int(s.Duplicated)
+	if total != want {
+		t.Fatalf("delivered %d answers, want %d (200 - %d dropped + %d duplicated)",
+			total, want, s.Dropped, s.Duplicated)
+	}
+	if len(late) == 0 {
+		t.Fatal("no stragglers delivered in the late window")
+	}
+	for _, a := range late {
+		if !a.Late {
+			t.Fatalf("answer in late window not marked late: %+v", a)
+		}
+	}
+	dups := 0
+	for _, a := range append(onTime, late...) {
+		if a.Injected {
+			dups++
+		}
+	}
+	if dups != int(s.Duplicated) {
+		t.Fatalf("marked duplicates %d, injected %d", dups, s.Duplicated)
+	}
+}
+
+// TestTransportBlackout: a market-wide outage holds that market's
+// answers until the window ends; the other market is unaffected.
+func TestTransportBlackout(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)()
+	inj := faults.New(faults.Config{Blackouts: []faults.Blackout{{Market: "amt", From: 0, Until: 500}}})
+	tp := testTransport(2, inj, 2)
+	defer tp.Close()
+
+	issueRound(tp, 20, 3, 100)
+	during, err := tp.Collect(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range during {
+		if a.Market == "amt" {
+			t.Fatalf("blacked-out market delivered during outage: %+v", a)
+		}
+	}
+	after, err := tp.Collect(context.Background(), 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amt := 0
+	for _, a := range after {
+		if a.Market == "amt" {
+			amt++
+			if a.Tick < 500 {
+				t.Fatalf("amt answer before blackout end: %+v", a)
+			}
+		}
+	}
+	if amt == 0 {
+		t.Fatal("blacked-out market never recovered")
+	}
+	if len(during)+len(after) != 60 {
+		t.Fatalf("total delivered %d, want 60", len(during)+len(after))
+	}
+}
+
+// TestTransportCancellation: a cancelled context aborts Collect
+// promptly, and Close still tears every goroutine down.
+func TestTransportCancellation(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)()
+	tp := testTransport(7, nil, 3)
+	defer tp.Close()
+
+	issueRound(tp, 10, 5, 100)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tp.Collect(ctx, 100); err != context.Canceled {
+		t.Fatalf("Collect err = %v, want context.Canceled", err)
+	}
+	// The transport survives a cancelled collect: a fresh context
+	// drains the queued answers.
+	ans, err := tp.Collect(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) == 0 {
+		t.Fatal("no answers after re-collect")
+	}
+}
+
+// TestTransportCloseWithPending: Close with undelivered answers must
+// not deadlock or leak (market goroutines may be blocked mid-send).
+func TestTransportCloseWithPending(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)()
+	for trial := 0; trial < 5; trial++ {
+		tp := testTransport(uint64(trial+1), nil, 3)
+		issueRound(tp, 300, 5, 100) // >1024 answers: out buffer will fill
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		tp.Collect(ctx, 100)
+		tp.Close()
+	}
+}
+
+// TestAnswerChoiceDegenerateNotCounted pins the metric fix: a task
+// with fewer than two options is an auto-answer, not a crowd answer.
+func TestAnswerChoiceDegenerateNotCounted(t *testing.T) {
+	pool := NewPool(1, 0.9, 0.05, stats.NewRNG(1))
+	w := pool.Workers()[0]
+	before := mAnswers.Value()
+	if got := w.AnswerChoice(0, 1); got != 0 {
+		t.Fatalf("degenerate AnswerChoice = %d, want 0", got)
+	}
+	if mAnswers.Value() != before {
+		t.Fatal("degenerate AnswerChoice incremented cdb_crowd_answers_total")
+	}
+	w.AnswerChoice(0, 2)
+	if mAnswers.Value() != before+1 {
+		t.Fatal("real AnswerChoice did not increment cdb_crowd_answers_total")
+	}
+}

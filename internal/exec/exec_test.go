@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -112,7 +113,7 @@ func perfectPool(seed uint64, n int) *crowd.Pool {
 
 func TestRunExpectationPerfectWorkers(t *testing.T) {
 	p := examplePlan(t)
-	rep, err := Run(p, Options{
+	rep, err := Run(context.Background(), p, Options{
 		Strategy:   &cost.Expectation{},
 		Redundancy: 5,
 		Pool:       perfectPool(1, 30),
@@ -143,14 +144,14 @@ func TestRunSavesTasksVsTreeModel(t *testing.T) {
 	build := func() *Plan { return examplePlan(t) }
 
 	pCDB := build()
-	repCDB, err := Run(pCDB, Options{Strategy: &cost.Expectation{}, Redundancy: 1, Pool: perfectPool(2, 30)})
+	repCDB, err := Run(context.Background(), pCDB, Options{Strategy: &cost.Expectation{}, Redundancy: 1, Pool: perfectPool(2, 30)})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	pOpt := build()
 	opt := baselines.NewTreeModel("OptTree", baselines.OptTreeOrder(pOpt.G, pOpt.Truth))
-	repOpt, err := Run(pOpt, Options{Strategy: opt, Redundancy: 1, Pool: perfectPool(2, 30)})
+	repOpt, err := Run(context.Background(), pOpt, Options{Strategy: opt, Redundancy: 1, Pool: perfectPool(2, 30)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestRunTreeBaselinesFindAnswers(t *testing.T) {
 		default:
 			order = baselines.DecoOrder(p.G)
 		}
-		rep, err := Run(p, Options{Strategy: baselines.NewTreeModel(name, order), Redundancy: 5, Pool: perfectPool(3, 30)})
+		rep, err := Run(context.Background(), p, Options{Strategy: baselines.NewTreeModel(name, order), Redundancy: 5, Pool: perfectPool(3, 30)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -195,7 +196,7 @@ func TestRunERBaselines(t *testing.T) {
 	} {
 		p := examplePlan(t)
 		strat := mk()
-		rep, err := Run(p, Options{Strategy: strat, Redundancy: 5, Pool: perfectPool(4, 30)})
+		rep, err := Run(context.Background(), p, Options{Strategy: strat, Redundancy: 5, Pool: perfectPool(4, 30)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -207,12 +208,12 @@ func TestRunERBaselines(t *testing.T) {
 
 func TestTransUsesMoreRoundsThanCDB(t *testing.T) {
 	pT := examplePlan(t)
-	repT, err := Run(pT, Options{Strategy: baselines.NewTrans(), Redundancy: 1, Pool: perfectPool(5, 30)})
+	repT, err := Run(context.Background(), pT, Options{Strategy: baselines.NewTrans(), Redundancy: 1, Pool: perfectPool(5, 30)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	pC := examplePlan(t)
-	repC, err := Run(pC, Options{Strategy: &cost.Expectation{}, Redundancy: 1, Pool: perfectPool(5, 30)})
+	repC, err := Run(context.Background(), pC, Options{Strategy: &cost.Expectation{}, Redundancy: 1, Pool: perfectPool(5, 30)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestTransUsesMoreRoundsThanCDB(t *testing.T) {
 func TestRunMaxRoundsFlush(t *testing.T) {
 	for _, maxRounds := range []int{1, 2, 3} {
 		p := examplePlan(t)
-		rep, err := Run(p, Options{
+		rep, err := Run(context.Background(), p, Options{
 			Strategy:   &cost.Expectation{},
 			Redundancy: 1,
 			Pool:       perfectPool(6, 30),
@@ -246,7 +247,7 @@ func TestFewerRoundsAllowedMeansMoreTasks(t *testing.T) {
 	// Fig. 22's tradeoff: a tighter latency constraint costs more tasks.
 	run := func(maxRounds int) int {
 		p := examplePlan(t)
-		rep, err := Run(p, Options{Strategy: &cost.Expectation{}, Redundancy: 1, Pool: perfectPool(7, 30), MaxRounds: maxRounds})
+		rep, err := Run(context.Background(), p, Options{Strategy: &cost.Expectation{}, Redundancy: 1, Pool: perfectPool(7, 30), MaxRounds: maxRounds})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -262,7 +263,7 @@ func TestFewerRoundsAllowedMeansMoreTasks(t *testing.T) {
 func TestRunBudgetStrategy(t *testing.T) {
 	p := examplePlan(t)
 	b := cost.NewBudget(6)
-	rep, err := Run(p, Options{Strategy: b, Redundancy: 1, Pool: perfectPool(8, 30)})
+	rep, err := Run(context.Background(), p, Options{Strategy: b, Redundancy: 1, Pool: perfectPool(8, 30)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,12 +293,12 @@ func TestBudgetBeatsGreedyBaseline(t *testing.T) {
 		return p
 	}
 	pC := build()
-	repC, err := Run(pC, Options{Strategy: cost.NewBudget(budget), Redundancy: 1, Pool: perfectPool(21, 10)})
+	repC, err := Run(context.Background(), pC, Options{Strategy: cost.NewBudget(budget), Redundancy: 1, Pool: perfectPool(21, 10)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	pB := build()
-	repB, err := Run(pB, Options{Strategy: baselines.NewGreedyBudget(budget), Redundancy: 1, Pool: perfectPool(21, 10)})
+	repB, err := Run(context.Background(), pB, Options{Strategy: baselines.NewGreedyBudget(budget), Redundancy: 1, Pool: perfectPool(21, 10)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +321,7 @@ func TestCDBPlusBeatsMajorityVotingWithBadWorkers(t *testing.T) {
 	var mvAgg, plusAgg stats.Agg
 	for i := 0; i < reps; i++ {
 		pMV := examplePlan(t)
-		repMV, err := Run(pMV, Options{
+		repMV, err := Run(context.Background(), pMV, Options{
 			Strategy:   &cost.Expectation{},
 			Redundancy: 3,
 			Pool:       crowd.NewPool(25, 0.7, 0.1, stats.NewRNG(uint64(100+i))),
@@ -332,7 +333,7 @@ func TestCDBPlusBeatsMajorityVotingWithBadWorkers(t *testing.T) {
 		mvAgg.Add(repMV.Metrics)
 
 		pPlus := examplePlan(t)
-		repPlus, err := Run(pPlus, Options{
+		repPlus, err := Run(context.Background(), pPlus, Options{
 			Strategy:   &cost.Expectation{},
 			Redundancy: 3,
 			Pool:       crowd.NewPool(25, 0.7, 0.1, stats.NewRNG(uint64(100+i))),
@@ -361,7 +362,7 @@ func TestProjectAnswer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Run(p, Options{Strategy: &cost.Expectation{}, Redundancy: 5, Pool: perfectPool(9, 30)})
+	rep, err := Run(context.Background(), p, Options{Strategy: &cost.Expectation{}, Redundancy: 5, Pool: perfectPool(9, 30)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -388,7 +389,7 @@ func TestProjectAnswer(t *testing.T) {
 
 func TestProjectAnswerStar(t *testing.T) {
 	p := examplePlan(t)
-	rep, err := Run(p, Options{Strategy: &cost.Expectation{}, Redundancy: 5, Pool: perfectPool(10, 30)})
+	rep, err := Run(context.Background(), p, Options{Strategy: &cost.Expectation{}, Redundancy: 5, Pool: perfectPool(10, 30)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -404,10 +405,10 @@ func TestProjectAnswerStar(t *testing.T) {
 
 func TestRunOptionValidation(t *testing.T) {
 	p := examplePlan(t)
-	if _, err := Run(p, Options{Pool: perfectPool(1, 5)}); err == nil || !strings.Contains(err.Error(), "Strategy") {
+	if _, err := Run(context.Background(), p, Options{Pool: perfectPool(1, 5)}); err == nil || !strings.Contains(err.Error(), "Strategy") {
 		t.Fatal("missing strategy should error")
 	}
-	if _, err := Run(p, Options{Strategy: &cost.Expectation{}}); err == nil || !strings.Contains(err.Error(), "Pool") {
+	if _, err := Run(context.Background(), p, Options{Strategy: &cost.Expectation{}}); err == nil || !strings.Contains(err.Error(), "Pool") {
 		t.Fatal("missing pool should error")
 	}
 }
@@ -428,12 +429,12 @@ func TestGeneratedDatasetEndToEnd(t *testing.T) {
 	if len(pC.TrueAnswerKeys()) == 0 {
 		t.Skip("generated instance has no answers at this scale/seed")
 	}
-	repC, err := Run(pC, Options{Strategy: &cost.Expectation{}, Redundancy: 1, Pool: perfectPool(11, 30)})
+	repC, err := Run(context.Background(), pC, Options{Strategy: &cost.Expectation{}, Redundancy: 1, Pool: perfectPool(11, 30)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	pT := build()
-	repT, err := Run(pT, Options{Strategy: baselines.NewTreeModel("CrowdDB", baselines.CrowdDBOrder(pT.S)), Redundancy: 1, Pool: perfectPool(11, 30)})
+	repT, err := Run(context.Background(), pT, Options{Strategy: baselines.NewTreeModel("CrowdDB", baselines.CrowdDBOrder(pT.S)), Redundancy: 1, Pool: perfectPool(11, 30)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -452,7 +453,7 @@ func TestCrossMarketRouting(t *testing.T) {
 	amt := crowd.NewMarket("AMT", true, crowd.NewPerfectPool(10, rng.Split()))
 	cf := crowd.NewMarket("CrowdFlower", false, crowd.NewPerfectPool(10, rng.Split()))
 	p := examplePlan(t)
-	rep, err := Run(p, Options{
+	rep, err := Run(context.Background(), p, Options{
 		Strategy:   &cost.Expectation{},
 		Redundancy: 3,
 		Pool:       crowd.NewPerfectPool(10, rng.Split()),
@@ -535,7 +536,7 @@ func TestCDBPlusEarlyStopSavesAssignments(t *testing.T) {
 	// collecting answers for a task once it is confident, so the total
 	// assignment count stays below the k-per-task ceiling.
 	p := examplePlan(t)
-	rep, err := Run(p, Options{
+	rep, err := Run(context.Background(), p, Options{
 		Strategy:   &cost.Expectation{},
 		Redundancy: 5,
 		Quality:    CDBPlus,
@@ -556,7 +557,7 @@ func TestCDBPlusEarlyStopSavesAssignments(t *testing.T) {
 func TestMetadataRecording(t *testing.T) {
 	p := examplePlan(t)
 	store := meta.NewStore()
-	rep, err := Run(p, Options{
+	rep, err := Run(context.Background(), p, Options{
 		Strategy:   &cost.Expectation{},
 		Redundancy: 3,
 		Pool:       perfectPool(51, 30),
@@ -597,7 +598,7 @@ func TestMetadataRecording(t *testing.T) {
 func TestMetadataRecordingCDBPlus(t *testing.T) {
 	p := examplePlan(t)
 	store := meta.NewStore()
-	_, err := Run(p, Options{
+	_, err := Run(context.Background(), p, Options{
 		Strategy:   &cost.Expectation{},
 		Redundancy: 3,
 		Quality:    CDBPlus,
@@ -635,12 +636,12 @@ func TestCalibrationDoesNotBreakExecution(t *testing.T) {
 		return p
 	}
 	pPlain := build()
-	plain, err := Run(pPlain, Options{Strategy: &cost.Expectation{}, Redundancy: 1, Pool: perfectPool(71, 20)})
+	plain, err := Run(context.Background(), pPlain, Options{Strategy: &cost.Expectation{}, Redundancy: 1, Pool: perfectPool(71, 20)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	pCal := build()
-	cal, err := Run(pCal, Options{Strategy: &cost.Expectation{}, Redundancy: 1, Pool: perfectPool(71, 20), Calibrate: true})
+	cal, err := Run(context.Background(), pCal, Options{Strategy: &cost.Expectation{}, Redundancy: 1, Pool: perfectPool(71, 20), Calibrate: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -703,7 +704,7 @@ func TestStatsFeedbackLoop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(p1, Options{Strategy: &cost.Expectation{}, Redundancy: 1, Pool: perfectPool(81, 20), Meta: store}); err != nil {
+	if _, err := Run(context.Background(), p1, Options{Strategy: &cost.Expectation{}, Redundancy: 1, Pool: perfectPool(81, 20), Meta: store}); err != nil {
 		t.Fatal(err)
 	}
 	hints := store.ComputeStats().Selectivity
@@ -716,7 +717,7 @@ func TestStatsFeedbackLoop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Run(p2, Options{Strategy: &cost.Expectation{}, Redundancy: 1, Pool: perfectPool(82, 20)})
+	rep, err := Run(context.Background(), p2, Options{Strategy: &cost.Expectation{}, Redundancy: 1, Pool: perfectPool(82, 20)})
 	if err != nil {
 		t.Fatal(err)
 	}

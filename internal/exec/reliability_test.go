@@ -1,0 +1,284 @@
+package exec
+
+import (
+	"context"
+	"testing"
+
+	"cdb/internal/cost"
+	"cdb/internal/crowd"
+	"cdb/internal/faults"
+	"cdb/internal/graph"
+	"cdb/internal/stats"
+	"cdb/internal/testutil"
+)
+
+// asyncSetup builds the fault-tolerant transport over two markets with
+// identical worker statistics. The caller owns Close.
+func asyncSetup(seed uint64, inj *faults.Injector) (Options, *crowd.Transport) {
+	rng := stats.NewRNG(seed)
+	pool := crowd.NewPool(30, 0.9, 0.05, rng.Split())
+	tp := crowd.NewTransport(crowd.TransportConfig{
+		Markets: []*crowd.Market{
+			crowd.NewMarket("amt", true, pool),
+			crowd.NewMarket("crowdflower", true, crowd.NewPool(30, 0.9, 0.05, rng.Split())),
+		},
+		Faults: inj,
+		Seed:   seed,
+	})
+	return Options{
+		Strategy:   &cost.Expectation{},
+		Redundancy: 5,
+		Pool:       pool,
+		Transport:  tp,
+	}, tp
+}
+
+// TestAsyncCleanComplete: without faults the async path completes the
+// query, marks nothing partial, and reports full per-answer
+// confidence.
+func TestAsyncCleanComplete(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)()
+	p := examplePlan(t)
+	opts, tp := asyncSetup(1, nil)
+	defer tp.Close()
+	rep, err := Run(context.Background(), p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reliability.Partial {
+		t.Fatalf("clean async run marked partial: %+v", rep.Reliability)
+	}
+	if rep.Reliability.Lost != 0 || rep.Reliability.Retried != 0 {
+		t.Fatalf("clean async run lost/retried tasks: %+v", rep.Reliability)
+	}
+	if len(rep.Answers) == 0 {
+		t.Fatal("no answers")
+	}
+	if len(rep.Confidence) != len(rep.Answers) {
+		t.Fatalf("confidence entries %d, answers %d", len(rep.Confidence), len(rep.Answers))
+	}
+	for i, c := range rep.Confidence {
+		if c < 0.5 || c > 1 {
+			t.Fatalf("answer %d confidence %v out of range", i, c)
+		}
+	}
+	if rep.PerMarket["amt"] == 0 || rep.PerMarket["crowdflower"] == 0 {
+		t.Fatalf("round-robin across markets broken: %v", rep.PerMarket)
+	}
+}
+
+// TestAsyncDedupInvariant: a duplicate-only fault load must be fully
+// absorbed by idempotent (task, worker) dedup — the verdicts, answer
+// set and assignment count are identical to the fault-free run of the
+// same seed, and Eq. 2 never sees a doubled opinion.
+func TestAsyncDedupInvariant(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)()
+	run := func(inj *faults.Injector) *Report {
+		p := examplePlan(t)
+		opts, tp := asyncSetup(3, inj)
+		defer tp.Close()
+		rep, err := Run(context.Background(), p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	clean := run(nil)
+	dup := run(faults.New(faults.Config{Seed: 9, DuplicateRate: 0.5}))
+	if dup.Reliability.Duplicates == 0 {
+		t.Fatal("no duplicates injected at rate 0.5")
+	}
+	if dup.Assignments != clean.Assignments {
+		t.Fatalf("dedup leaked: %d assignments with duplicates, %d clean",
+			dup.Assignments, clean.Assignments)
+	}
+	ck, dk := clean.Metrics.F1(), dup.Metrics.F1()
+	if ck != dk {
+		t.Fatalf("duplicate-only faults changed F1: %v vs %v", dk, ck)
+	}
+	if len(clean.Answers) != len(dup.Answers) {
+		t.Fatalf("duplicate-only faults changed answers: %d vs %d",
+			len(dup.Answers), len(clean.Answers))
+	}
+}
+
+// TestAsyncRetriesRecoverDrops: dropped assignments trigger reissue
+// waves that refill the tasks; the query still completes un-partial.
+func TestAsyncRetriesRecoverDrops(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)()
+	p := examplePlan(t)
+	opts, tp := asyncSetup(2, faults.New(faults.Config{Seed: 7, DropRate: 0.3}))
+	defer tp.Close()
+	rep, err := Run(context.Background(), p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reliability.Retried == 0 {
+		t.Fatal("30% drop rate triggered no retries")
+	}
+	if rep.Reliability.Reissued == 0 {
+		t.Fatal("retried tasks reissued no assignments")
+	}
+	if rep.Reliability.Lost > 0 {
+		t.Fatalf("retries failed to recover: %d tasks lost", rep.Reliability.Lost)
+	}
+	if rep.Metrics.F1() < 0.5 {
+		t.Fatalf("F1 %v collapsed under recoverable drops", rep.Metrics.F1())
+	}
+}
+
+// TestAsyncHedging: heavy stragglers make tasks miss the hedge peek,
+// so the executor speculatively reissues the slowest ones.
+func TestAsyncHedging(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)()
+	p := examplePlan(t)
+	opts, tp := asyncSetup(4, faults.New(faults.Config{Seed: 13, StragglerRate: 0.6}))
+	defer tp.Close()
+	rep, err := Run(context.Background(), p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reliability.Hedged == 0 {
+		t.Fatal("60% stragglers triggered no hedging")
+	}
+	if rep.Reliability.Late == 0 {
+		t.Fatal("stragglers produced no late answers")
+	}
+}
+
+// TestAsyncLostFallsBackToPrior: when every answer is dropped, retries
+// exhaust, verdicts degrade to the optimizer's prior, and the result
+// is flagged partial with reason "tasks-lost" instead of erroring.
+func TestAsyncLostFallsBackToPrior(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)()
+	p := examplePlan(t)
+	opts, tp := asyncSetup(5, faults.New(faults.Config{Seed: 21, DropRate: 1}))
+	defer tp.Close()
+	rep, err := Run(context.Background(), p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Reliability.Partial || rep.Reliability.Reason != "tasks-lost" {
+		t.Fatalf("total loss not flagged: %+v", rep.Reliability)
+	}
+	if rep.Reliability.Lost == 0 {
+		t.Fatal("no tasks recorded lost under 100% drop")
+	}
+	if rep.Assignments != 0 {
+		t.Fatalf("phantom assignments under 100%% drop: %d", rep.Assignments)
+	}
+	// Prior fallback still yields a complete (if low-confidence) graph
+	// coloring, so the round loop terminated rather than spinning.
+	if rep.Metrics.Rounds == 0 {
+		t.Fatal("no rounds completed")
+	}
+}
+
+// TestAsyncStrictFailsFast: the same total loss under Strict is an
+// error, not a partial result.
+func TestAsyncStrictFailsFast(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)()
+	p := examplePlan(t)
+	opts, tp := asyncSetup(5, faults.New(faults.Config{Seed: 21, DropRate: 1}))
+	defer tp.Close()
+	opts.Reliability = Reliability{Strict: true}
+	if _, err := Run(context.Background(), p, opts); err == nil {
+		t.Fatal("strict mode returned no error under total loss")
+	}
+}
+
+// TestAsyncRetryBudgetCharged: a tiny retry budget caps the reissued
+// assignments even when many tasks want retries.
+func TestAsyncRetryBudgetCharged(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)()
+	p := examplePlan(t)
+	opts, tp := asyncSetup(6, faults.New(faults.Config{Seed: 17, DropRate: 0.5}))
+	defer tp.Close()
+	opts.Reliability = Reliability{RetryBudget: 10, HedgeFrac: -1}
+	rep, err := Run(context.Background(), p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reliability.Reissued > 10 {
+		t.Fatalf("reissued %d assignments over a budget of 10", rep.Reliability.Reissued)
+	}
+}
+
+// cancelAfterRounds delegates to an inner strategy and fires a cancel
+// on the n-th NextRound call, so cancellation lands at a
+// deterministic, schedule-independent point of the query: the executor
+// notices it inside round n's first collect and discards that round.
+type cancelAfterRounds struct {
+	inner  cost.Strategy
+	after  int
+	calls  int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfterRounds) Name() string { return c.inner.Name() }
+
+func (c *cancelAfterRounds) NextRound(g *graph.Graph) []int {
+	c.calls++
+	if c.calls == c.after {
+		c.cancel()
+	}
+	return c.inner.NextRound(g)
+}
+
+func (c *cancelAfterRounds) Flush(g *graph.Graph) []int { return c.inner.Flush(g) }
+
+// TestAsyncCancellationDeterministic: cancelling during round n
+// discards that round wholesale — the partial result equals the state
+// after round n-1, identically across reruns, and no goroutines leak.
+func TestAsyncCancellationDeterministic(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)()
+	run := func() *Report {
+		p := examplePlan(t)
+		opts, tp := asyncSetup(8, faults.New(faults.Config{Seed: 3, DropRate: 0.1}))
+		defer tp.Close()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		opts.Strategy = &cancelAfterRounds{inner: opts.Strategy, after: 2, cancel: cancel}
+		rep, err := Run(ctx, p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	want := run()
+	if !want.Reliability.Partial || want.Reliability.Reason != "canceled" {
+		t.Fatalf("cancellation not flagged: %+v", want.Reliability)
+	}
+	if want.Reliability.RoundsTruncated != 1 {
+		t.Fatalf("RoundsTruncated = %d, want 1", want.Reliability.RoundsTruncated)
+	}
+	if want.Metrics.Rounds != 1 {
+		t.Fatalf("completed rounds = %d, want exactly the pre-cancel round", want.Metrics.Rounds)
+	}
+	for trial := 0; trial < 3; trial++ {
+		got := run()
+		if got.Assignments != want.Assignments ||
+			got.Metrics.Rounds != want.Metrics.Rounds ||
+			len(got.Answers) != len(want.Answers) ||
+			got.Reliability != want.Reliability {
+			t.Fatalf("trial %d: partial result not deterministic:\n got %+v (%d answers, %d asks)\nwant %+v (%d answers, %d asks)",
+				trial, got.Reliability, len(got.Answers), got.Assignments,
+				want.Reliability, len(want.Answers), want.Assignments)
+		}
+	}
+}
+
+// TestAsyncStrictCancellationErrors: Strict turns mid-query
+// cancellation into a context error.
+func TestAsyncStrictCancellationErrors(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)()
+	p := examplePlan(t)
+	opts, tp := asyncSetup(9, nil)
+	defer tp.Close()
+	opts.Reliability = Reliability{Strict: true}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, p, opts); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"cdb/internal/cost"
@@ -84,6 +85,15 @@ type Options struct {
 	// tracing; the round loop then pays a single branch per round and
 	// allocates nothing for observability.
 	Trace *obs.Tracer
+	// Transport switches crowdsourcing to the fault-tolerant
+	// asynchronous issue/collect protocol (per-HIT deadlines, hedging,
+	// retry with backoff, idempotent answer dedup). nil keeps the
+	// synchronous simulator path. The caller owns the transport's
+	// lifecycle (Close).
+	Transport *crowd.Transport
+	// Reliability tunes the async policy; the zero value means
+	// defaults. Reliability.Strict turns degradation into errors.
+	Reliability Reliability
 }
 
 // Report is the outcome of one execution.
@@ -93,19 +103,49 @@ type Report struct {
 	HITs        int     // priced HITs
 	Dollars     float64 // simulated spend
 	Answers     []graph.Embedding
+	// Confidence holds the executor's confidence in each answer,
+	// aligned with Answers: the minimum verdict confidence over the
+	// answer's edges (majority margin, Bayesian posterior, or — for
+	// tasks lost to faults — the optimizer's prior). 1.0 for edges
+	// decided without the crowd.
+	Confidence []float64
+	// Reliability reports the fault policy's view of the execution;
+	// Reliability.Partial marks a gracefully degraded result.
+	Reliability ReliabilityStats
 	// PerMarket counts tasks routed to each market when a Router is
-	// configured.
+	// configured (async transport: accepted answers per market).
 	PerMarket map[string]int
 
 	// emHistory accumulates every CDB+ task across rounds so truth
 	// inference always runs over the full evidence (worker quality
 	// estimates sharpen as the query progresses).
 	emHistory []quality.ChoiceTask
+	// histIndex maps a graph edge to its emHistory entry so stragglers
+	// from finished rounds can still feed the worker model.
+	histIndex map[int]int
+	// seen implements idempotent answer dedup: edge → workers whose
+	// answer was already counted.
+	seen map[int]map[int]bool
+	// edgeConf records per-edge verdict confidence.
+	edgeConf map[int]float64
+	// retryBudget is the query-wide allowance of reissued assignments.
+	retryBudget int
 }
 
 // Run executes the plan with Algorithm 1. The plan's graph is mutated
 // (colored); build a fresh plan per run.
-func Run(p *Plan, opts Options) (*Report, error) {
+//
+// ctx cancels or deadlines the query: the executor checks it at round
+// boundaries and inside every async collect. Unless
+// Reliability.Strict is set, cancellation degrades gracefully — the
+// in-flight round is discarded wholesale and Run returns a partial
+// Report (Reliability.Partial) reflecting exactly the completed
+// rounds, which keeps the partial result deterministic for a fixed
+// seed no matter when the cancellation lands.
+func Run(ctx context.Context, p *Plan, opts Options) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.Strategy == nil {
 		return nil, fmt.Errorf("exec: Options.Strategy is required")
 	}
@@ -124,9 +164,10 @@ func Run(p *Plan, opts Options) (*Report, error) {
 	if opts.Pricing.TasksPerHIT == 0 {
 		opts.Pricing = crowd.DefaultPricing
 	}
+	opts.Reliability = opts.Reliability.withDefaults()
 
 	mQueries.Inc()
-	rep := &Report{}
+	rep := &Report{retryBudget: opts.Reliability.RetryBudget}
 	g := p.G
 	tr := opts.Trace
 	// Attribute the strategy's internal phases (scoring, batching) and
@@ -148,7 +189,23 @@ func Run(p *Plan, opts Options) (*Report, error) {
 		}
 	}
 	rounds, tasks := 0, 0
+	abort := func(err error) error {
+		// Graceful degradation: surface what completed instead of the
+		// error, unless the caller asked for fail-fast.
+		if opts.Reliability.Strict {
+			return err
+		}
+		rep.Reliability.Partial = true
+		rep.Reliability.Reason = reasonOf(err)
+		return nil
+	}
 	for {
+		if err := ctx.Err(); err != nil {
+			if aerr := abort(err); aerr != nil {
+				return nil, aerr
+			}
+			break
+		}
 		roundSpan := tr.Begin(obs.SpanRound)
 		validBefore := 0
 		var cacheF0, cacheD0, cacheH0 uint64
@@ -183,17 +240,31 @@ func Run(p *Plan, opts Options) (*Report, error) {
 			tr.End(roundSpan)
 			break
 		}
-		rounds++
-		tasks += len(batch)
-		mRounds.Inc()
-		mTasks.Add(int64(len(batch)))
-
+		// Snapshot the rollback state: if the round aborts mid-flight
+		// (context cancellation inside an async collect) it is
+		// discarded wholesale, so the partial result reflects exactly
+		// the completed rounds and stays deterministic regardless of
+		// where in the round the cancellation landed.
 		asksBefore := rep.Assignments
+		relBefore := rep.Reliability
+		budgetBefore := rep.retryBudget
+		var perMarketBefore map[string]int
+		if opts.Transport != nil && rep.PerMarket != nil {
+			perMarketBefore = make(map[string]int, len(rep.PerMarket))
+			for k, v := range rep.PerMarket {
+				perMarketBefore[k] = v
+			}
+		}
+
 		issueSpan := tr.Begin(obs.SpanIssue)
 		var verdicts map[int]bool
-		if opts.Quality == CDBPlus {
+		var roundErr error
+		switch {
+		case opts.Transport != nil:
+			verdicts, roundErr = rep.crowdsourceAsync(ctx, p, batch, opts)
+		case opts.Quality == CDBPlus:
 			verdicts = rep.crowdsourceAdaptive(p, batch, opts)
-		} else {
+		default:
 			verdicts = rep.crowdsourceMajority(p, batch, opts)
 		}
 		tr.Mutate(issueSpan, func(s *obs.Span) {
@@ -201,6 +272,29 @@ func Run(p *Plan, opts Options) (*Report, error) {
 			s.Asks = rep.Assignments - asksBefore
 		})
 		tr.End(issueSpan)
+		if roundErr != nil {
+			tr.Mutate(roundSpan, func(s *obs.Span) { s.Err = roundErr.Error() })
+			tr.End(roundSpan)
+			if aerr := abort(roundErr); aerr != nil {
+				return nil, aerr
+			}
+			// Roll the discarded round back out of the report.
+			rep.Assignments = asksBefore
+			relTrunc := relBefore
+			relTrunc.Partial = rep.Reliability.Partial
+			relTrunc.Reason = rep.Reliability.Reason
+			relTrunc.RoundsTruncated++
+			rep.Reliability = relTrunc
+			rep.retryBudget = budgetBefore
+			if opts.Transport != nil {
+				rep.PerMarket = perMarketBefore
+			}
+			break
+		}
+		rounds++
+		tasks += len(batch)
+		mRounds.Inc()
+		mTasks.Add(int64(len(batch)))
 
 		colorSpan := tr.Begin(obs.SpanColor)
 		blue, red := 0, 0
@@ -268,7 +362,28 @@ func Run(p *Plan, opts Options) (*Report, error) {
 		}
 	}
 
+	if rep.Reliability.Lost > 0 {
+		rep.Reliability.Partial = true
+		if rep.Reliability.Reason == "" {
+			rep.Reliability.Reason = "tasks-lost"
+		}
+	}
+	if rep.Reliability.Partial {
+		mPartials.Inc()
+	}
 	rep.Answers = g.Answers()
+	if rep.edgeConf != nil {
+		rep.Confidence = make([]float64, len(rep.Answers))
+		for i, a := range rep.Answers {
+			c := 1.0
+			for _, eid := range a.Edges {
+				if v, ok := rep.edgeConf[eid]; ok && v < c {
+					c = v
+				}
+			}
+			rep.Confidence[i] = c
+		}
+	}
 	precision, recall := stats.PrecisionRecall(p.AnswerKeys(), p.TrueAnswerKeys())
 	rep.Metrics = stats.Metrics{Tasks: tasks, Rounds: rounds, Precision: precision, Recall: recall}
 	rep.HITs = opts.Pricing.HITs(rep.Assignments)
@@ -331,6 +446,11 @@ func (rep *Report) crowdsourceMajority(p *Plan, batch []int, opts Options) map[i
 		}
 		rep.Assignments += len(workers)
 		verdicts[e] = 2*yes > len(workers)
+		conf := float64(yes) / float64(len(workers))
+		if !verdicts[e] {
+			conf = 1 - conf
+		}
+		rep.setEdgeConf(e, conf)
 		if opts.Meta != nil {
 			_ = opts.Meta.RecordVerdict(taskID, verdicts[e])
 		}
@@ -461,6 +581,12 @@ func (rep *Report) crowdsourceAdaptive(p *Plan, batch []int, opts Options) map[i
 	verdicts := make(map[int]bool, len(batch))
 	for i, e := range batch {
 		verdicts[e] = quality.EstimateTruth(post[base+i]) == 1
+		pp := post[base+i]
+		conf := pp[0]
+		if pp[1] > conf {
+			conf = pp[1]
+		}
+		rep.setEdgeConf(e, conf)
 		if opts.Meta != nil {
 			_ = opts.Meta.RecordVerdict(metaIDs[i], verdicts[e])
 			for _, a := range taskList[i].Answers {

@@ -1,0 +1,210 @@
+// Package faults is a deterministic chaos engine for the simulated
+// crowd platforms. Real markets are unreliable in ways the clean
+// simulator of internal/crowd never was: workers accept a HIT and walk
+// away (drops), answers trickle in long after the requester's deadline
+// (stragglers), platform callbacks fire twice (duplicates), bored
+// workers click at random (corruption), and a whole market can stall
+// for hours (blackouts). The injector decides each assignment's fate
+// from a hash of (seed, market, task, attempt, worker) — never from
+// shared mutable state — so a chaos run replays bit-identically under
+// any goroutine interleaving, which is what lets the fault-injection
+// test suite run with -race on a fixed seed matrix.
+package faults
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"cdb/internal/obs"
+	"cdb/internal/stats"
+)
+
+// Fault-injection metrics: how much chaos was actually dealt. These
+// count injected faults at the platform side; the executor separately
+// counts what it observed (lost tasks, late answers) — the gap between
+// the two is the reliability policy doing its job.
+var (
+	mDropped    = obs.Default.Counter("cdb_faults_dropped_total")
+	mStraggled  = obs.Default.Counter("cdb_faults_straggled_total")
+	mDuplicated = obs.Default.Counter("cdb_faults_duplicated_total")
+	mCorrupted  = obs.Default.Counter("cdb_faults_corrupted_total")
+	mBlackout   = obs.Default.Counter("cdb_faults_blackout_delays_total")
+)
+
+// Blackout stalls one market (or all markets, when Market is empty) for
+// a window of virtual ticks: any answer that would have arrived inside
+// [From, Until) is held until the window ends.
+type Blackout struct {
+	Market string
+	From   int64
+	Until  int64
+}
+
+// Config sets the fault rates. Rates are probabilities in [0, 1] and
+// are clamped on construction; the zero value injects nothing.
+type Config struct {
+	// Seed drives every fate decision. Equal seeds replay equal chaos.
+	Seed uint64
+	// DropRate is the probability an assignment's answer never arrives
+	// (worker abandonment). Dropped assignments suppress all other
+	// faults for that assignment.
+	DropRate float64
+	// StragglerRate is the probability an answer arrives only after the
+	// issuing round's deadline has passed.
+	StragglerRate float64
+	// DuplicateRate is the probability an answer is delivered twice
+	// (at-least-once platform callbacks).
+	DuplicateRate float64
+	// CorruptRate is the probability an answer is replaced by a random
+	// verdict, independent of the worker's latent accuracy.
+	CorruptRate float64
+	// Blackouts lists market outage windows in virtual ticks.
+	Blackouts []Blackout
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Fate is the injector's ruling on one worker assignment.
+type Fate struct {
+	// Drop: the answer never arrives.
+	Drop bool
+	// Straggle: the answer arrives after the round deadline.
+	Straggle bool
+	// Duplicate: the answer is delivered a second time.
+	Duplicate bool
+	// Corrupt: the answer is replaced by CorruptValue.
+	Corrupt      bool
+	CorruptValue bool
+}
+
+// Stats is a snapshot of injected-fault counts.
+type Stats struct {
+	Dropped, Straggled, Duplicated, Corrupted, BlackoutDelays uint64
+}
+
+// String renders the snapshot compactly for logs and bench tables.
+func (s Stats) String() string {
+	return fmt.Sprintf("dropped=%d straggled=%d duplicated=%d corrupted=%d blackout=%d",
+		s.Dropped, s.Straggled, s.Duplicated, s.Corrupted, s.BlackoutDelays)
+}
+
+// Injector deals fates. All methods are nil-safe (a nil injector
+// injects nothing) and safe for concurrent use: decisions read only
+// immutable config, and counters are atomic.
+type Injector struct {
+	cfg Config
+
+	dropped    atomic.Uint64
+	straggled  atomic.Uint64
+	duplicated atomic.Uint64
+	corrupted  atomic.Uint64
+	blackout   atomic.Uint64
+}
+
+// New builds an injector; rates are clamped into [0, 1].
+func New(cfg Config) *Injector {
+	cfg.DropRate = clamp01(cfg.DropRate)
+	cfg.StragglerRate = clamp01(cfg.StragglerRate)
+	cfg.DuplicateRate = clamp01(cfg.DuplicateRate)
+	cfg.CorruptRate = clamp01(cfg.CorruptRate)
+	return &Injector{cfg: cfg}
+}
+
+// Config returns the (clamped) configuration.
+func (in *Injector) Config() Config {
+	if in == nil {
+		return Config{}
+	}
+	return in.cfg
+}
+
+// Judge rules on one assignment: worker `worker` answering attempt
+// `attempt` of task `task` on `market`. The ruling is a pure function
+// of the injector seed and the arguments.
+func (in *Injector) Judge(market string, task, attempt, worker int) Fate {
+	if in == nil {
+		return Fate{}
+	}
+	c := &in.cfg
+	if c.DropRate == 0 && c.StragglerRate == 0 && c.DuplicateRate == 0 && c.CorruptRate == 0 {
+		return Fate{}
+	}
+	r := stats.HashRNG(c.Seed, stats.HashString(market),
+		uint64(task), uint64(attempt), uint64(worker))
+	// Fixed draw order keeps the fate stable when individual rates
+	// change from zero to zero (each decision consumes one draw).
+	var f Fate
+	if r.Bool(c.DropRate) {
+		f.Drop = true
+		in.dropped.Add(1)
+		mDropped.Inc()
+		return f
+	}
+	if r.Bool(c.StragglerRate) {
+		f.Straggle = true
+		in.straggled.Add(1)
+		mStraggled.Inc()
+	}
+	if r.Bool(c.DuplicateRate) {
+		f.Duplicate = true
+		in.duplicated.Add(1)
+		mDuplicated.Inc()
+	}
+	if r.Bool(c.CorruptRate) {
+		f.Corrupt = true
+		f.CorruptValue = r.Bool(0.5)
+		in.corrupted.Add(1)
+		mCorrupted.Inc()
+	}
+	return f
+}
+
+// DelayForBlackout shifts a delivery tick out of any blackout window
+// covering it on the given market, returning the adjusted tick.
+// Windows may chain: an answer pushed to the end of one blackout can
+// land inside the next.
+func (in *Injector) DelayForBlackout(market string, tick int64) int64 {
+	if in == nil || len(in.cfg.Blackouts) == 0 {
+		return tick
+	}
+	shifted := false
+	for moved := true; moved; {
+		moved = false
+		for _, b := range in.cfg.Blackouts {
+			if b.Market != "" && b.Market != market {
+				continue
+			}
+			if tick >= b.From && tick < b.Until {
+				tick = b.Until
+				moved, shifted = true, true
+			}
+		}
+	}
+	if shifted {
+		in.blackout.Add(1)
+		mBlackout.Inc()
+	}
+	return tick
+}
+
+// Stats snapshots the injected-fault counters.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return Stats{
+		Dropped:        in.dropped.Load(),
+		Straggled:      in.straggled.Load(),
+		Duplicated:     in.duplicated.Load(),
+		Corrupted:      in.corrupted.Load(),
+		BlackoutDelays: in.blackout.Load(),
+	}
+}

@@ -1,0 +1,108 @@
+package faults
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestJudgeDeterministic checks the core contract: fates are a pure
+// function of (seed, market, task, attempt, worker), independent of
+// call order and of calls interleaved from other goroutines.
+func TestJudgeDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, DropRate: 0.1, StragglerRate: 0.2, DuplicateRate: 0.05, CorruptRate: 0.05}
+	a, b := New(cfg), New(cfg)
+
+	// Draw from b in a scrambled order and from several goroutines.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for task := 99; task >= 0; task-- {
+				for w := 0; w < 5; w++ {
+					b.Judge("amt", task, g%2, (w+g)%5)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for task := 0; task < 100; task++ {
+		for w := 0; w < 5; w++ {
+			got := b.Judge("amt", task, 0, w)
+			want := a.Judge("amt", task, 0, w)
+			if got != want {
+				t.Fatalf("task %d worker %d: fate %+v vs %+v", task, w, got, want)
+			}
+		}
+	}
+}
+
+// TestJudgeRates checks the empirical fault rates land near the
+// configured probabilities on a large sample.
+func TestJudgeRates(t *testing.T) {
+	in := New(Config{Seed: 3, DropRate: 0.1, StragglerRate: 0.2, CorruptRate: 0.05})
+	n := 20000
+	for task := 0; task < n; task++ {
+		in.Judge("m", task, 0, task%50)
+	}
+	s := in.Stats()
+	checkRate := func(name string, got uint64, want float64) {
+		t.Helper()
+		r := float64(got) / float64(n)
+		if r < want*0.8 || r > want*1.2 {
+			t.Errorf("%s rate = %.4f, want ≈ %.2f", name, r, want)
+		}
+	}
+	checkRate("drop", s.Dropped, 0.1)
+	// Stragglers are only judged on non-dropped assignments.
+	checkRate("straggle", s.Straggled, 0.2*0.9)
+	checkRate("corrupt", s.Corrupted, 0.05*0.9)
+}
+
+// TestNilInjector: a nil injector is the no-chaos injector.
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if f := in.Judge("amt", 1, 0, 2); f != (Fate{}) {
+		t.Fatalf("nil injector dealt %+v", f)
+	}
+	if got := in.DelayForBlackout("amt", 10); got != 10 {
+		t.Fatalf("nil injector shifted tick to %d", got)
+	}
+	if s := in.Stats(); s != (Stats{}) {
+		t.Fatalf("nil injector stats %+v", s)
+	}
+}
+
+func TestBlackoutShift(t *testing.T) {
+	in := New(Config{Blackouts: []Blackout{
+		{Market: "amt", From: 10, Until: 20},
+		{Market: "amt", From: 20, Until: 30}, // chained window
+		{Market: "", From: 100, Until: 110},  // all markets
+	}})
+	cases := []struct {
+		market string
+		tick   int64
+		want   int64
+	}{
+		{"amt", 5, 5},    // before the window
+		{"amt", 10, 30},  // chained through both windows
+		{"amt", 25, 30},  // inside the second window
+		{"amt", 30, 30},  // window end is open
+		{"cf", 15, 15},   // other market unaffected
+		{"cf", 105, 110}, // global window hits every market
+	}
+	for _, c := range cases {
+		if got := in.DelayForBlackout(c.market, c.tick); got != c.want {
+			t.Errorf("DelayForBlackout(%s, %d) = %d, want %d", c.market, c.tick, got, c.want)
+		}
+	}
+}
+
+func TestRateClamping(t *testing.T) {
+	in := New(Config{DropRate: 7, StragglerRate: -2})
+	cfg := in.Config()
+	if cfg.DropRate != 1 || cfg.StragglerRate != 0 {
+		t.Fatalf("clamped config = %+v", cfg)
+	}
+}

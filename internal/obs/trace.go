@@ -20,21 +20,25 @@ import (
 //	│   ├── score   candidate scoring (cost control, Eq. 1)
 //	│   ├── batch   conflict-free batch selection (latency control, §5.2)
 //	│   ├── issue   task issue + answer collection (tasks=…, assignments=…)
+//	│   │   ├── collect  one async collect window (fault-tolerant transport)
+//	│   │   └── reissue  a retry/hedge wave (event; tasks=… reissued)
 //	│   ├── infer   truth inference (CDB+ EM; absent under majority voting)
 //	│   └── color   graph coloring with the round's verdicts
 //	├── round (round=2, …)
 //	└── drain       the final strategy probe that returned no tasks
 const (
-	SpanQuery = "query"
-	SpanParse = "parse"
-	SpanPlan  = "plan"
-	SpanRound = "round"
-	SpanScore = "score"
-	SpanBatch = "batch"
-	SpanIssue = "issue"
-	SpanInfer = "infer"
-	SpanColor = "color"
-	SpanDrain = "drain"
+	SpanQuery   = "query"
+	SpanParse   = "parse"
+	SpanPlan    = "plan"
+	SpanRound   = "round"
+	SpanScore   = "score"
+	SpanBatch   = "batch"
+	SpanIssue   = "issue"
+	SpanCollect = "collect"
+	SpanReissue = "reissue"
+	SpanInfer   = "infer"
+	SpanColor   = "color"
+	SpanDrain   = "drain"
 )
 
 // Span is one typed record of the query lifecycle. Timings are

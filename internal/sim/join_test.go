@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"cdb/internal/stats"
+	"cdb/internal/testutil"
 )
 
 // randomStrings generates n strings over a small alphabet so that both
@@ -44,6 +45,7 @@ func pairsEqual(a, b []Pair) bool {
 // similarity bits) to the single-worker run, across functions,
 // thresholds, and worker counts.
 func TestJoinParallelMatchesSequential(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)()
 	oldW, oldT := JoinWorkers, joinParallelThreshold
 	defer func() { JoinWorkers, joinParallelThreshold = oldW, oldT }()
 	joinParallelThreshold = 1
@@ -70,6 +72,7 @@ func TestJoinParallelMatchesSequential(t *testing.T) {
 // TestJoinParallelMatchesBruteForce cross-checks the sharded join
 // against the quadratic reference on random inputs.
 func TestJoinParallelMatchesBruteForce(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)()
 	oldW, oldT := JoinWorkers, joinParallelThreshold
 	defer func() { JoinWorkers, joinParallelThreshold = oldW, oldT }()
 	JoinWorkers, joinParallelThreshold = 4, 1

@@ -128,3 +128,38 @@ func (r *RNG) Shuffle(n int, swap func(i, j int)) {
 func Pick[T any](r *RNG, xs []T) T {
 	return xs[r.Intn(len(xs))]
 }
+
+// HashString folds a string into 64 bits (FNV-1a), for keying HashRNG
+// with identifiers such as market names.
+func HashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// HashRNG derives a generator from a seed and a sequence of key parts.
+// Unlike Split, the result depends only on the inputs — not on how many
+// values were drawn before — so concurrent subsystems can reconstruct
+// the exact same stream for a logical entity (a task attempt, a worker
+// assignment) regardless of goroutine scheduling. This is the substrate
+// of the fault injector's order-independent determinism.
+func HashRNG(seed uint64, parts ...uint64) *RNG {
+	h := seed
+	for _, p := range parts {
+		// SplitMix64 finalizer per part: cheap, well-mixed, and immune to
+		// the part-ordering collisions a plain xor/add would have.
+		h += 0x9e3779b97f4a7c15
+		z := h ^ p
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		h = z ^ (z >> 31)
+	}
+	return NewRNG(h)
+}

@@ -1,0 +1,37 @@
+// Package testutil holds small shared test helpers. It must only be
+// imported from _test files.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// VerifyNoLeaks snapshots the goroutine count and returns a function to
+// defer at the top of a test: it fails the test if, after a grace
+// period with retries, more goroutines are alive than before (a
+// hand-rolled goleak). The retry loop absorbs goroutines that are
+// legitimately mid-exit when the test body returns.
+func VerifyNoLeaks(t testing.TB) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		var now int
+		for {
+			now = runtime.NumGoroutine()
+			if now <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before, %d after\n%s", before, now, buf[:n])
+	}
+}

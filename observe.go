@@ -40,18 +40,22 @@ func NewJSONLWriter(w io.Writer) *JSONLWriter { return obs.NewJSONLWriter(w) }
 
 // Span names as they appear in Span.Name and in trace JSONL output.
 // The tree is query → {parse, plan, round*} and each round nests
-// score/batch (inside the strategy) plus issue/infer/color.
+// score/batch (inside the strategy) plus issue/infer/color; on the
+// fault-tolerant transport, issue further nests collect windows and
+// reissue (retry/hedge) events.
 const (
-	SpanQuery = obs.SpanQuery
-	SpanParse = obs.SpanParse
-	SpanPlan  = obs.SpanPlan
-	SpanRound = obs.SpanRound
-	SpanScore = obs.SpanScore
-	SpanBatch = obs.SpanBatch
-	SpanIssue = obs.SpanIssue
-	SpanInfer = obs.SpanInfer
-	SpanColor = obs.SpanColor
-	SpanDrain = obs.SpanDrain
+	SpanQuery   = obs.SpanQuery
+	SpanParse   = obs.SpanParse
+	SpanPlan    = obs.SpanPlan
+	SpanRound   = obs.SpanRound
+	SpanScore   = obs.SpanScore
+	SpanBatch   = obs.SpanBatch
+	SpanIssue   = obs.SpanIssue
+	SpanCollect = obs.SpanCollect
+	SpanReissue = obs.SpanReissue
+	SpanInfer   = obs.SpanInfer
+	SpanColor   = obs.SpanColor
+	SpanDrain   = obs.SpanDrain
 )
 
 // MetricsRegistry aggregates the process-wide counters, gauges and
