@@ -359,6 +359,14 @@ type Stats struct {
 	Late            int // answers that arrived after their round deadline
 	Duplicates      int // redundant deliveries deduplicated away
 	RoundsTruncated int // rounds discarded by cancellation or deadline
+
+	// Sharing telemetry, populated when the query ran through an Engine:
+	// tasks that attached to another query's in-flight HIT, and tasks
+	// answered from the shared verdict cache. Assignments/HITs/Dollars
+	// above still charge the full redundancy to this query either way —
+	// sharing changes what the platform does, not what a query observes.
+	Coalesced   int
+	CachedTasks int
 }
 
 // Result is the outcome of one Exec call.
@@ -607,9 +615,12 @@ func (db *DB) execSelect(ctx context.Context, s *cql.Select, tr *obs.Tracer) (*R
 			Late:            rep.Reliability.Late,
 			Duplicates:      rep.Reliability.Duplicates,
 			RoundsTruncated: rep.Reliability.RoundsTruncated,
+
+			Coalesced:   rep.Coalesced,
+			CachedTasks: rep.CachedTasks,
 		},
 	}
-	res.Columns = projectionColumns(plan)
+	res.Columns = plan.ProjectionColumns()
 	for _, a := range rep.Answers {
 		row, err := plan.ProjectAnswer(a)
 		if err != nil {
@@ -626,23 +637,4 @@ func (db *DB) execSelect(ctx context.Context, s *cql.Select, tr *obs.Tracer) (*R
 		res.Message += fmt.Sprintf(" (partial: %s)", res.Stats.Reason)
 	}
 	return res, nil
-}
-
-func projectionColumns(p *exec.Plan) []string {
-	var out []string
-	if p.Stmt.Star {
-		for ti, tb := range p.Tables {
-			if tb == nil {
-				continue
-			}
-			for _, c := range tb.Schema.Columns {
-				out = append(out, p.S.Tables[ti]+"."+c.Name)
-			}
-		}
-		return out
-	}
-	for _, ref := range p.Stmt.Cols {
-		out = append(out, ref.String())
-	}
-	return out
 }

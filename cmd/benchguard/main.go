@@ -1,0 +1,119 @@
+// Command benchguard gates benchmark regressions in CI.
+//
+// It compares a freshly measured BENCH_cost.json against the committed
+// baseline and exits non-zero if any matched ns/op metric regressed by
+// more than the allowed fraction (default 25%). Metrics are matched by
+// identity — round benchmarks by edge count, join benchmarks by
+// (n, workers) — so adding or removing scales never trips the guard;
+// only a measured slowdown on a shared metric does.
+//
+// Usage:
+//
+//	go run ./cmd/cdbench -costbench -costbenchout BENCH_current.json
+//	go run ./cmd/benchguard -baseline BENCH_baseline.json -current BENCH_current.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"cdb/internal/bench"
+)
+
+func load(path string) (*bench.CostBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r bench.CostBenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// check compares one matched metric and reports whether it passed.
+func check(w *int, label string, base, cur, allowed float64) bool {
+	ratio := cur / base
+	status := "ok"
+	pass := true
+	if ratio > 1+allowed {
+		status = "REGRESSED"
+		pass = false
+	}
+	fmt.Printf("%-34s baseline %12.0f ns  current %12.0f ns  %+6.1f%%  %s\n",
+		label, base, cur, (ratio-1)*100, status)
+	if !pass {
+		*w++
+	}
+	return pass
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline report")
+		currentPath  = flag.String("current", "BENCH_cost.json", "freshly measured report")
+		allowed      = flag.Float64("allowed", 0.25, "allowed ns/op regression fraction before failing")
+	)
+	flag.Parse()
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	if base.GoMaxProcs != cur.GoMaxProcs {
+		fmt.Printf("note: GOMAXPROCS differs (baseline %d, current %d); comparison is advisory\n",
+			base.GoMaxProcs, cur.GoMaxProcs)
+	}
+
+	baseRounds := make(map[int]bench.RoundBenchResult, len(base.Rounds))
+	for _, r := range base.Rounds {
+		baseRounds[r.Edges] = r
+	}
+	type joinKey struct{ n, workers int }
+	baseJoins := make(map[joinKey]bench.JoinBenchResult, len(base.Joins))
+	for _, j := range base.Joins {
+		baseJoins[joinKey{j.N, j.Workers}] = j
+	}
+
+	regressions, matched := 0, 0
+	for _, r := range cur.Rounds {
+		b, ok := baseRounds[r.Edges]
+		if !ok {
+			fmt.Printf("%-34s no baseline, skipped\n", fmt.Sprintf("rounds/%d-edges", r.Edges))
+			continue
+		}
+		matched++
+		check(&regressions, fmt.Sprintf("rounds/%d-edges", r.Edges),
+			b.IncrementalNsRound, r.IncrementalNsRound, *allowed)
+	}
+	for _, j := range cur.Joins {
+		b, ok := baseJoins[joinKey{j.N, j.Workers}]
+		if !ok {
+			fmt.Printf("%-34s no baseline, skipped\n", fmt.Sprintf("join/n=%d-workers=%d", j.N, j.Workers))
+			continue
+		}
+		matched++
+		check(&regressions, fmt.Sprintf("join/n=%d-workers=%d", j.N, j.Workers),
+			b.NsJoin, j.NsJoin, *allowed)
+	}
+
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no metrics matched between baseline and current")
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %d of %d metrics regressed beyond %.0f%%\n",
+			regressions, matched, *allowed*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: all %d metrics within %.0f%% of baseline\n", matched, *allowed*100)
+}

@@ -21,16 +21,21 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment id (fig1, fig8, fig11, fig14, fig17, fig18, fig20, fig21, fig22, fig23, table5) or 'all'")
-		dataset   = flag.String("dataset", "paper", "dataset: paper or award")
-		scale     = flag.Float64("scale", 0.12, "dataset scale (1.0 = the paper's Table 2/3 sizes)")
-		reps      = flag.Int("reps", 3, "repetitions per cell (the paper averages 1000)")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		red       = flag.Int("redundancy", 5, "answers per task")
-		workerQ   = flag.Float64("workerq", 0.8, "mean simulated worker accuracy")
-		samples   = flag.Int("samples", 20, "MinCut sampling count")
-		costbench = flag.Bool("costbench", false, "run the incremental cost-engine benchmarks and write BENCH_cost.json")
-		benchOut  = flag.String("costbenchout", "BENCH_cost.json", "output path for -costbench")
+		exp        = flag.String("exp", "all", "experiment id (fig1, fig8, fig11, fig14, fig17, fig18, fig20, fig21, fig22, fig23, table5) or 'all'")
+		dataset    = flag.String("dataset", "paper", "dataset: paper or award")
+		scale      = flag.Float64("scale", 0.12, "dataset scale (1.0 = the paper's Table 2/3 sizes)")
+		reps       = flag.Int("reps", 3, "repetitions per cell (the paper averages 1000)")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		red        = flag.Int("redundancy", 5, "answers per task")
+		workerQ    = flag.Float64("workerq", 0.8, "mean simulated worker accuracy")
+		samples    = flag.Int("samples", 20, "MinCut sampling count")
+		costbench  = flag.Bool("costbench", false, "run the incremental cost-engine benchmarks and write BENCH_cost.json")
+		benchOut   = flag.String("costbenchout", "BENCH_cost.json", "output path for -costbench")
+		benchProcs = flag.Int("costbenchprocs", 0, "pin GOMAXPROCS for -costbench (0 = leave as is)")
+
+		serveClients = flag.Int("serve-clients", 8, "serve experiment: concurrent in-flight queries")
+		serveQueries = flag.Int("serve-queries", 24, "serve experiment: workload size over the 5 query templates")
+		serveOut     = flag.String("serve-out", "BENCH_engine.json", "serve experiment: report path (empty skips the artifact)")
 
 		faultSeed      = flag.Uint64("fault-seed", 1, "chaos engine seed (same seed replays identical faults)")
 		faultDrop      = flag.Float64("fault-drop", 0, "fraction of crowd answers dropped (chaos experiment sweeps its own grid unless set)")
@@ -88,7 +93,7 @@ func main() {
 	}
 
 	if *costbench {
-		if err := bench.RunCostBench(*benchOut, os.Stdout); err != nil {
+		if err := bench.RunCostBench(*benchOut, *benchProcs, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "cdbench: costbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -112,6 +117,9 @@ func main() {
 	cfg.TaskDeadline = *deadline
 	cfg.MaxRetries = *retries
 	cfg.HedgeFrac = *hedge
+	cfg.ServeClients = *serveClients
+	cfg.ServeQueries = *serveQueries
+	cfg.ServeOut = *serveOut
 	if *faultDrop > 0 {
 		// An explicit drop rate pins the chaos experiment's whole grid
 		// to that single intensity.

@@ -1,0 +1,224 @@
+package cdb
+
+import (
+	"context"
+	"fmt"
+
+	"cdb/internal/engine"
+)
+
+// Engine serves concurrent CQL queries over one DB's catalog and
+// crowd. Where DB.Exec runs one query at a time, an Engine admits up
+// to MaxInFlight queries simultaneously and makes their overlap pay:
+// identical crowd tasks are dispatched once and fanned out (HIT
+// coalescing), verdicts persist in a bounded cache across queries, and
+// similarity joins over the same table pairs are planned once.
+//
+// Sharing never changes answers. Every verdict is a pure function of
+// the engine seed and the task's content, so a query returns
+// bit-identical rows — and identical per-query Stats — whether it ran
+// alone or raced the whole fleet; Stats.Coalesced / Stats.CachedTasks
+// and EngineStats report how much crowd work the sharing saved.
+//
+// Only SELECT without GROUP BY / ORDER BY is served (those need the
+// exclusive DB.Exec path), aggregation is majority voting, and the
+// catalog must not be mutated while the engine serves.
+type Engine struct {
+	inner *engine.Engine
+}
+
+type engineOptions struct {
+	maxInFlight int
+	maxQueue    int
+	cacheSize   int
+	resultCache int
+	tracing     bool
+}
+
+// EngineOption configures NewEngine.
+type EngineOption func(*engineOptions)
+
+// WithMaxInFlight bounds concurrently executing queries (default 8).
+func WithMaxInFlight(n int) EngineOption {
+	return func(o *engineOptions) { o.maxInFlight = n }
+}
+
+// WithMaxQueue bounds queries queued behind the in-flight set; a full
+// queue makes Submit fail fast with ErrOverloaded (default 64).
+func WithMaxQueue(n int) EngineOption {
+	return func(o *engineOptions) { o.maxQueue = n }
+}
+
+// WithVerdictCache bounds the shared verdict cache in entries
+// (default 4096).
+func WithVerdictCache(n int) EngineOption {
+	return func(o *engineOptions) { o.cacheSize = n }
+}
+
+// WithResultCache bounds the query-level answer cache (default 256
+// entries; negative disables). Identical statements are served whole
+// from a completed execution — safe because answers are deterministic
+// in the engine seed and the canonical statement. Shared results
+// carry no Trace.
+func WithResultCache(n int) EngineOption {
+	return func(o *engineOptions) { o.resultCache = n }
+}
+
+// WithEngineTracing attaches a per-query span tree to every Result.
+func WithEngineTracing(on bool) EngineOption {
+	return func(o *engineOptions) { o.tracing = on }
+}
+
+// Errors surfaced by Engine.Submit (re-exported from the serving
+// layer so callers can errors.Is against them).
+var (
+	ErrEngineClosed      = engine.ErrClosed
+	ErrEngineOverloaded  = engine.ErrOverloaded
+	ErrEngineUnsupported = engine.ErrUnsupported
+)
+
+// NewEngine builds a serving engine over the DB's catalog, oracle,
+// crowd pool and optimizer configuration. The engine draws one seed
+// from the DB's RNG at construction, so a DB opened with the same
+// WithSeed yields an engine that replays identical verdicts.
+func (db *DB) NewEngine(opts ...EngineOption) (*Engine, error) {
+	o := engineOptions{tracing: db.tracing}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	inner, err := engine.New(engine.Config{
+		Catalog:         db.catalog,
+		Oracle:          db.oracle,
+		Pool:            db.pool,
+		Sim:             db.simFunc,
+		Epsilon:         db.epsilon,
+		Redundancy:      db.redundancy,
+		Seed:            db.rng.Split().Uint64(),
+		MaxInFlight:     o.maxInFlight,
+		MaxQueue:        o.maxQueue,
+		CacheSize:       o.cacheSize,
+		ResultCacheSize: o.resultCache,
+		Tracing:         o.tracing,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner: inner}, nil
+}
+
+// Future is the pending result of one submitted query.
+type Future struct {
+	h *engine.Handle
+}
+
+// Query returns the submitted CQL text.
+func (f *Future) Query() string { return f.h.Query }
+
+// Done exposes the completion signal for select loops.
+func (f *Future) Done() <-chan struct{} { return f.h.Done() }
+
+// Result blocks until the query completes (or ctx expires) and
+// returns its Result. Waiting with an expired context does not cancel
+// the query itself — cancel the Submit context for that.
+func (f *Future) Result(ctx context.Context) (*Result, error) {
+	ans, err := f.h.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rep := ans.Report
+	res := &Result{
+		Columns: ans.Columns,
+		Rows:    ans.Rows,
+		Stats: Stats{
+			Tasks:       rep.Metrics.Tasks,
+			Rounds:      rep.Metrics.Rounds,
+			Assignments: rep.Assignments,
+			HITs:        rep.HITs,
+			Dollars:     rep.Dollars,
+			Precision:   rep.Metrics.Precision,
+			Recall:      rep.Metrics.Recall,
+			F1:          rep.Metrics.F1(),
+
+			Partial: rep.Reliability.Partial,
+			Reason:  rep.Reliability.Reason,
+
+			Coalesced:   rep.Coalesced,
+			CachedTasks: rep.CachedTasks,
+		},
+		Confidence: rep.Confidence,
+	}
+	res.Trace = ans.Trace
+	res.Message = fmt.Sprintf("%d answers, %d tasks, %d rounds", len(res.Rows), res.Stats.Tasks, res.Stats.Rounds)
+	if res.Stats.Coalesced+res.Stats.CachedTasks > 0 {
+		res.Message += fmt.Sprintf(" (%d shared)", res.Stats.Coalesced+res.Stats.CachedTasks)
+	}
+	return res, nil
+}
+
+// Submit admits one CQL SELECT for concurrent execution and returns a
+// Future immediately. ctx cancels the query at crowd-round
+// boundaries; a full queue returns ErrEngineOverloaded without
+// blocking.
+func (e *Engine) Submit(ctx context.Context, query string) (*Future, error) {
+	h, err := e.inner.Submit(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	return &Future{h: h}, nil
+}
+
+// Close stops admission and waits for in-flight queries to finish.
+func (e *Engine) Close() { e.inner.Close() }
+
+// EngineStats snapshots the engine's sharing economics: what the
+// fleet asked for, what actually went to the crowd, and what sharing
+// saved.
+type EngineStats struct {
+	Submitted int64 // queries admitted
+	Completed int64 // queries finished successfully
+	Rejected  int64 // queries shed by backpressure
+
+	QueriesCached   int64 // whole queries served from the answer cache
+	QueriesAttached int64 // whole queries attached to an identical in-flight one
+
+	TasksResolved int64 // crowd tasks served
+	Coalesced     int64 // tasks attached to an in-flight HIT
+	Cached        int64 // tasks served from the verdict cache
+
+	AssignmentsIssued int64 // worker answers actually simulated
+	AssignmentsSaved  int64 // answers avoided by sharing
+	HITsIssued        int   // priced HITs actually issued
+	HITsSaved         int   // priced HITs avoided by sharing
+
+	JoinsComputed int64 // similarity joins executed
+	JoinsShared   int64 // similarity joins reused from the cache
+
+	CacheEntries int // live verdict-cache entries
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() EngineStats {
+	s := e.inner.Stats()
+	return EngineStats{
+		Submitted: s.Submitted,
+		Completed: s.Completed,
+		Rejected:  s.Rejected,
+
+		QueriesCached:   s.QueriesCached,
+		QueriesAttached: s.QueriesAttached,
+
+		TasksResolved: s.TasksResolved,
+		Coalesced:     s.Coalesced,
+		Cached:        s.Cached,
+
+		AssignmentsIssued: s.AssignmentsIssued,
+		AssignmentsSaved:  s.AssignmentsSaved,
+		HITsIssued:        s.HITsIssued,
+		HITsSaved:         s.HITsSaved,
+
+		JoinsComputed: s.JoinsComputed,
+		JoinsShared:   s.JoinsShared,
+
+		CacheEntries: s.CacheEntries,
+	}
+}

@@ -1,0 +1,91 @@
+package cdb
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestEngineServesConcurrentQueries runs overlapping queries through
+// the public Engine API and checks results, sharing telemetry, and
+// replay determinism across equally-seeded DBs.
+func TestEngineServesConcurrentQueries(t *testing.T) {
+	open := func() *DB {
+		return Open(WithSeed(11), WithDataset("example", 0, 1), WithWorkers(40, 0.85, 0.05))
+	}
+	queries := []string{
+		`SELECT Paper.title, Researcher.affiliation FROM Paper, Researcher
+		   WHERE Paper.author CROWDJOIN Researcher.name;`,
+		`SELECT Paper.title, Researcher.affiliation FROM Paper, Researcher
+		   WHERE Paper.author CROWDJOIN Researcher.name;`,
+		`SELECT Paper.title FROM Paper, Citation
+		   WHERE Paper.title CROWDJOIN Citation.title;`,
+	}
+
+	run := func(db *DB) ([][][]string, EngineStats) {
+		e, err := db.NewEngine(WithMaxInFlight(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs := make([]*Future, len(queries))
+		for i, q := range queries {
+			f, err := e.Submit(context.Background(), q)
+			if err != nil {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			futs[i] = f
+		}
+		rows := make([][][]string, len(queries))
+		for i, f := range futs {
+			res, err := f.Result(context.Background())
+			if err != nil {
+				t.Fatalf("query %d: %v", i, err)
+			}
+			rows[i] = res.Rows
+		}
+		st := e.Stats()
+		e.Close()
+		return rows, st
+	}
+
+	db1, db2 := open(), open()
+	rows1, st := run(db1)
+	rows2, _ := run(db2)
+
+	if st.AssignmentsSaved == 0 {
+		t.Fatalf("no assignments saved: %+v", st)
+	}
+	// Two of the queries are identical: whichever lost the race to own
+	// the execution must have shared the whole answer.
+	if st.QueriesCached+st.QueriesAttached == 0 {
+		t.Fatalf("identical queries shared no answers: %+v", st)
+	}
+	if st.Completed != int64(len(queries)) {
+		t.Fatalf("completed %d queries, want %d", st.Completed, len(queries))
+	}
+	for i := range rows1 {
+		if len(rows1[i]) != len(rows2[i]) {
+			t.Fatalf("query %d: replay row count %d != %d", i, len(rows1[i]), len(rows2[i]))
+		}
+		for r := range rows1[i] {
+			for c := range rows1[i][r] {
+				if rows1[i][r][c] != rows2[i][r][c] {
+					t.Fatalf("query %d row %d: replay mismatch %v vs %v", i, r, rows1[i][r], rows2[i][r])
+				}
+			}
+		}
+	}
+
+	// The exclusive paths still refuse cleanly.
+	e, err := db1.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(context.Background(), "COLLECT University.name;"); !errors.Is(err, ErrEngineUnsupported) {
+		t.Fatalf("COLLECT: want ErrEngineUnsupported, got %v", err)
+	}
+	e.Close()
+	if _, err := e.Submit(context.Background(), queries[0]); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("want ErrEngineClosed, got %v", err)
+	}
+}

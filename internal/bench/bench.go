@@ -57,6 +57,11 @@ type Config struct {
 	TaskDeadline   int64   // per-HIT deadline in virtual ticks (0 = default)
 	MaxRetries     int     // reissue waves per round (0 = default)
 	HedgeFrac      float64 // slowest fraction hedged (0 = default)
+
+	// Serving knobs (the "serve" experiment and cdbench -serve-* flags).
+	ServeClients int    // engine concurrency (in-flight queries)
+	ServeQueries int    // workload size (arrivals over the 5 templates)
+	ServeOut     string // BENCH_engine.json path ("" skips the artifact)
 }
 
 // DefaultConfig returns settings sized for minutes-scale regeneration.
@@ -72,6 +77,10 @@ func DefaultConfig() Config {
 		WorkerSD:   0.1,
 		PoolSize:   50,
 		Samples:    20,
+
+		ServeClients: 8,
+		ServeQueries: 24,
+		ServeOut:     "BENCH_engine.json",
 	}
 }
 
@@ -239,11 +248,12 @@ var Registry = map[string]func(Config) ([]*Table, error){
 	"fig23":  Fig23to24,
 	"table5": Table5,
 	"chaos":  Chaos,
+	"serve":  Serve,
 }
 
 // ExperimentIDs returns the registry keys in canonical order.
 func ExperimentIDs() []string {
-	return []string{"fig1", "fig8", "fig11", "fig14", "fig17", "fig18", "fig20", "fig21", "fig22", "fig23", "table5", "chaos"}
+	return []string{"fig1", "fig8", "fig11", "fig14", "fig17", "fig18", "fig20", "fig21", "fig22", "fig23", "table5", "chaos", "serve"}
 }
 
 // aliases used by several experiments.

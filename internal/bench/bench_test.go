@@ -177,3 +177,30 @@ func TestGenDataDatasets(t *testing.T) {
 		t.Fatalf("award dataset = %s", d.Name)
 	}
 }
+
+func TestServeBeatsSequential(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.ServeQueries = 15
+	cfg.ServeClients = 8
+	cfg.ServeOut = "" // no artifact from tests
+	tables, err := Serve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rowsByLabel(tables[0], 0)
+	seq, ok := rows["sequential"]
+	if !ok {
+		t.Fatal("no sequential row")
+	}
+	eng, ok := rows["engine@8"]
+	if !ok {
+		t.Fatal("no engine row")
+	}
+	// values: qps, p50_ms, p95_ms, hits, hits_saved, speedup
+	if eng[0] <= seq[0] {
+		t.Fatalf("engine QPS %v not above sequential %v", eng[0], seq[0])
+	}
+	if eng[4] <= 0 {
+		t.Fatalf("engine saved no HITs: %v", eng)
+	}
+}

@@ -151,11 +151,19 @@ func benchJoinScale(n, workers, reps int) JoinBenchResult {
 
 // RunCostBench executes the incremental-engine benchmarks and writes
 // the report to path (BENCH_cost.json), echoing a summary to w.
-func RunCostBench(path string, w io.Writer) error {
+// procs > 0 pins GOMAXPROCS for the run (restored on return) so the
+// worker sweep measures scheduling, not whatever the host happened to
+// expose; the effective value is recorded in the report either way.
+func RunCostBench(path string, procs int, w io.Writer) error {
+	if procs > 0 {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+	}
 	report := CostBenchReport{
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
+	fmt.Fprintf(w, "GOMAXPROCS=%d\n", report.GoMaxProcs)
 	for _, blocks := range []int{400, 1700} { // ~2.4k and ~10.2k edges
 		res := benchRoundScale(blocks, 80)
 		report.Rounds = append(report.Rounds, res)
@@ -163,7 +171,7 @@ func RunCostBench(path string, w io.Writer) error {
 			res.Edges, res.IncrementalNsRound/1e6, res.NaiveNsRound/1e6, res.Speedup)
 	}
 	for _, n := range []int{300, 1000} {
-		for _, workers := range []int{1, 0} {
+		for _, workers := range []int{1, 2, 4, 8} {
 			res := benchJoinScale(n, workers, 3)
 			report.Joins = append(report.Joins, res)
 			fmt.Fprintf(w, "sim.Join n=%d workers=%d: %.2fms\n", n, res.Workers, res.NsJoin/1e6)

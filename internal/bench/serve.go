@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"cdb/internal/cost"
+	"cdb/internal/crowd"
+	"cdb/internal/dataset"
+	"cdb/internal/engine"
+	"cdb/internal/exec"
+	"cdb/internal/stats"
+)
+
+// ServeModeResult is one serving mode's aggregate outcome over the
+// workload.
+type ServeModeResult struct {
+	Mode        string  `json:"mode"` // "sequential" or "engine"
+	Concurrency int     `json:"concurrency"`
+	Queries     int     `json:"queries"`
+	WallMs      float64 `json:"wall_ms"`
+	QPS         float64 `json:"qps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	HITsIssued  int     `json:"hits_issued"`
+	HITsSaved   int     `json:"hits_saved"`
+	Coalesced   int64   `json:"tasks_coalesced"`
+	Cached      int64   `json:"tasks_cached"`
+	JoinsShared int64   `json:"joins_shared"`
+}
+
+// ServeBenchReport is the schema of BENCH_engine.json: sequential
+// no-sharing replay vs the concurrent engine on the same workload.
+type ServeBenchReport struct {
+	Date       string          `json:"date"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Dataset    string          `json:"dataset"`
+	Scale      float64         `json:"scale"`
+	Sequential ServeModeResult `json:"sequential"`
+	Engine     ServeModeResult `json:"engine"`
+	Speedup    float64         `json:"speedup"` // engine QPS / sequential QPS
+}
+
+// serveWorkload interleaves the paper's five query shapes into an
+// n-query arrival sequence — the template overlap a serving layer
+// exists to exploit.
+func serveWorkload(ds string, n int) []string {
+	qs := dataset.Queries(ds)
+	labels := dataset.QueryLabels()
+	out := make([]string, n)
+	for i := range out {
+		out[i] = qs[labels[i%len(labels)]]
+	}
+	return out
+}
+
+func latencyStats(lat []float64) (p50, p95 float64) {
+	if len(lat) == 0 {
+		return 0, 0
+	}
+	s := append([]float64(nil), lat...)
+	sort.Float64s(s)
+	return s[len(s)/2], s[(len(s)*95)/100]
+}
+
+// serveSequential replays the workload one query at a time through
+// the standalone path — fresh plan, private similarity join, private
+// crowdsourcing — i.e. what N independent DB.Exec callers would pay.
+func serveSequential(d *dataset.Data, queries []string, cfg Config, rng *stats.RNG) (ServeModeResult, error) {
+	pool := crowd.NewPool(cfg.PoolSize, cfg.WorkerQ, cfg.WorkerSD, rng.Split())
+	planCfg := exec.PlanConfig{Sim: defaultSim, Epsilon: 0.3}
+	lat := make([]float64, len(queries))
+	assignments := 0
+	start := time.Now()
+	for i, q := range queries {
+		t0 := time.Now()
+		p, err := buildPlan(d, q, planCfg)
+		if err != nil {
+			return ServeModeResult{}, err
+		}
+		rep, err := exec.Run(context.Background(), p, exec.Options{
+			Strategy:   &cost.Expectation{},
+			Redundancy: cfg.Redundancy,
+			Pool:       pool,
+		})
+		if err != nil {
+			return ServeModeResult{}, err
+		}
+		assignments += rep.Assignments
+		lat[i] = float64(time.Since(t0).Nanoseconds()) / 1e6
+	}
+	wall := time.Since(start)
+	p50, p95 := latencyStats(lat)
+	return ServeModeResult{
+		Mode:        "sequential",
+		Concurrency: 1,
+		Queries:     len(queries),
+		WallMs:      float64(wall.Nanoseconds()) / 1e6,
+		QPS:         float64(len(queries)) / wall.Seconds(),
+		P50Ms:       p50,
+		P95Ms:       p95,
+		HITsIssued:  crowd.DefaultPricing.HITs(assignments),
+	}, nil
+}
+
+// serveEngine pushes the whole workload through one engine at the
+// given concurrency and measures per-query submit→done latency.
+func serveEngine(d *dataset.Data, queries []string, cfg Config, rng *stats.RNG, clients int) (ServeModeResult, error) {
+	e, err := engine.New(engine.Config{
+		Catalog:     d.Catalog,
+		Oracle:      d.Oracle,
+		Pool:        crowd.NewPool(cfg.PoolSize, cfg.WorkerQ, cfg.WorkerSD, rng.Split()),
+		Sim:         defaultSim,
+		Epsilon:     0.3,
+		Redundancy:  cfg.Redundancy,
+		Seed:        rng.Uint64(),
+		MaxInFlight: clients,
+		MaxQueue:    len(queries),
+	})
+	if err != nil {
+		return ServeModeResult{}, err
+	}
+	lat := make([]float64, len(queries))
+	var wg sync.WaitGroup
+	var submitErr error
+	start := time.Now()
+	for i, q := range queries {
+		t0 := time.Now()
+		h, err := e.Submit(context.Background(), q)
+		if err != nil {
+			submitErr = err
+			break
+		}
+		wg.Add(1)
+		go func(i int, h *engine.Handle, t0 time.Time) {
+			defer wg.Done()
+			<-h.Done()
+			lat[i] = float64(time.Since(t0).Nanoseconds()) / 1e6
+		}(i, h, t0)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	st := e.Stats()
+	e.Close()
+	if submitErr != nil {
+		return ServeModeResult{}, submitErr
+	}
+	if st.Completed != int64(len(queries)) {
+		return ServeModeResult{}, fmt.Errorf("bench: engine completed %d of %d queries", st.Completed, len(queries))
+	}
+	p50, p95 := latencyStats(lat)
+	return ServeModeResult{
+		Mode:        "engine",
+		Concurrency: clients,
+		Queries:     len(queries),
+		WallMs:      float64(wall.Nanoseconds()) / 1e6,
+		QPS:         float64(len(queries)) / wall.Seconds(),
+		P50Ms:       p50,
+		P95Ms:       p95,
+		HITsIssued:  st.HITsIssued,
+		HITsSaved:   st.HITsSaved,
+		Coalesced:   st.Coalesced,
+		Cached:      st.Cached,
+		JoinsShared: st.JoinsShared,
+	}, nil
+}
+
+// Serve is the "serve" experiment: the same arrival sequence replayed
+// standalone (no sharing, one at a time) and through the concurrent
+// engine, reporting throughput, tail latency and crowd work saved.
+// Writes BENCH_engine.json (cfg.ServeOut) as the committed artifact.
+func Serve(cfg Config) ([]*Table, error) {
+	rng := stats.NewRNG(cfg.Seed)
+	d := genData(cfg, rng.Uint64())
+	queries := serveWorkload(cfg.Dataset, cfg.ServeQueries)
+
+	seq, err := serveSequential(d, queries, cfg, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	eng, err := serveEngine(d, queries, cfg, rng.Split(), cfg.ServeClients)
+	if err != nil {
+		return nil, err
+	}
+
+	report := ServeBenchReport{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Dataset:    cfg.Dataset,
+		Scale:      cfg.Scale,
+		Sequential: seq,
+		Engine:     eng,
+		Speedup:    eng.QPS / seq.QPS,
+	}
+	if cfg.ServeOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(cfg.ServeOut, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+
+	t := &Table{
+		ID:         "serve",
+		Title:      fmt.Sprintf("concurrent serving, %d queries (engine @%d vs sequential): %.2fx throughput", len(queries), eng.Concurrency, report.Speedup),
+		LabelNames: []string{"mode"},
+		ValueNames: []string{"qps", "p50_ms", "p95_ms", "hits", "hits_saved", "speedup"},
+		Rows: []Row{
+			{Labels: []string{"sequential"}, Values: []float64{seq.QPS, seq.P50Ms, seq.P95Ms, float64(seq.HITsIssued), 0, 1}},
+			{Labels: []string{fmt.Sprintf("engine@%d", eng.Concurrency)}, Values: []float64{eng.QPS, eng.P50Ms, eng.P95Ms, float64(eng.HITsIssued), float64(eng.HITsSaved), report.Speedup}},
+		},
+	}
+	return []*Table{t}, nil
+}

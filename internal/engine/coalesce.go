@@ -1,0 +1,264 @@
+package engine
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"cdb/internal/crowd"
+	"cdb/internal/exec"
+	"cdb/internal/obs"
+	"cdb/internal/stats"
+)
+
+// Coalescer metrics (process-wide, across all engines).
+var (
+	mCoalTasks  = obs.Default.Counter("cdb_engine_tasks_total")
+	mCoalShared = obs.Default.Counter("cdb_engine_tasks_shared_total")
+	mCoalSaved  = obs.Default.Counter("cdb_engine_assignments_saved_total")
+)
+
+// coalescer is the engine's shared serving layer for crowd tasks: it
+// implements exec.TaskResolver for every query the engine admits.
+// Identical tasks — same canonical content key, same redundancy — are
+// dispatched to the (simulated) platform once: the first query to ask
+// owns the HIT, concurrent askers attach to it, and later askers are
+// served from a bounded LRU verdict cache that survives across
+// queries.
+//
+// Determinism is the load-bearing property. A task's answers are a
+// pure function of (engine seed, task key, redundancy): workers are
+// drawn and judged from a hash-derived RNG stream, never from the
+// pool's stateful arrival RNG. Scheduling therefore cannot leak into
+// verdicts — a query returns bit-identical rows whether it ran alone,
+// raced seven others, or hit the cache, which is what makes coalescing
+// safe to switch on.
+//
+// Each verdict charges the full redundancy k to every subscribing
+// query (virtual chargeback): per-query Stats are what they would have
+// been without sharing, and the engine's own counters report the real
+// platform work and the savings.
+type coalescer struct {
+	seed uint64
+	pool *crowd.Pool
+
+	mu       sync.Mutex
+	inflight map[string]*flight
+	cache    *lruCache[exec.TaskVerdict]
+
+	resolved  atomic.Int64 // tasks resolved
+	issued    atomic.Int64 // assignments actually drawn from the crowd
+	saved     atomic.Int64 // assignments avoided by sharing
+	coalesced atomic.Int64 // tasks attached to an in-flight HIT
+	cached    atomic.Int64 // tasks served from the verdict cache
+}
+
+// flight is one in-flight HIT: the owner fills verdict and closes
+// done; subscribers wait and copy.
+type flight struct {
+	done    chan struct{}
+	verdict exec.TaskVerdict
+}
+
+func newCoalescer(seed uint64, pool *crowd.Pool, cacheSize int) *coalescer {
+	return &coalescer{
+		seed:     seed,
+		pool:     pool,
+		inflight: make(map[string]*flight),
+		cache:    newVerdictLRU(cacheSize),
+	}
+}
+
+// Resolve implements exec.TaskResolver. Safe for concurrent use by
+// many queries; returns a verdict for every requested edge.
+func (c *coalescer) Resolve(ctx context.Context, reqs []exec.TaskRequest) (map[int]exec.TaskVerdict, error) {
+	out := make(map[int]exec.TaskVerdict, len(reqs))
+	for _, req := range reqs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		v, err := c.resolve(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		out[req.Edge] = v
+		mCoalTasks.Inc()
+		c.resolved.Add(1)
+	}
+	return out, nil
+}
+
+func (c *coalescer) resolve(ctx context.Context, req exec.TaskRequest) (exec.TaskVerdict, error) {
+	// Redundancy is part of the sharing identity: a k=3 verdict must
+	// not answer a k=5 question.
+	key := strconv.Itoa(req.K) + "\x1f" + req.Key
+
+	c.mu.Lock()
+	if v, ok := c.cache.get(key); ok {
+		c.mu.Unlock()
+		v.Cached = true
+		c.cached.Add(1)
+		c.saved.Add(int64(v.Assignments))
+		mCoalShared.Inc()
+		mCoalSaved.Add(int64(v.Assignments))
+		return v, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return exec.TaskVerdict{}, ctx.Err()
+		}
+		v := fl.verdict
+		v.Coalesced = true
+		c.coalesced.Add(1)
+		c.saved.Add(int64(v.Assignments))
+		mCoalShared.Inc()
+		mCoalSaved.Add(int64(v.Assignments))
+		return v, nil
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.mu.Unlock()
+
+	fl.verdict = c.answer(req)
+	c.issued.Add(int64(fl.verdict.Assignments))
+
+	c.mu.Lock()
+	c.cache.put(key, fl.verdict)
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.verdict, nil
+}
+
+// answer simulates one HIT deterministically: k distinct workers drawn
+// by a partial Fisher–Yates over the pool, each judging correctly with
+// its latent accuracy, all randomness from a content-keyed hash RNG.
+// The pool's own RNG streams are never touched, so engine queries do
+// not perturb (and are not perturbed by) DB.Exec traffic.
+func (c *coalescer) answer(req exec.TaskRequest) exec.TaskVerdict {
+	workers := c.pool.Workers()
+	k := req.K
+	if k > len(workers) {
+		k = len(workers)
+	}
+	if k <= 0 {
+		// No crowd to ask: fall back to the optimizer's prior.
+		return exec.TaskVerdict{Value: req.Prior >= 0.5, Confidence: 0.5}
+	}
+	r := stats.HashRNG(c.seed, stats.HashString(req.Key), uint64(req.K))
+	idx := make([]int, len(workers))
+	for i := range idx {
+		idx[i] = i
+	}
+	yes := 0
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		w := workers[idx[i]]
+		ans := req.Truth
+		if r.Float64() >= w.LatentAccuracy() {
+			ans = !ans
+		}
+		if ans {
+			yes++
+		}
+	}
+	value := 2*yes > k
+	conf := float64(yes) / float64(k)
+	if !value {
+		conf = 1 - conf
+	}
+	return exec.TaskVerdict{Value: value, Confidence: conf, Assignments: k}
+}
+
+// lruCache is a bounded string-keyed map with least-recently-used
+// eviction. Not synchronized — callers hold their own lock.
+type lruCache[V any] struct {
+	cap   int
+	items map[string]*lruNode[V]
+	head  *lruNode[V] // most recently used
+	tail  *lruNode[V] // least recently used
+}
+
+type lruNode[V any] struct {
+	key        string
+	val        V
+	prev, next *lruNode[V]
+}
+
+// newVerdictLRU sizes the shared task-verdict cache (default 4096).
+func newVerdictLRU(capacity int) *lruCache[exec.TaskVerdict] {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return newLRU[exec.TaskVerdict](capacity)
+}
+
+func newLRU[V any](capacity int) *lruCache[V] {
+	return &lruCache[V]{cap: capacity, items: make(map[string]*lruNode[V], capacity)}
+}
+
+func (l *lruCache[V]) get(key string) (V, bool) {
+	n, ok := l.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	l.moveToFront(n)
+	return n.val, true
+}
+
+func (l *lruCache[V]) put(key string, v V) {
+	if n, ok := l.items[key]; ok {
+		n.val = v
+		l.moveToFront(n)
+		return
+	}
+	n := &lruNode[V]{key: key, val: v}
+	l.items[key] = n
+	l.pushFront(n)
+	if len(l.items) > l.cap {
+		evict := l.tail
+		l.unlink(evict)
+		delete(l.items, evict.key)
+	}
+}
+
+func (l *lruCache[V]) pushFront(n *lruNode[V]) {
+	n.prev, n.next = nil, l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+}
+
+func (l *lruCache[V]) unlink(n *lruNode[V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (l *lruCache[V]) moveToFront(n *lruNode[V]) {
+	if l.head == n {
+		return
+	}
+	l.unlink(n)
+	l.pushFront(n)
+}
+
+func (l *lruCache[V]) len() int { return len(l.items) }

@@ -1,0 +1,467 @@
+// Package engine serves concurrent CQL queries over one shared crowd.
+//
+// A CDB instance executes one query at a time; a crowd platform serves
+// many requesters at once, and concurrent queries over the same tables
+// keep asking the crowd the same questions. The engine admits N
+// queries in flight and makes the overlap pay for itself three ways:
+//
+//   - HIT coalescing: crowd tasks are identified by canonical content
+//     (predicate + cell pair, sides ordered), identical tasks from
+//     concurrent queries are dispatched once and the verdict fanned
+//     out to every subscriber (coalesce.go).
+//   - A bounded LRU verdict cache that survives across queries, so a
+//     task asked again minutes later costs nothing (coalesce.go).
+//   - A shared similarity-join cache plus session-level interned token
+//     dictionary, so planning repeated table pairs tokenizes and
+//     indexes once (simcache.go).
+//
+// Sharing never changes answers: every verdict is a pure function of
+// (engine seed, task content, redundancy), so a query's rows are
+// bit-identical whether it ran alone or raced the whole fleet, and
+// per-query Stats charge the full redundancy either way (the engine's
+// own counters report the savings). Admission control bounds in-flight
+// work and queue depth; each query keeps its own context, tracer and
+// Report.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cdb/internal/cost"
+	"cdb/internal/cql"
+	"cdb/internal/crowd"
+	"cdb/internal/exec"
+	"cdb/internal/obs"
+	"cdb/internal/sim"
+	"cdb/internal/table"
+)
+
+// Engine-level metrics (process-wide, across all engines).
+var (
+	mSubmitted   = obs.Default.Counter("cdb_engine_queries_submitted_total")
+	mCompleted   = obs.Default.Counter("cdb_engine_queries_completed_total")
+	mRejected    = obs.Default.Counter("cdb_engine_queries_rejected_total")
+	mQueryShared = obs.Default.Counter("cdb_engine_queries_shared_total")
+)
+
+// Sentinel errors returned by Submit.
+var (
+	// ErrClosed means the engine was shut down.
+	ErrClosed = errors.New("engine: closed")
+	// ErrOverloaded is backpressure: in-flight and queued slots are all
+	// taken. The caller should retry later (or shed the query).
+	ErrOverloaded = errors.New("engine: overloaded")
+	// ErrUnsupported marks statements the shared serving path cannot
+	// isolate; run those through DB.Exec instead.
+	ErrUnsupported = errors.New("engine: unsupported statement")
+)
+
+// Config assembles an engine. Catalog, Oracle and Pool are required
+// and must not be mutated while the engine serves (the catalog is read
+// by concurrent planners).
+type Config struct {
+	Catalog *table.Catalog
+	Oracle  exec.Oracle
+	Pool    *crowd.Pool
+
+	// Sim and Epsilon configure planning (similarity estimator and
+	// pruning threshold); zero values mean Gram2Jaccard and 0.3.
+	Sim     sim.Func
+	Epsilon float64
+	// Redundancy is the answers collected per task (default 5).
+	Redundancy int
+	// Seed drives every simulated verdict; equal seeds replay equal
+	// answers regardless of concurrency or submission order.
+	Seed uint64
+
+	// MaxInFlight bounds concurrently executing queries (default 8).
+	MaxInFlight int
+	// MaxQueue bounds queries queued behind the in-flight set; a full
+	// queue makes Submit fail fast with ErrOverloaded (default 64).
+	MaxQueue int
+	// CacheSize bounds the shared verdict cache in entries
+	// (default 4096).
+	CacheSize int
+	// ResultCacheSize bounds the query-level answer cache in entries
+	// (default 256; negative disables). Determinism makes whole-answer
+	// sharing safe: a query's rows are a pure function of (engine
+	// seed, canonical statement), so a cached answer is bit-identical
+	// to a fresh execution. In-flight identical statements coalesce
+	// onto one execution the same way individual HITs do.
+	ResultCacheSize int
+	// Tracing attaches a per-query obs.Tracer; each Answer then
+	// carries its own span tree.
+	Tracing bool
+}
+
+// Engine is a concurrent query-serving layer over one CDB catalog and
+// crowd. Safe for concurrent use; create with New, shut down with
+// Close.
+type Engine struct {
+	cfg   Config
+	coal  *coalescer
+	joins *joinCache
+
+	slots chan struct{} // executing queries
+	admit chan struct{} // executing + queued (admission tickets)
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+
+	// Query-level sharing: completed answers by canonical statement,
+	// plus in-flight executions identical submissions attach to.
+	resMu       sync.Mutex
+	results     *lruCache[*Answer]
+	resInflight map[string]*queryFlight
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	rejected  atomic.Int64
+	qCached   atomic.Int64 // queries served from the answer cache
+	qAttached atomic.Int64 // queries attached to an identical in-flight one
+}
+
+// queryFlight is one executing statement identical submissions wait
+// on; ans stays nil when the owner failed (waiters then run
+// themselves).
+type queryFlight struct {
+	done chan struct{}
+	ans  *Answer
+}
+
+// New builds an engine from the config.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Catalog == nil || cfg.Oracle == nil || cfg.Pool == nil {
+		return nil, fmt.Errorf("engine: Config.Catalog, Oracle and Pool are required")
+	}
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = 0.3
+	}
+	if cfg.Redundancy <= 0 {
+		cfg.Redundancy = 5
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 8
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 64
+	}
+	e := &Engine{
+		cfg:         cfg,
+		coal:        newCoalescer(cfg.Seed, cfg.Pool, cfg.CacheSize),
+		joins:       newJoinCache(),
+		slots:       make(chan struct{}, cfg.MaxInFlight),
+		admit:       make(chan struct{}, cfg.MaxInFlight+cfg.MaxQueue),
+		resInflight: make(map[string]*queryFlight),
+	}
+	if cfg.ResultCacheSize >= 0 {
+		size := cfg.ResultCacheSize
+		if size == 0 {
+			size = 256
+		}
+		e.results = newLRU[*Answer](size)
+	}
+	return e, nil
+}
+
+// Answer is one served query's outcome.
+type Answer struct {
+	Columns []string
+	Rows    [][]string
+	Report  *exec.Report
+	// Trace is the query's span tree when Config.Tracing is on.
+	Trace *obs.Trace
+}
+
+// Handle is the future for one submitted query.
+type Handle struct {
+	// Query is the submitted CQL text.
+	Query string
+
+	done chan struct{}
+	ans  *Answer
+	err  error
+}
+
+// Wait blocks until the query completes (or ctx expires) and returns
+// its answer. Waiting with an expired context does not cancel the
+// query itself — cancel the Submit context for that.
+func (h *Handle) Wait(ctx context.Context) (*Answer, error) {
+	select {
+	case <-h.done:
+		return h.ans, h.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Done exposes the completion signal for select loops.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Submit admits one CQL SELECT for concurrent execution and returns
+// immediately with a Handle. ctx cancels the query (honored at crowd
+// round boundaries, like DB.ExecContext). Submit itself never blocks:
+// a full queue returns ErrOverloaded.
+//
+// Only SELECT without GROUP BY / ORDER BY is served — DDL and
+// collection statements mutate the catalog, and crowd-powered
+// group/sort runs its tasks outside the per-query graph; both belong
+// on the exclusive DB.Exec path.
+func (e *Engine) Submit(ctx context.Context, query string) (*Handle, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	st, err := cql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	s, ok := st.(*cql.Select)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T is not served concurrently; use DB.Exec", ErrUnsupported, st)
+	}
+	if s.GroupBy != nil || s.OrderBy != nil {
+		return nil, fmt.Errorf("%w: GROUP BY / ORDER BY need the exclusive DB.Exec path", ErrUnsupported)
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	select {
+	case e.admit <- struct{}{}:
+	default:
+		e.mu.Unlock()
+		e.rejected.Add(1)
+		mRejected.Inc()
+		return nil, ErrOverloaded
+	}
+	e.wg.Add(1)
+	e.mu.Unlock()
+
+	e.submitted.Add(1)
+	mSubmitted.Inc()
+	h := &Handle{Query: query, done: make(chan struct{})}
+	go e.serve(ctx, s, h)
+	return h, nil
+}
+
+// serve runs one admitted query: wait for an execution slot, share
+// whole answers with identical statements (cache or in-flight
+// attach), otherwise plan with the shared join cache, execute with
+// the coalescer as resolver, and project the answers.
+func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle) {
+	defer e.wg.Done()
+	defer func() { <-e.admit }()
+	defer close(h.done)
+
+	select {
+	case e.slots <- struct{}{}:
+	case <-ctx.Done():
+		h.err = ctx.Err()
+		return
+	}
+	defer func() { <-e.slots }()
+
+	// Query-level sharing. Safe only because answers are deterministic
+	// in the canonical statement: the cached Answer is bit-identical
+	// to what this execution would produce. An owner always holds an
+	// execution slot before registering, so waiting cannot deadlock.
+	var fl *queryFlight
+	key := s.String()
+	if e.results != nil {
+		for {
+			e.resMu.Lock()
+			if ans, ok := e.results.get(key); ok {
+				e.resMu.Unlock()
+				e.shareAnswer(h, ans)
+				e.qCached.Add(1)
+				mQueryShared.Inc()
+				return
+			}
+			owner, ok := e.resInflight[key]
+			if !ok {
+				fl = &queryFlight{done: make(chan struct{})}
+				e.resInflight[key] = fl
+				e.resMu.Unlock()
+				break
+			}
+			e.resMu.Unlock()
+			select {
+			case <-owner.done:
+			case <-ctx.Done():
+				h.err = ctx.Err()
+				return
+			}
+			if owner.ans != nil {
+				e.shareAnswer(h, owner.ans)
+				e.qAttached.Add(1)
+				mQueryShared.Inc()
+				return
+			}
+			// The owner failed (its context died, or a planning
+			// error): take over and execute ourselves.
+		}
+		defer func() {
+			e.resMu.Lock()
+			if fl.ans != nil {
+				e.results.put(key, fl.ans)
+			}
+			delete(e.resInflight, key)
+			e.resMu.Unlock()
+			close(fl.done)
+		}()
+	}
+
+	var tr *obs.Tracer
+	if e.cfg.Tracing {
+		tr = obs.NewTracer(nil)
+		root := tr.Begin(obs.SpanQuery)
+		tr.Mutate(root, func(sp *obs.Span) { sp.Query = h.Query })
+		defer func() {
+			tr.End(root)
+			if h.ans != nil {
+				h.ans.Trace = tr.Finish()
+			}
+		}()
+	}
+
+	planSpan := tr.Begin(obs.SpanPlan)
+	plan, err := exec.BuildPlan(s, e.cfg.Catalog, e.cfg.Oracle, exec.PlanConfig{
+		Sim:     e.cfg.Sim,
+		Epsilon: e.cfg.Epsilon,
+		Joiner:  e.joins.Join,
+	})
+	tr.End(planSpan)
+	if err != nil {
+		h.err = err
+		return
+	}
+
+	var strategy cost.Strategy = &cost.Expectation{}
+	if s.Budget > 0 {
+		strategy = cost.NewBudget(s.Budget)
+	}
+	rep, err := exec.Run(ctx, plan, exec.Options{
+		Strategy:   strategy,
+		Redundancy: e.cfg.Redundancy,
+		Quality:    exec.MajorityVoting,
+		Pool:       e.cfg.Pool,
+		Resolver:   e.coal,
+		Trace:      tr,
+	})
+	if err != nil {
+		h.err = err
+		return
+	}
+
+	ans := &Answer{Columns: plan.ProjectionColumns(), Report: rep}
+	for _, a := range rep.Answers {
+		row, perr := plan.ProjectAnswer(a)
+		if perr != nil {
+			h.err = perr
+			return
+		}
+		ans.Rows = append(ans.Rows, row)
+	}
+	h.ans = ans
+	if fl != nil {
+		fl.ans = ans
+	}
+	e.completed.Add(1)
+	mCompleted.Inc()
+}
+
+// shareAnswer serves h from a completed identical execution. The
+// Answer is copied shallowly so per-handle fields stay isolated
+// (shared answers carry no trace — nothing executed); rows and the
+// Report are shared read-only. The owning query's Report already
+// charges the full redundancy, so subscribers reusing it keep the
+// virtual-chargeback invariant, and the engine's savings counters
+// absorb the crowd work the share avoided.
+func (e *Engine) shareAnswer(h *Handle, ans *Answer) {
+	cp := *ans
+	cp.Trace = nil
+	h.ans = &cp
+	e.completed.Add(1)
+	mCompleted.Inc()
+	if rep := ans.Report; rep != nil {
+		e.coal.saved.Add(int64(rep.Assignments))
+		mCoalSaved.Add(int64(rep.Assignments))
+	}
+}
+
+// Close stops admission and waits for every in-flight query to finish.
+// Idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// Stats is a snapshot of the engine's sharing economics.
+type Stats struct {
+	Submitted int64 // queries admitted
+	Completed int64 // queries finished successfully
+	Rejected  int64 // queries shed by backpressure
+
+	QueriesCached   int64 // whole queries served from the answer cache
+	QueriesAttached int64 // whole queries attached to an identical in-flight one
+
+	TasksResolved int64 // crowd tasks served
+	Coalesced     int64 // tasks attached to an in-flight HIT
+	Cached        int64 // tasks served from the verdict cache
+
+	AssignmentsIssued int64 // worker answers actually simulated
+	AssignmentsSaved  int64 // answers avoided by sharing
+	HITsIssued        int   // priced HITs actually issued
+	HITsSaved         int   // priced HITs avoided by sharing
+
+	JoinsComputed int64 // similarity joins executed
+	JoinsShared   int64 // similarity joins reused from the cache
+
+	CacheEntries int // live verdict-cache entries
+}
+
+// Stats snapshots the engine counters. HITs are priced with the
+// default batching (10 tasks per HIT).
+func (e *Engine) Stats() Stats {
+	issued := e.coal.issued.Load()
+	saved := e.coal.saved.Load()
+	e.coal.mu.Lock()
+	entries := e.coal.cache.len()
+	e.coal.mu.Unlock()
+	return Stats{
+		Submitted: e.submitted.Load(),
+		Completed: e.completed.Load(),
+		Rejected:  e.rejected.Load(),
+
+		QueriesCached:   e.qCached.Load(),
+		QueriesAttached: e.qAttached.Load(),
+
+		TasksResolved: e.coal.resolved.Load(),
+		Coalesced:     e.coal.coalesced.Load(),
+		Cached:        e.coal.cached.Load(),
+
+		AssignmentsIssued: issued,
+		AssignmentsSaved:  saved,
+		HITsIssued:        crowd.DefaultPricing.HITs(int(issued)),
+		HITsSaved:         crowd.DefaultPricing.HITs(int(saved)),
+
+		JoinsComputed: e.joins.computed.Load(),
+		JoinsShared:   e.joins.shared.Load(),
+
+		CacheEntries: entries,
+	}
+}

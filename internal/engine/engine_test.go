@@ -1,0 +1,301 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"cdb/internal/crowd"
+	"cdb/internal/dataset"
+	"cdb/internal/exec"
+	"cdb/internal/stats"
+	"cdb/internal/testutil"
+)
+
+func testConfig(t *testing.T, seed uint64) Config {
+	t.Helper()
+	d := dataset.GenPaper(dataset.Config{Seed: 7, Scale: 0.08})
+	return Config{
+		Catalog: d.Catalog,
+		Oracle:  d.Oracle,
+		Pool:    crowd.NewPool(50, 0.8, 0.1, stats.NewRNG(3)),
+		Seed:    seed,
+	}
+}
+
+// workload is the paper's five query shapes, each submitted three
+// times — the overlap a serving layer exists to exploit.
+func workload() []string {
+	qs := dataset.Queries("paper")
+	var out []string
+	for rep := 0; rep < 3; rep++ {
+		for _, label := range dataset.QueryLabels() {
+			out = append(out, qs[label])
+		}
+	}
+	return out
+}
+
+type outcome struct {
+	cols []string
+	rows [][]string
+	rep  *exec.Report
+}
+
+// runSequential executes the workload one query at a time on a fresh
+// engine (concurrency 1, queue sized to hold the rest).
+func runSequential(t *testing.T, seed uint64, queries []string) []outcome {
+	t.Helper()
+	cfg := testConfig(t, seed)
+	cfg.MaxInFlight = 1
+	cfg.MaxQueue = len(queries)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	out := make([]outcome, len(queries))
+	for i, q := range queries {
+		h, err := e.Submit(context.Background(), q)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ans, err := h.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		out[i] = outcome{cols: ans.Columns, rows: ans.Rows, rep: ans.Report}
+	}
+	return out
+}
+
+// TestConcurrentMatchesSequential is the engine's core property: with
+// the same seed, a query returns bit-identical columns, rows and
+// per-query cost whether it runs alone or races an 8-deep fleet whose
+// tasks coalesce. Run under -race this also exercises the coalescer,
+// join cache and dict for data races.
+func TestConcurrentMatchesSequential(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)()
+	const seed = 99
+	queries := workload()
+	want := runSequential(t, seed, queries)
+
+	cfg := testConfig(t, seed)
+	cfg.MaxInFlight = 8
+	cfg.MaxQueue = len(queries)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handles := make([]*Handle, len(queries))
+	for i, q := range queries {
+		h, err := e.Submit(context.Background(), q)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		handles[i] = h
+	}
+	for i, h := range handles {
+		ans, err := h.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		w := want[i]
+		if !sameStrings(ans.Columns, w.cols) {
+			t.Fatalf("query %d: columns %v != %v", i, ans.Columns, w.cols)
+		}
+		if len(ans.Rows) != len(w.rows) {
+			t.Fatalf("query %d: %d rows, sequential got %d", i, len(ans.Rows), len(w.rows))
+		}
+		for r := range ans.Rows {
+			if !sameStrings(ans.Rows[r], w.rows[r]) {
+				t.Fatalf("query %d row %d: %v != %v", i, r, ans.Rows[r], w.rows[r])
+			}
+		}
+		// Virtual chargeback: per-query cost must not depend on how
+		// much of the work was shared.
+		if ans.Report.Assignments != w.rep.Assignments {
+			t.Fatalf("query %d: %d assignments, sequential charged %d",
+				i, ans.Report.Assignments, w.rep.Assignments)
+		}
+		if ans.Report.Metrics.Tasks != w.rep.Metrics.Tasks || ans.Report.Metrics.Rounds != w.rep.Metrics.Rounds {
+			t.Fatalf("query %d: tasks/rounds %d/%d vs sequential %d/%d", i,
+				ans.Report.Metrics.Tasks, ans.Report.Metrics.Rounds,
+				w.rep.Metrics.Tasks, w.rep.Metrics.Rounds)
+		}
+	}
+	st := e.Stats()
+	e.Close()
+	if st.Completed != int64(len(queries)) {
+		t.Fatalf("completed %d of %d", st.Completed, len(queries))
+	}
+	if st.Coalesced+st.Cached == 0 {
+		t.Fatalf("no tasks shared across %d overlapping queries", len(queries))
+	}
+	if st.AssignmentsSaved <= 0 || st.HITsSaved <= 0 {
+		t.Fatalf("no crowd work saved: %+v", st)
+	}
+	if st.JoinsShared == 0 {
+		t.Fatalf("no similarity joins shared: %+v", st)
+	}
+	if st.AssignmentsIssued+st.AssignmentsSaved == 0 {
+		t.Fatalf("engine did no work at all")
+	}
+}
+
+// TestSubmitConcurrently hammers Submit itself from many goroutines to
+// catch admission races under -race.
+func TestSubmitConcurrently(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)()
+	cfg := testConfig(t, 5)
+	cfg.MaxInFlight = 8
+	cfg.MaxQueue = 64
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	queries := workload()
+	var wg sync.WaitGroup
+	errs := make([]error, len(queries))
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q string) {
+			defer wg.Done()
+			h, err := e.Submit(context.Background(), q)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			_, errs[i] = h.Wait(context.Background())
+		}(i, q)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+}
+
+// TestBackpressureAndCancellation pins the execution slot (white-box)
+// and checks that the queue bounds admission with ErrOverloaded and
+// that a cancelled query leaves the queue with the context's error.
+func TestBackpressureAndCancellation(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)()
+	cfg := testConfig(t, 5)
+	cfg.MaxInFlight = 1
+	cfg.MaxQueue = 1
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := dataset.Queries("paper")["2J"]
+
+	e.slots <- struct{}{} // occupy the only execution slot
+	ctx, cancel := context.WithCancel(context.Background())
+	h1, err := e.Submit(ctx, q) // admitted, waiting on the slot
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := e.Submit(context.Background(), q) // fills the queue
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(context.Background(), q); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded with a full queue, got %v", err)
+	}
+	if e.Stats().Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", e.Stats().Rejected)
+	}
+
+	cancel() // h1 gives up while queued
+	if _, err := h1.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled query returned %v", err)
+	}
+
+	<-e.slots // release the pinned slot; h2 runs
+	if ans, err := h2.Wait(context.Background()); err != nil || len(ans.Rows) == 0 {
+		t.Fatalf("queued query after release: rows=%v err=%v", ans, err)
+	}
+	e.Close()
+}
+
+// TestRejectsUnsupported checks the statements the shared path must
+// refuse, and that a closed engine refuses everything.
+func TestRejectsUnsupported(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)()
+	cfg := testConfig(t, 5)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{
+		"CREATE TABLE t (a varchar(8));",
+		`SELECT Paper.title FROM Paper, Citation WHERE Paper.title CROWDJOIN Citation.title GROUP BY Paper.title;`,
+		`SELECT Paper.title FROM Paper, Citation WHERE Paper.title CROWDJOIN Citation.title ORDER BY Paper.title;`,
+	} {
+		if _, err := e.Submit(context.Background(), q); !errors.Is(err, ErrUnsupported) {
+			t.Fatalf("%s: want ErrUnsupported, got %v", q, err)
+		}
+	}
+	if _, err := e.Submit(context.Background(), "SELECT FROM;"); err == nil {
+		t.Fatal("parse error not surfaced")
+	}
+	e.Close()
+	if _, err := e.Submit(context.Background(), dataset.Queries("paper")["2J"]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed after Close, got %v", err)
+	}
+}
+
+// TestVerdictLRU checks bound, eviction order and refresh-on-get.
+func TestVerdictLRU(t *testing.T) {
+	l := newVerdictLRU(2)
+	l.put("a", exec.TaskVerdict{Assignments: 1})
+	l.put("b", exec.TaskVerdict{Assignments: 2})
+	if _, ok := l.get("a"); !ok { // refresh a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	l.put("c", exec.TaskVerdict{Assignments: 3}) // evicts b
+	if _, ok := l.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := l.get("a"); !ok {
+		t.Fatal("a evicted despite refresh")
+	}
+	if v, ok := l.get("c"); !ok || v.Assignments != 3 {
+		t.Fatalf("c = %+v, %v", v, ok)
+	}
+	if l.len() != 2 {
+		t.Fatalf("len = %d, want 2", l.len())
+	}
+}
+
+// TestTracingIsolated checks per-query span trees exist and carry the
+// query text when tracing is on.
+func TestTracingIsolated(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)()
+	cfg := testConfig(t, 5)
+	cfg.Tracing = true
+	cfg.MaxInFlight = 4
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	qs := dataset.Queries("paper")
+	h1, _ := e.Submit(context.Background(), qs["2J"])
+	h2, _ := e.Submit(context.Background(), qs["2J1S"])
+	a1, err1 := h1.Wait(context.Background())
+	a2, err2 := h2.Wait(context.Background())
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v %v", err1, err2)
+	}
+	if a1.Trace == nil || a2.Trace == nil {
+		t.Fatal("tracing on but no trace attached")
+	}
+	if a1.Trace.Spans[0].Query != qs["2J"] || a2.Trace.Spans[0].Query != qs["2J1S"] {
+		t.Fatal("trace root does not carry its own query")
+	}
+}

@@ -86,6 +86,12 @@ type PlanConfig struct {
 	// rate — similarity still ranks pairs, history calibrates the
 	// level.
 	Selectivity map[string]float64
+	// Joiner, when set, replaces sim.Join for CROWDJOIN graph
+	// instantiation — the engine plugs in its shared similarity-join
+	// cache here so concurrent queries over the same table pair
+	// tokenize and index once. The returned slice may be shared and
+	// must not be mutated; nil falls back to sim.Join.
+	Joiner func(f sim.Func, left, right []string, eps float64) []sim.Pair
 }
 
 // DefaultPlanConfig mirrors the paper's settings.
@@ -177,7 +183,11 @@ func BuildPlan(stmt *cql.Select, cat *table.Catalog, orc Oracle, cfg PlanConfig)
 			p.Bindings = append(p.Bindings, PredBinding{Pred: pred, LeftTab: lt, RightTab: rt, LeftCol: lc, RightCol: rc})
 			lvals, rvals := colStrings(lt, lc), colStrings(rt, rc)
 			if pred.Kind == cql.CrowdJoin {
-				for _, pr := range sim.Join(cfg.Sim, lvals, rvals, cfg.Epsilon) {
+				join := sim.Join
+				if cfg.Joiner != nil {
+					join = cfg.Joiner
+				}
+				for _, pr := range join(cfg.Sim, lvals, rvals, cfg.Epsilon) {
 					if lvals[pr.Left] == "" || rvals[pr.Right] == "" {
 						continue // CNULL cells cannot join
 					}
@@ -349,6 +359,27 @@ func (p *Plan) ProjectAnswer(a graph.Embedding) ([]string, error) {
 		out = append(out, tb.Cell(p.G.RowOf(a.Assign[ti]), ci).String())
 	}
 	return out, nil
+}
+
+// ProjectionColumns names the statement's projected columns (all
+// columns of real tables for SELECT *), aligned with ProjectAnswer.
+func (p *Plan) ProjectionColumns() []string {
+	var out []string
+	if p.Stmt.Star {
+		for ti, tb := range p.Tables {
+			if tb == nil {
+				continue
+			}
+			for _, c := range tb.Schema.Columns {
+				out = append(out, p.S.Tables[ti]+"."+c.Name)
+			}
+		}
+		return out
+	}
+	for _, ref := range p.Stmt.Cols {
+		out = append(out, ref.String())
+	}
+	return out
 }
 
 // TaskDescription renders a crowd task's human-facing content: the

@@ -1,0 +1,134 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"cdb/internal/obs"
+)
+
+// Resolver metrics: tasks routed through a shared serving layer and how
+// many of them were answered without fresh crowd work.
+var (
+	mResolved    = obs.Default.Counter("cdb_exec_resolver_tasks_total")
+	mResCoalesce = obs.Default.Counter("cdb_exec_resolver_coalesced_total")
+	mResCached   = obs.Default.Counter("cdb_exec_resolver_cached_total")
+)
+
+// TaskRequest is one crowd task handed to a TaskResolver: the edge it
+// colors in this query's graph plus the content-canonical identity that
+// lets a serving layer recognize the same question asked by another
+// query.
+type TaskRequest struct {
+	// Edge is the graph edge id within the submitting query.
+	Edge int
+	// Key canonically identifies the task by content (see Plan.TaskKey):
+	// two queries asking the crowd to compare the same pair of cell
+	// values under the same predicate produce equal keys.
+	Key string
+	// Truth drives simulated workers, exactly as on the other paths.
+	Truth bool
+	// Prior is the optimizer's matching probability for the edge.
+	Prior float64
+	// K is the redundancy (worker answers requested).
+	K int
+}
+
+// TaskVerdict is a resolver's ruling on one task.
+type TaskVerdict struct {
+	// Value is the inferred verdict (true = the pair matches).
+	Value bool
+	// Confidence is the aggregation confidence in Value.
+	Confidence float64
+	// Assignments is the number of worker answers backing the verdict,
+	// charged to the submitting query regardless of sharing — per-query
+	// Stats stay identical whether or not another query already paid
+	// for the HIT; the engine's own counters report the actual savings.
+	Assignments int
+	// Coalesced marks a task that attached to another query's in-flight
+	// HIT; Cached marks one served from the shared verdict cache.
+	Coalesced bool
+	Cached    bool
+}
+
+// TaskResolver intercepts a round's crowdsourcing. The engine's HIT
+// coalescer implements it to dispatch identical tasks from concurrent
+// queries once and fan the verdict out to every subscriber.
+// Implementations must be safe for concurrent use by many queries and
+// must return a verdict for every requested edge (or an error).
+type TaskResolver interface {
+	Resolve(ctx context.Context, reqs []TaskRequest) (map[int]TaskVerdict, error)
+}
+
+// TaskKey renders the canonical content key of a crowd task: task kind,
+// predicate label, and the two cell values, with the sides ordered
+// lexicographically (a "do these match?" HIT is symmetric, so queries
+// phrasing the join in either direction coalesce). Selection tasks pin
+// the constant on the right.
+func (p *Plan) TaskKey(edgeID int) string {
+	pred, left, right := p.TaskDescription(edgeID)
+	kind := "join"
+	if p.Bindings[p.G.Edge(edgeID).Pred].RightCol < 0 {
+		kind = "sel"
+	} else if right < left {
+		left, right = right, left
+	}
+	var b strings.Builder
+	b.Grow(len(kind) + len(pred) + len(left) + len(right) + 3)
+	b.WriteString(kind)
+	b.WriteByte('\x1f')
+	b.WriteString(pred)
+	b.WriteByte('\x1f')
+	b.WriteString(left)
+	b.WriteByte('\x1f')
+	b.WriteString(right)
+	return b.String()
+}
+
+// crowdsourceResolver runs one round through a shared TaskResolver: the
+// serving layer owns answer collection and aggregation; the executor
+// records verdicts, confidences and sharing telemetry. Metadata gets
+// the task and verdict rows (individual assignments belong to the
+// owning query's resolver and are not re-attributed to subscribers).
+func (rep *Report) crowdsourceResolver(ctx context.Context, p *Plan, batch []int, opts Options) (map[int]bool, error) {
+	reqs := make([]TaskRequest, len(batch))
+	for i, e := range batch {
+		reqs[i] = TaskRequest{
+			Edge:  e,
+			Key:   p.TaskKey(e),
+			Truth: p.Truth[e],
+			Prior: p.G.Edge(e).W,
+			K:     opts.Redundancy,
+		}
+	}
+	rulings, err := opts.Resolver.Resolve(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	verdicts := make(map[int]bool, len(batch))
+	for _, e := range batch {
+		v, ok := rulings[e]
+		if !ok {
+			return nil, fmt.Errorf("exec: resolver returned no verdict for edge %d", e)
+		}
+		verdicts[e] = v.Value
+		rep.Assignments += v.Assignments
+		rep.setEdgeConf(e, v.Confidence)
+		mResolved.Inc()
+		if v.Coalesced {
+			rep.Coalesced++
+			mResCoalesce.Inc()
+		}
+		if v.Cached {
+			rep.CachedTasks++
+			mResCached.Inc()
+		}
+		if opts.Meta != nil {
+			pred, l, r := p.TaskDescription(e)
+			id := opts.Meta.RecordTask(taskKindOf(p, e), pred, l, r, rep.Metrics.Rounds)
+			_ = opts.Meta.RecordVerdict(id, v.Value)
+		}
+	}
+	return verdicts, nil
+}

@@ -94,6 +94,11 @@ type Options struct {
 	// Reliability tunes the async policy; the zero value means
 	// defaults. Reliability.Strict turns degradation into errors.
 	Reliability Reliability
+	// Resolver, when set, routes every crowd task through a shared
+	// serving layer (the engine's HIT coalescer) instead of the local
+	// pool or transport. It takes precedence over Transport and the
+	// quality modes — the resolver owns aggregation.
+	Resolver TaskResolver
 }
 
 // Report is the outcome of one execution.
@@ -112,6 +117,12 @@ type Report struct {
 	// Reliability reports the fault policy's view of the execution;
 	// Reliability.Partial marks a gracefully degraded result.
 	Reliability ReliabilityStats
+	// Coalesced / CachedTasks count tasks answered by a shared
+	// TaskResolver without fresh crowd work: attached to another
+	// query's in-flight HIT, or served from the shared verdict cache.
+	// Zero off the resolver path.
+	Coalesced   int
+	CachedTasks int
 	// PerMarket counts tasks routed to each market when a Router is
 	// configured (async transport: accepted answers per market).
 	PerMarket map[string]int
@@ -248,6 +259,7 @@ func Run(ctx context.Context, p *Plan, opts Options) (*Report, error) {
 		asksBefore := rep.Assignments
 		relBefore := rep.Reliability
 		budgetBefore := rep.retryBudget
+		coalescedBefore, cachedBefore := rep.Coalesced, rep.CachedTasks
 		var perMarketBefore map[string]int
 		if opts.Transport != nil && rep.PerMarket != nil {
 			perMarketBefore = make(map[string]int, len(rep.PerMarket))
@@ -260,6 +272,8 @@ func Run(ctx context.Context, p *Plan, opts Options) (*Report, error) {
 		var verdicts map[int]bool
 		var roundErr error
 		switch {
+		case opts.Resolver != nil:
+			verdicts, roundErr = rep.crowdsourceResolver(ctx, p, batch, opts)
 		case opts.Transport != nil:
 			verdicts, roundErr = rep.crowdsourceAsync(ctx, p, batch, opts)
 		case opts.Quality == CDBPlus:
@@ -280,6 +294,7 @@ func Run(ctx context.Context, p *Plan, opts Options) (*Report, error) {
 			}
 			// Roll the discarded round back out of the report.
 			rep.Assignments = asksBefore
+			rep.Coalesced, rep.CachedTasks = coalescedBefore, cachedBefore
 			relTrunc := relBefore
 			relTrunc.Partial = rep.Reliability.Partial
 			relTrunc.Reason = rep.Reliability.Reason

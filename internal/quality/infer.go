@@ -14,9 +14,63 @@ package quality
 
 import (
 	"math"
+	"runtime"
+	"sync"
 
 	"cdb/internal/obs"
 )
+
+// EMWorkers caps the goroutines used by InferEM's E-step; 0 (the
+// default) means GOMAXPROCS — the same convention as sim.JoinWorkers.
+// Posteriors are identical for any setting: each task's posterior is
+// computed independently and written to its own slot (an ordered
+// reduction), and the M-step runs serially over tasks in index order.
+var EMWorkers = 0
+
+// emParallelThreshold is the task-count below which sharding the E-step
+// is not worth the goroutine overhead. A variable so tests can force
+// the parallel path on small histories.
+var emParallelThreshold = 256
+
+// eStep computes every task's Bayesian posterior into posteriors,
+// sharding across EMWorkers goroutines when the history is large. The
+// worker-quality map is read-only for the duration of the E-step (the
+// M-step mutates it strictly afterwards), so concurrent reads are safe.
+func (m *WorkerModel) eStep(tasks []ChoiceTask, posteriors [][]float64) {
+	workers := EMWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 || len(tasks) < emParallelThreshold {
+		for i, t := range tasks {
+			posteriors[i] = BayesianPosterior(t, m.Quality)
+		}
+		return
+	}
+	chunk := (len(tasks) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(tasks) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(tasks) {
+			hi = len(tasks)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				posteriors[i] = BayesianPosterior(tasks[i], m.Quality)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
 
 // Truth-inference metrics: EM invocations, how many iterations each
 // took to converge, and the task-history size it ran over.
@@ -165,10 +219,8 @@ func (m *WorkerModel) InferEM(tasks []ChoiceTask, maxIters int) [][]float64 {
 	posteriors := make([][]float64, len(tasks))
 	for iter := 0; iter < maxIters; iter++ {
 		mEMIters.Inc()
-		// E-step.
-		for i, t := range tasks {
-			posteriors[i] = BayesianPosterior(t, m.Quality)
-		}
+		// E-step (sharded across EMWorkers, deterministic).
+		m.eStep(tasks, posteriors)
 		// M-step: expected fraction of correct answers per worker.
 		sum := map[int]float64{}
 		cnt := map[int]int{}
@@ -191,9 +243,7 @@ func (m *WorkerModel) InferEM(tasks []ChoiceTask, maxIters int) [][]float64 {
 			break
 		}
 	}
-	for i, t := range tasks {
-		posteriors[i] = BayesianPosterior(t, m.Quality)
-	}
+	m.eStep(tasks, posteriors)
 	return posteriors
 }
 

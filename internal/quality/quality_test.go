@@ -394,3 +394,50 @@ func TestCalibratorBinEdges(t *testing.T) {
 		t.Fatal("default bins should be 10")
 	}
 }
+
+// TestInferEMParallelDeterministic forces the sharded E-step and checks
+// that posteriors and the worker model are bit-identical to the serial
+// run for every worker count.
+func TestInferEMParallelDeterministic(t *testing.T) {
+	oldW, oldT := EMWorkers, emParallelThreshold
+	defer func() { EMWorkers, emParallelThreshold = oldW, oldT }()
+	emParallelThreshold = 1
+
+	rng := stats.NewRNG(17)
+	pool := []float64{0.92, 0.85, 0.7, 0.6, 0.55}
+	taskList := make([]ChoiceTask, 200)
+	for i := range taskList {
+		truth := rng.Intn(2)
+		taskList[i].Choices = 2
+		for w, acc := range pool {
+			choice := truth
+			if !rng.Bool(acc) {
+				choice = 1 - choice
+			}
+			taskList[i].Answers = append(taskList[i].Answers, ChoiceAnswer{Worker: w, Choice: choice})
+		}
+	}
+
+	EMWorkers = 1
+	serial := NewWorkerModel()
+	want := serial.InferEM(taskList, 50)
+	for _, workers := range []int{2, 3, 8} {
+		EMWorkers = workers
+		m := NewWorkerModel()
+		got := m.InferEM(taskList, 50)
+		for i := range want {
+			for c := range want[i] {
+				if got[i][c] != want[i][c] {
+					t.Fatalf("workers=%d: posterior[%d][%d] = %v, serial %v",
+						workers, i, c, got[i][c], want[i][c])
+				}
+			}
+		}
+		for w := range pool {
+			if m.Quality(w) != serial.Quality(w) {
+				t.Fatalf("workers=%d: quality[%d] = %v, serial %v",
+					workers, w, m.Quality(w), serial.Quality(w))
+			}
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package sim
+
+import "sync"
+
+// Dict interns token strings to dense int32 ids. A Dict may be shared
+// across many joins (the engine keeps one per serving session) so
+// repeated joins over the same vocabulary re-use id assignments instead
+// of rebuilding string-keyed maps; prefixFilterJoin's output is
+// invariant to the id assignment (any consistent total token order
+// preserves the prefix-filter guarantee and the verified similarities),
+// so sharing a Dict never changes join results.
+//
+// All methods are safe for concurrent use.
+type Dict struct {
+	mu  sync.RWMutex
+	ids map[string]int32
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[string]int32)}
+}
+
+// Len returns the number of interned tokens.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.ids)
+}
+
+// InternAll maps each token to its id, assigning fresh ids to unseen
+// tokens. The read-locked fast path covers the common steady state
+// where every token is already interned.
+func (d *Dict) InternAll(toks []string) []int32 {
+	out := make([]int32, len(toks))
+	d.mu.RLock()
+	miss := -1
+	for i, t := range toks {
+		id, ok := d.ids[t]
+		if !ok {
+			miss = i
+			break
+		}
+		out[i] = id
+	}
+	d.mu.RUnlock()
+	if miss < 0 {
+		return out
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := miss; i < len(toks); i++ {
+		id, ok := d.ids[toks[i]]
+		if !ok {
+			id = int32(len(d.ids))
+			d.ids[toks[i]] = id
+		}
+		out[i] = id
+	}
+	return out
+}

@@ -44,18 +44,26 @@ type Pair struct {
 // NoSim it falls back to gram-overlap pre-filtering or a full scan
 // (NoSim keeps every pair at weight 0.5, like the paper's ablation).
 func Join(f Func, left, right []string, eps float64) []Pair {
-	pairs := joinPairs(f, left, right, eps)
+	return JoinDict(f, left, right, eps, nil)
+}
+
+// JoinDict is Join with a caller-supplied token dictionary, so a
+// serving session can intern tokens once across many joins. A nil dict
+// uses a private per-call dictionary; the output is identical either
+// way.
+func JoinDict(f Func, left, right []string, eps float64, d *Dict) []Pair {
+	pairs := joinPairs(f, left, right, eps, d)
 	mJoins.Inc()
 	mJoinPairs.Add(int64(len(pairs)))
 	return pairs
 }
 
-func joinPairs(f Func, left, right []string, eps float64) []Pair {
+func joinPairs(f Func, left, right []string, eps float64, d *Dict) []Pair {
 	switch f {
 	case Gram2Jaccard:
-		return prefixFilterJoin(left, right, eps, Grams2, Jaccard2Gram)
+		return prefixFilterJoin(left, right, eps, Grams2, Jaccard2Gram, d)
 	case TokenJaccard:
-		return prefixFilterJoin(left, right, eps, Tokens, JaccardTokens)
+		return prefixFilterJoin(left, right, eps, Tokens, JaccardTokens, d)
 	case EditDistance:
 		// Overlap pre-filter: edit similarity >= eps implies the 2-gram
 		// sets overlap somewhat; we use a generous Jaccard pre-threshold
@@ -66,7 +74,7 @@ func joinPairs(f Func, left, right []string, eps float64) []Pair {
 		if pre < 0.05 {
 			pre = 0.05
 		}
-		cands := prefixFilterJoin(left, right, pre, Grams2, Jaccard2Gram)
+		cands := prefixFilterJoin(left, right, pre, Grams2, Jaccard2Gram, d)
 		// Verify into a fresh slice: filtering in place over cands'
 		// backing array would alias reads and writes, which silently
 		// corrupts shard buffers once candidate generation is parallel.
@@ -83,7 +91,7 @@ func joinPairs(f Func, left, right []string, eps float64) []Pair {
 		if pre < 0.05 {
 			pre = 0.05
 		}
-		cands := prefixFilterJoin(left, right, pre, Grams2, Jaccard2Gram)
+		cands := prefixFilterJoin(left, right, pre, Grams2, Jaccard2Gram, d)
 		out := make([]Pair, 0, len(cands))
 		for _, p := range cands {
 			s := CosineSim(left[p.Left], right[p.Right])
@@ -120,9 +128,17 @@ func BruteForceJoin(f Func, left, right []string, eps float64) []Pair {
 }
 
 // prefixFilterJoin implements the standard prefix-filtering algorithm
-// for Jaccard threshold joins over set-valued records.
+// for Jaccard threshold joins over set-valued records. Tokens are
+// interned to dense int32 ids (via the shared dict when one is given),
+// so the hot phases run on id-indexed slices instead of string-keyed
+// maps: frequencies and the inverted index are arrays indexed by token
+// id, per-probe candidate dedup is a visited-stamp array indexed by
+// right row, and set intersection merges sorted id slices. The output
+// is invariant to id assignment: the prefix-filter guarantee holds for
+// any consistent total token order, and every surviving candidate is
+// verified with the exact (set-identical) Jaccard.
 func prefixFilterJoin(left, right []string, eps float64,
-	tokenize func(string) []string, exact func(a, b string) float64) []Pair {
+	tokenize func(string) []string, exact func(a, b string) float64, dict *Dict) []Pair {
 
 	if eps <= 0 {
 		// Prefix filtering degenerates; do the quadratic scan with the
@@ -137,34 +153,45 @@ func prefixFilterJoin(left, right []string, eps float64,
 		}
 		return out
 	}
+	if dict == nil {
+		dict = NewDict()
+	}
 
-	leftSets := make([][]string, len(left))
-	rightSets := make([][]string, len(right))
-	// lexLeft/lexRight keep the original (lexicographically sorted)
-	// token sets for O(|a|+|b|) verification without re-tokenizing.
-	lexLeft := make([][]string, len(left))
-	lexRight := make([][]string, len(right))
-	freq := map[string]int{}
+	// Tokenize and intern. sortedIDs holds each record's token set as
+	// ascending ids for O(|a|+|b|) merge verification.
+	leftIDs := make([][]int32, len(left))
+	rightIDs := make([][]int32, len(right))
+	internSorted := func(s string) []int32 {
+		ids := dict.InternAll(tokenize(s))
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		return ids
+	}
 	for i, s := range left {
-		lexLeft[i] = tokenize(s)
-		leftSets[i] = lexLeft[i]
-		for _, tok := range leftSets[i] {
-			freq[tok]++
-		}
+		leftIDs[i] = internSorted(s)
 	}
 	for j, s := range right {
-		lexRight[j] = tokenize(s)
-		rightSets[j] = lexRight[j]
-		for _, tok := range rightSets[j] {
-			freq[tok]++
+		rightIDs[j] = internSorted(s)
+	}
+
+	// Token frequencies, indexed by id. The dict may hold tokens from
+	// earlier joins of the session; their zero counts are harmless.
+	freq := make([]int32, dict.Len())
+	for _, ids := range leftIDs {
+		for _, id := range ids {
+			freq[id]++
+		}
+	}
+	for _, ids := range rightIDs {
+		for _, id := range ids {
+			freq[id]++
 		}
 	}
 
 	// Order each record's tokens by ascending global frequency (rarest
-	// first) so prefixes carry maximal pruning power. Ties broken
-	// lexically for determinism.
-	order := func(set []string) []string {
-		out := append([]string(nil), set...)
+	// first) so prefixes carry maximal pruning power. Ties broken by id
+	// for determinism.
+	order := func(ids []int32) []int32 {
+		out := append([]int32(nil), ids...)
 		sort.Slice(out, func(a, b int) bool {
 			fa, fb := freq[out[a]], freq[out[b]]
 			if fa != fb {
@@ -174,11 +201,13 @@ func prefixFilterJoin(left, right []string, eps float64,
 		})
 		return out
 	}
-	for i := range leftSets {
-		leftSets[i] = order(leftSets[i])
+	leftOrd := make([][]int32, len(left))
+	rightOrd := make([][]int32, len(right))
+	for i := range leftIDs {
+		leftOrd[i] = order(leftIDs[i])
 	}
-	for j := range rightSets {
-		rightSets[j] = order(rightSets[j])
+	for j := range rightIDs {
+		rightOrd[j] = order(rightIDs[j])
 	}
 
 	// Prefix length for Jaccard threshold t on a record of size n:
@@ -197,43 +226,48 @@ func prefixFilterJoin(left, right []string, eps float64,
 		return k
 	}
 
-	// Inverted index over right-side prefixes.
-	index := map[string][]int{}
-	for j, set := range rightSets {
-		for _, tok := range set[:prefixLen(len(set))] {
-			index[tok] = append(index[tok], j)
+	// Inverted index over right-side prefixes, indexed by token id;
+	// postings are ascending in j by construction.
+	index := make([][]int32, dict.Len())
+	for j, set := range rightOrd {
+		for _, id := range set[:prefixLen(len(set))] {
+			index[id] = append(index[id], int32(j))
 		}
 	}
 
 	// Probe phase: each left record's prefix tokens are looked up in
 	// the index and survivors verified exactly. Probes are independent
 	// per left record, so the probe side is sharded across a worker
-	// pool — per-shard candidate buffers and dedup sets, merged in
-	// shard order. The final sort is by (Left, Right), a strict total
-	// order over the deduplicated pairs, so the output is bit-identical
-	// for any worker count.
+	// pool — per-shard candidate buffers and visited-stamp arrays,
+	// merged in shard order. The final sort is by (Left, Right), a
+	// strict total order over the deduplicated pairs, so the output is
+	// bit-identical for any worker count.
 	probe := func(lo, hi int, out []Pair) []Pair {
-		seen := map[int64]struct{}{}
+		visited := make([]int32, len(right))
+		for j := range visited {
+			visited[j] = -1
+		}
 		for i := lo; i < hi; i++ {
-			set := leftSets[i]
+			set := leftOrd[i]
 			pl := prefixLen(len(set))
+			stamp := int32(i)
+			la := len(leftIDs[i])
 			for _, tok := range set[:pl] {
 				for _, j := range index[tok] {
-					key := int64(i)<<32 | int64(j)
-					if _, dup := seen[key]; dup {
+					if visited[j] == stamp {
 						continue
 					}
-					seen[key] = struct{}{}
+					visited[j] = stamp
 					// Length filter: |a|/|b| must be within [eps, 1/eps].
-					la, lb := len(leftSets[i]), len(rightSets[j])
+					lb := len(rightIDs[j])
 					if la == 0 || lb == 0 {
 						continue
 					}
 					if float64(la) < eps*float64(lb) || float64(lb) < eps*float64(la) {
 						continue
 					}
-					if s := jaccardSorted(lexLeft[i], lexRight[j]); s >= eps {
-						out = append(out, Pair{Left: i, Right: j, Sim: s})
+					if s := jaccardSortedIDs(leftIDs[i], rightIDs[j]); s >= eps {
+						out = append(out, Pair{Left: i, Right: int(j), Sim: s})
 					}
 				}
 			}

@@ -69,6 +69,31 @@ func TestJoinParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestJoinSharedDictMatchesPrivate checks that a session-level shared
+// dictionary — including one pre-polluted by joins over other inputs,
+// so id assignments differ — never changes join output.
+func TestJoinSharedDictMatchesPrivate(t *testing.T) {
+	r := stats.NewRNG(42)
+	left := randomStrings(r, 80)
+	right := randomStrings(r, 60)
+	other := randomStrings(r, 50)
+	for _, f := range []Func{Gram2Jaccard, TokenJaccard} {
+		for _, eps := range []float64{0.3, 0.6} {
+			want := Join(f, left, right, eps)
+			d := NewDict()
+			JoinDict(f, other, right, eps, d) // pollute the dict
+			got := JoinDict(f, left, right, eps, d)
+			if !pairsEqual(got, want) {
+				t.Fatalf("%v eps=%v: shared dict changed output (%d pairs vs %d)",
+					f, eps, len(got), len(want))
+			}
+			if d.Len() == 0 {
+				t.Fatalf("dict interned nothing")
+			}
+		}
+	}
+}
+
 // TestJoinParallelMatchesBruteForce cross-checks the sharded join
 // against the quadratic reference on random inputs.
 func TestJoinParallelMatchesBruteForce(t *testing.T) {

@@ -118,6 +118,34 @@ func jaccardSorted(a, b []string) float64 {
 	return float64(inter) / float64(union)
 }
 
+// jaccardSortedIDs computes |a∩b| / |a∪b| for two ascending interned
+// token-id sets; identical to jaccardSorted over the same sets since
+// interning is a bijection on the vocabulary.
+func jaccardSortedIDs(a, b []int32) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
 // Jaccard2Gram computes 2-gram Jaccard similarity of two strings.
 func Jaccard2Gram(a, b string) float64 { return jaccardSorted(Grams2(a), Grams2(b)) }
 
