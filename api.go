@@ -22,6 +22,7 @@ package cdb
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -87,7 +88,24 @@ type DB struct {
 	tracing    bool
 	faults     *faults.Injector
 	reliable   *exec.Reliability
+
+	// errs accumulates option-validation failures. Open keeps the
+	// historical lenient behaviour (invalid knobs fall back to
+	// defaults) but records what was wrong; Err surfaces it, and
+	// OpenConfig turns it into a construction failure.
+	errs []error
 }
+
+// Err reports the configuration errors recorded while applying
+// options: unknown dataset, similarity or strategy names, out-of-range
+// epsilon or redundancy, and the like. Open never fails — invalid
+// knobs fall back to their documented defaults so old callers keep
+// working — but the mistake is no longer silent: check Err after Open
+// (OpenConfig does it for you and refuses to construct).
+func (db *DB) Err() error { return errors.Join(db.errs...) }
+
+// saveErr records one option-validation failure.
+func (db *DB) saveErr(err error) { db.errs = append(db.errs, err) }
 
 // Option configures Open.
 type Option func(*DB)
@@ -102,6 +120,18 @@ func WithSeed(seed uint64) Option {
 // latent accuracy drawn from N(mean, stddev²), the paper's model.
 func WithWorkers(n int, mean, stddev float64) Option {
 	return func(db *DB) {
+		if n <= 0 {
+			db.saveErr(fmt.Errorf("cdb: worker count %d must be positive", n))
+			return
+		}
+		if mean < 0 || mean > 1 {
+			db.saveErr(fmt.Errorf("cdb: worker accuracy %v out of range [0, 1]", mean))
+			return
+		}
+		if stddev < 0 {
+			db.saveErr(fmt.Errorf("cdb: worker accuracy stddev %v must be non-negative", stddev))
+			return
+		}
 		db.pool = crowd.NewPool(n, mean, stddev, db.rng.Split())
 	}
 }
@@ -130,7 +160,10 @@ func WithDataset(name string, scale float64, seed uint64) Option {
 			d = dataset.GenAward(dataset.Config{Seed: seed, Scale: scale})
 		case "example":
 			d = dataset.RunningExample()
+		case "paper":
+			d = dataset.GenPaper(dataset.Config{Seed: seed, Scale: scale})
 		default:
+			db.saveErr(fmt.Errorf("cdb: unknown dataset %q (want paper, award or example)", name))
 			d = dataset.GenPaper(dataset.Config{Seed: seed, Scale: scale})
 		}
 		db.catalog = d.Catalog
@@ -142,29 +175,57 @@ func WithDataset(name string, scale float64, seed uint64) Option {
 // "2gram" (default), "token", "edit", "cosine" or "none".
 func WithSimilarity(name string) Option {
 	return func(db *DB) {
-		switch name {
-		case "token":
-			db.simFunc = sim.TokenJaccard
-		case "edit":
-			db.simFunc = sim.EditDistance
-		case "cosine":
-			db.simFunc = sim.Cosine
-		case "none":
-			db.simFunc = sim.NoSim
-		default:
-			db.simFunc = sim.Gram2Jaccard
+		f, err := simByName(name)
+		if err != nil {
+			db.saveErr(err)
+			return
 		}
+		db.simFunc = f
+	}
+}
+
+// simByName resolves a similarity-estimator name.
+func simByName(name string) (sim.Func, error) {
+	switch name {
+	case "token":
+		return sim.TokenJaccard, nil
+	case "edit":
+		return sim.EditDistance, nil
+	case "cosine":
+		return sim.Cosine, nil
+	case "none":
+		return sim.NoSim, nil
+	case "2gram", "":
+		return sim.Gram2Jaccard, nil
+	default:
+		return sim.Gram2Jaccard, fmt.Errorf("cdb: unknown similarity %q (want 2gram, token, edit, cosine or none)", name)
 	}
 }
 
 // WithEpsilon sets the similarity pruning threshold (default 0.3).
+// Values outside (0, 1] are recorded as validation errors (see Err)
+// and ignored.
 func WithEpsilon(eps float64) Option {
-	return func(db *DB) { db.epsilon = eps }
+	return func(db *DB) {
+		if eps <= 0 || eps > 1 {
+			db.saveErr(fmt.Errorf("cdb: epsilon %v out of range (0, 1]", eps))
+			return
+		}
+		db.epsilon = eps
+	}
 }
 
 // WithRedundancy sets the answers collected per task (default 5).
+// Non-positive values are recorded as validation errors (see Err) and
+// ignored.
 func WithRedundancy(k int) Option {
-	return func(db *DB) { db.redundancy = k }
+	return func(db *DB) {
+		if k <= 0 {
+			db.saveErr(fmt.Errorf("cdb: redundancy %d must be positive", k))
+			return
+		}
+		db.redundancy = k
+	}
 }
 
 // WithQualityControl toggles CDB+ mode: EM truth inference with a
@@ -175,9 +236,27 @@ func WithQualityControl(on bool) Option {
 }
 
 // WithStrategy selects the task-selection strategy (see the Strategy*
-// constants). Unknown names fall back to the CDB default.
+// constants). Unknown names fall back to the CDB default and record a
+// validation error on the DB (see Err).
 func WithStrategy(name string) Option {
-	return func(db *DB) { db.strategy = strings.ToLower(name) }
+	return func(db *DB) {
+		s := strings.ToLower(name)
+		if !validStrategy(s) {
+			db.saveErr(fmt.Errorf("cdb: unknown strategy %q (want cdb, mincut, crowddb, qurk, deco, opttree, trans or acd)", name))
+			return
+		}
+		db.strategy = s
+	}
+}
+
+// validStrategy reports whether name is one of the Strategy* constants.
+func validStrategy(name string) bool {
+	switch name {
+	case StrategyCDB, StrategyMinCut, StrategyCrowdDB, StrategyQurk,
+		StrategyDeco, StrategyOptTree, StrategyTrans, StrategyACD:
+		return true
+	}
+	return false
 }
 
 // WithFillTruth supplies the ground truth for FILL simulations: the
@@ -337,55 +416,63 @@ func (a oracleAdapter) JoinMatch(lt, lc, rt, rc, lv, rv string) bool {
 func (a oracleAdapter) SelMatch(t, c, v, k string) bool { return a.o.SelMatch(t, c, v, k) }
 
 // Stats summarizes one execution's crowd interaction.
+//
+// The json tags are the wire schema of the HTTP serving layer
+// (cmd/cdbd) and are pinned by a golden-file test: renaming a tag is a
+// breaking protocol change and fails CI.
 type Stats struct {
-	Tasks       int     // crowd tasks issued (the paper's cost metric)
-	Rounds      int     // crowd interaction rounds (latency metric)
-	Assignments int     // individual worker answers
-	HITs        int     // priced HITs (10 tasks per HIT)
-	Dollars     float64 // simulated spend ($0.1 per HIT)
-	Precision   float64 // vs the oracle's ground truth
-	Recall      float64
-	F1          float64
+	Tasks       int     `json:"tasks"`       // crowd tasks issued (the paper's cost metric)
+	Rounds      int     `json:"rounds"`      // crowd interaction rounds (latency metric)
+	Assignments int     `json:"assignments"` // individual worker answers
+	HITs        int     `json:"hits"`        // priced HITs (10 tasks per HIT)
+	Dollars     float64 `json:"dollars"`     // simulated spend ($0.1 per HIT)
+	Precision   float64 `json:"precision"`   // vs the oracle's ground truth
+	Recall      float64 `json:"recall"`
+	F1          float64 `json:"f1"`
 
 	// Reliability telemetry, populated on the fault-tolerant transport
 	// (WithFaults / WithReliability). Partial marks a degraded result:
 	// the query ran out of time, retries, or was cancelled, and Reason
 	// says which. The counters attribute where answers went.
-	Partial         bool
-	Reason          string
-	Lost            int // tasks that never got any answer
-	Retried         int // tasks reissued after missing a deadline
-	Hedged          int // tasks speculatively reissued before the deadline
-	Late            int // answers that arrived after their round deadline
-	Duplicates      int // redundant deliveries deduplicated away
-	RoundsTruncated int // rounds discarded by cancellation or deadline
+	Partial         bool   `json:"partial,omitempty"`
+	Reason          string `json:"reason,omitempty"`
+	Lost            int    `json:"lost,omitempty"`             // tasks that never got any answer
+	Retried         int    `json:"retried,omitempty"`          // tasks reissued after missing a deadline
+	Hedged          int    `json:"hedged,omitempty"`           // tasks speculatively reissued before the deadline
+	Late            int    `json:"late,omitempty"`             // answers that arrived after their round deadline
+	Duplicates      int    `json:"duplicates,omitempty"`       // redundant deliveries deduplicated away
+	RoundsTruncated int    `json:"rounds_truncated,omitempty"` // rounds discarded by cancellation or deadline
 
 	// Sharing telemetry, populated when the query ran through an Engine:
 	// tasks that attached to another query's in-flight HIT, and tasks
 	// answered from the shared verdict cache. Assignments/HITs/Dollars
 	// above still charge the full redundancy to this query either way —
 	// sharing changes what the platform does, not what a query observes.
-	Coalesced   int
-	CachedTasks int
+	Coalesced   int `json:"coalesced,omitempty"`
+	CachedTasks int `json:"cached_tasks,omitempty"`
 }
 
 // Result is the outcome of one Exec call.
+//
+// Like Stats, the json tags are the serving layer's wire schema,
+// pinned by a golden-file test.
 type Result struct {
 	// Columns and Rows hold the projected answers for SELECT; for DDL
 	// and collection statements Rows is empty and Message explains what
 	// happened.
-	Columns []string
-	Rows    [][]string
-	Message string
-	Stats   Stats
+	Columns []string   `json:"columns,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	Message string     `json:"message,omitempty"`
+	Stats   Stats      `json:"stats"`
 	// Confidence holds one entry per row of Rows on the fault-tolerant
 	// transport: the weakest per-edge posterior backing that answer
 	// (1.0 when every supporting verdict is certain). Nil on the
 	// synchronous path.
-	Confidence []float64
+	Confidence []float64 `json:"confidence,omitempty"`
 	// Trace is the statement's span tree when tracing is enabled via
-	// WithObserver or WithTracing; nil otherwise.
-	Trace *Trace
+	// WithObserver or WithTracing; nil otherwise. Never serialized on
+	// the wire — traces are process-local diagnostics.
+	Trace *Trace `json:"-"`
 }
 
 // Exec parses and executes one CQL statement. It is ExecContext with
@@ -470,7 +557,7 @@ func (db *DB) execCreate(s *cql.CreateTable) (*Result, error) {
 func (db *DB) Insert(tableName string, values ...string) error {
 	tb, ok := db.catalog.Get(tableName)
 	if !ok {
-		return fmt.Errorf("cdb: unknown table %s", tableName)
+		return fmt.Errorf("cdb: %w %s", ErrUnknownTable, tableName)
 	}
 	if len(values) != len(tb.Schema.Columns) {
 		return fmt.Errorf("cdb: table %s wants %d values, got %d", tableName, len(tb.Schema.Columns), len(values))
@@ -497,7 +584,7 @@ func (db *DB) Metadata() *meta.Store { return db.meta }
 func (db *DB) Dump(tableName string) ([][]string, error) {
 	tb, ok := db.catalog.Get(tableName)
 	if !ok {
-		return nil, fmt.Errorf("cdb: unknown table %s", tableName)
+		return nil, fmt.Errorf("cdb: %w %s", ErrUnknownTable, tableName)
 	}
 	header := make([]string, len(tb.Schema.Columns))
 	for i, c := range tb.Schema.Columns {

@@ -1,0 +1,251 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"cdb"
+)
+
+// Client talks to one cdbd server. Safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures New.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles). The default has no client-side timeout:
+// crowd queries are long-lived, and deadlines belong on the context.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the cdbd server at baseURL (host:port or a
+// full http:// URL).
+func New(baseURL string, opts ...Option) *Client {
+	base := strings.TrimRight(baseURL, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	c := &Client{base: base, hc: &http.Client{}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response from the server, decoded from its
+// ErrorPayload. It unwraps to the library's typed errors — errors.Is
+// (cdb.ErrOverloaded, cdb.ErrUnknownTable, context.DeadlineExceeded)
+// and errors.As(*cdb.ParseError) work on a remote error exactly as
+// they do on a local one.
+type APIError struct {
+	// Status is the HTTP status code (0 for in-stream errors, which
+	// arrive after a 200 header).
+	Status int
+	// Code is the wire-stable error code (the Code* constants).
+	Code string
+	// Message describes the failure.
+	Message string
+	// Offset and Near locate a CQL syntax error (CodeParse); Offset is
+	// -1 when the error has no single position.
+	Offset int
+	Near   string
+	// RetryAfter is the server's backoff hint on overload or drain.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	s := fmt.Sprintf("cdbd: %s: %s", e.Code, e.Message)
+	if e.Code == CodeParse && e.Offset >= 0 {
+		s += fmt.Sprintf(" at offset %d", e.Offset)
+	}
+	return s
+}
+
+// Unwrap maps the wire code back to the library's typed error, so the
+// network hop is transparent to errors.Is / errors.As.
+func (e *APIError) Unwrap() error {
+	switch e.Code {
+	case CodeOverloaded:
+		return cdb.ErrOverloaded
+	case CodeDraining:
+		return cdb.ErrEngineClosed
+	case CodeUnknownTable:
+		return cdb.ErrUnknownTable
+	case CodeUnsupported:
+		return cdb.ErrEngineUnsupported
+	case CodeTimeout:
+		return context.DeadlineExceeded
+	case CodeParse:
+		return &cdb.ParseError{Offset: e.Offset, Near: e.Near, Msg: e.Message}
+	}
+	return nil
+}
+
+// Query executes one CQL SELECT and blocks until the full result. A
+// context deadline is forwarded to the server as the request's
+// TimeoutMs, so the server stops crowdsourcing at the same moment the
+// client stops waiting and returns the partial result of the completed
+// rounds (Stats.Partial) instead of nothing.
+func (c *Client) Query(ctx context.Context, query string) (*cdb.Result, error) {
+	req := QueryRequest{Query: query}
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.TimeoutMs = ms
+		}
+	}
+	resp, err := c.post(ctx, "/v1/query", req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	var res cdb.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return nil, fmt.Errorf("client: decode result: %w", err)
+	}
+	return &res, nil
+}
+
+// QueryStream executes one CQL SELECT over the NDJSON streaming
+// endpoint: onRound (nil-safe) is invoked for every completed crowd
+// round as its event arrives, and the final Result is returned when
+// the terminal event lands. This is the endpoint for long-lived crowd
+// queries — the caller watches answers trickle in round by round
+// instead of staring at a blocked request.
+func (c *Client) QueryStream(ctx context.Context, query string, onRound func(cdb.RoundUpdate)) (*cdb.Result, error) {
+	req := QueryRequest{Query: query}
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.TimeoutMs = ms
+		}
+	}
+	resp, err := c.post(ctx, "/v1/query/stream", req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev StreamEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("client: decode stream event: %w", err)
+		}
+		switch ev.Type {
+		case EventRound:
+			if onRound != nil && ev.Round != nil {
+				onRound(*ev.Round)
+			}
+		case EventResult:
+			if ev.Result == nil {
+				return nil, fmt.Errorf("client: result event without result")
+			}
+			return ev.Result, nil
+		case EventError:
+			return nil, apiErrorFrom(0, ev.Error, "")
+		default:
+			// Skip unknown event types: the protocol may grow new
+			// progress kinds without breaking old clients.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("client: stream: %w", err)
+	}
+	return nil, fmt.Errorf("client: stream ended without a terminal event")
+}
+
+// Tables lists the tables in the server's catalog.
+func (c *Client) Tables(ctx context.Context) ([]string, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/tables", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	var tr TablesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("client: decode tables: %w", err)
+	}
+	return tr.Tables, nil
+}
+
+func (c *Client) post(ctx context.Context, path string, body any) (*http.Response, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	return resp, nil
+}
+
+// decodeAPIError turns a non-2xx response into an *APIError,
+// tolerating non-JSON bodies from intermediaries.
+func decodeAPIError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var p ErrorPayload
+	if err := json.Unmarshal(body, &p); err != nil || p.Code == "" {
+		p = ErrorPayload{
+			Code:    CodeInternal,
+			Message: fmt.Sprintf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body))),
+		}
+	}
+	return apiErrorFrom(resp.StatusCode, &p, resp.Header.Get("Retry-After"))
+}
+
+// apiErrorFrom assembles an APIError from a payload plus the optional
+// Retry-After header (seconds).
+func apiErrorFrom(status int, p *ErrorPayload, retryAfter string) *APIError {
+	if p == nil {
+		p = &ErrorPayload{Code: CodeInternal, Message: "missing error payload"}
+	}
+	e := &APIError{Status: status, Code: p.Code, Message: p.Message, Near: p.Near, Offset: -1}
+	if p.Offset != nil {
+		e.Offset = *p.Offset
+	}
+	if p.RetryAfterMs > 0 {
+		e.RetryAfter = time.Duration(p.RetryAfterMs) * time.Millisecond
+	}
+	if e.RetryAfter == 0 && retryAfter != "" {
+		if secs, err := strconv.Atoi(retryAfter); err == nil {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
+}

@@ -1,0 +1,77 @@
+// Package client is the typed Go client for cdbd, CDB's HTTP serving
+// front-end. It speaks the /v1 JSON wire protocol: blocking queries
+// (Query), round-by-round streaming of long-lived crowd queries
+// (QueryStream), and catalog introspection (Tables). Errors come back
+// typed — an *APIError unwraps to the cdb sentinels (cdb.ErrOverloaded,
+// cdb.ErrUnknownTable, *cdb.ParseError), so remote callers branch with
+// errors.Is/As exactly like embedded ones.
+//
+// This file is the wire schema, shared verbatim with internal/server:
+// both sides marshal these structs, so a field rename is caught by the
+// golden-file tests rather than by a confused peer.
+package client
+
+import "cdb"
+
+// QueryRequest is the body of POST /v1/query and /v1/query/stream.
+type QueryRequest struct {
+	// Query is one CQL SELECT statement.
+	Query string `json:"query"`
+	// TimeoutMs optionally bounds execution server-side; past it the
+	// query degrades gracefully and returns its partial result
+	// (Stats.Partial) exactly like DB.ExecContext with a deadline.
+	// Zero means no server-side deadline.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// TablesResponse is the body of GET /v1/tables.
+type TablesResponse struct {
+	Tables []string `json:"tables"`
+}
+
+// Error codes carried by ErrorPayload.Code. They are the wire-stable
+// names of the library's typed errors.
+const (
+	CodeParse        = "parse_error"   // CQL syntax error (Offset/Near set)
+	CodeUnsupported  = "unsupported"   // statement the engine cannot serve
+	CodeUnknownTable = "unknown_table" // FROM references a missing table
+	CodeOverloaded   = "overloaded"    // admission control shed the query; retry later
+	CodeDraining     = "draining"      // server is shutting down gracefully
+	CodeTimeout      = "timeout"       // request deadline elapsed before completion
+	CodeBadRequest   = "bad_request"   // malformed request body
+	CodeInternal     = "internal"      // unexpected execution failure
+)
+
+// ErrorPayload is the JSON body of every non-2xx response (and of
+// terminal "error" stream events).
+type ErrorPayload struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Offset and Near locate a CQL syntax error in the submitted
+	// statement (CodeParse only). Offset -1 means no single position.
+	Offset *int   `json:"offset,omitempty"`
+	Near   string `json:"near,omitempty"`
+	// RetryAfterMs mirrors the Retry-After header on 429/503 so
+	// non-HTTP-aware callers see the backoff hint too.
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
+}
+
+// Stream event types for POST /v1/query/stream. The stream is NDJSON:
+// one StreamEvent per line, zero or more "round" events in round
+// order, terminated by exactly one "result" or "error" event.
+const (
+	EventRound  = "round"
+	EventResult = "result"
+	EventError  = "error"
+)
+
+// StreamEvent is one NDJSON line of a streamed query.
+type StreamEvent struct {
+	Type string `json:"type"`
+	// Round carries the per-round progress snapshot (Type "round").
+	Round *cdb.RoundUpdate `json:"round,omitempty"`
+	// Result carries the final outcome (Type "result").
+	Result *cdb.Result `json:"result,omitempty"`
+	// Error carries the terminal failure (Type "error").
+	Error *ErrorPayload `json:"error,omitempty"`
+}

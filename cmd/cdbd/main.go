@@ -1,0 +1,122 @@
+// Command cdbd serves a CDB instance over HTTP: the network face of
+// the crowd-powered database. It mounts the /v1 JSON wire protocol —
+// blocking queries, round-by-round NDJSON streams for long-lived crowd
+// queries, catalog introspection — plus the observability endpoints
+// (/metrics, /debug/pprof) on one listener.
+//
+//	cdbd -addr :8080 -dataset example
+//	cdbd -addr :8080 -dataset paper -scale 0.1 -max-inflight 16
+//
+//	curl -s localhost:8080/v1/tables
+//	curl -s -XPOST localhost:8080/v1/query -d '{"query":"SELECT * FROM ..."}'
+//	curl -sN -XPOST localhost:8080/v1/query/stream -d '{"query":"..."}'
+//
+// Admission control maps to HTTP: an overloaded engine sheds with 429
+// and a Retry-After hint instead of queueing unboundedly. On SIGTERM
+// (or SIGINT) the server drains gracefully: new queries get 503,
+// accepted queries run to completion — including deadline-partial
+// results — and only then does the process exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cdb"
+	"cdb/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		datasetN   = flag.String("dataset", "example", "dataset to serve: example, paper or award")
+		scale      = flag.Float64("scale", 0.1, "dataset scale for paper/award")
+		seed       = flag.Uint64("seed", 1, "engine seed (equal seeds replay identical verdicts)")
+		workers    = flag.Int("workers", 50, "simulated worker count")
+		accuracy   = flag.Float64("accuracy", 0.85, "mean worker accuracy")
+		stddev     = flag.Float64("stddev", 0.1, "worker accuracy stddev")
+		similarity = flag.String("similarity", "2gram", "similarity estimator: 2gram, token, edit, cosine or none")
+		epsilon    = flag.Float64("epsilon", 0.3, "similarity pruning threshold")
+		redundancy = flag.Int("redundancy", 5, "answers per crowd task")
+
+		maxInFlight = flag.Int("max-inflight", 8, "concurrently executing queries")
+		maxQueue    = flag.Int("max-queue", 64, "queries queued behind the in-flight set")
+		verdictLRU  = flag.Int("verdict-cache", 4096, "shared verdict cache entries")
+		resultLRU   = flag.Int("result-cache", 256, "whole-answer cache entries (negative disables)")
+
+		retryAfter   = flag.Duration("retry-after", time.Second, "backoff hint on 429/503 responses")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for connection shutdown after the engine drains")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "cdbd: ", log.LstdFlags|log.Lmsgprefix)
+
+	db, err := cdb.OpenConfig(cdb.Config{
+		Seed:           *seed,
+		Dataset:        *datasetN,
+		DatasetScale:   *scale,
+		Workers:        *workers,
+		WorkerAccuracy: *accuracy,
+		WorkerStddev:   *stddev,
+		Similarity:     *similarity,
+		Epsilon:        *epsilon,
+		Redundancy:     *redundancy,
+	})
+	if err != nil {
+		logger.Fatalf("config: %v", err)
+	}
+	engine, err := db.NewEngine(
+		cdb.WithMaxInFlight(*maxInFlight),
+		cdb.WithMaxQueue(*maxQueue),
+		cdb.WithVerdictCache(*verdictLRU),
+		cdb.WithResultCache(*resultLRU),
+	)
+	if err != nil {
+		logger.Fatalf("engine: %v", err)
+	}
+
+	srv, err := server.New(server.Config{
+		DB:         db,
+		Engine:     engine,
+		Logger:     logger,
+		RetryAfter: *retryAfter,
+	})
+	if err != nil {
+		logger.Fatalf("server: %v", err)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		got := <-sig
+		logger.Printf("received %s, draining", got)
+		// Drain ordering: stop admitting and wait for every accepted
+		// query first, so their handlers finish writing; only then
+		// close the listener and linger for the final response bytes.
+		srv.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+		logger.Printf("drained cleanly")
+	}()
+
+	logger.Printf("serving dataset %q (scale %v, seed %d) on %s: tables %v",
+		*datasetN, *scale, *seed, *addr, db.TableNames())
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatalf("listen: %v", err)
+	}
+	<-done
+	fmt.Fprintln(os.Stderr, "cdbd: bye")
+}

@@ -3,28 +3,38 @@
 //	cdbsh                       # empty catalog
 //	cdbsh -dataset example      # the paper's Table 1 running example
 //	cdbsh -dataset paper -scale 0.1
+//	cdbsh -connect host:8080    # remote mode against a cdbd server
 //
 // Statements end with ';'. Besides CQL (CREATE TABLE / SELECT …
 // CROWDJOIN / CROWDEQUAL / FILL / COLLECT / BUDGET) the shell accepts:
 //
 //	\tables          list tables
-//	\dump <table>    print a table
+//	\dump <table>    print a table (local mode)
 //	\metrics         print the process metrics (Prometheus text format)
 //	\quit            exit
+//
+// In remote mode every SELECT runs over cdbd's streaming endpoint, so
+// long crowd queries print their progress round by round as answers
+// trickle in, instead of blocking silently.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"cdb"
+	"cdb/client"
 )
 
 func main() {
 	var (
+		connect = flag.String("connect", "", "remote mode: address of a cdbd server (host:port)")
+
 		datasetName = flag.String("dataset", "", "preload dataset: example, paper or award")
 		scale       = flag.Float64("scale", 0.1, "dataset scale for paper/award")
 		seed        = flag.Uint64("seed", 1, "random seed")
@@ -39,6 +49,10 @@ func main() {
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *connect != "" {
+		os.Exit(runRemote(*connect))
+	}
 
 	if *metricsAddr != "" {
 		bound, shutdown, err := cdb.ServeMetrics(*metricsAddr)
@@ -171,6 +185,103 @@ func execute(db *cdb.DB, stmt string) {
 		fmt.Printf("[crowd: %d tasks, %d rounds, %d answers, $%.2f]\n",
 			res.Stats.Tasks, res.Stats.Rounds, res.Stats.Assignments, res.Stats.Dollars)
 	}
+}
+
+// runRemote is the -connect REPL: statements execute on a cdbd server
+// through the typed client, SELECTs over the streaming endpoint with
+// per-round progress lines. Returns the process exit code (non-zero
+// when the final statement failed, so scripts piping statements in can
+// assert success).
+func runRemote(addr string) int {
+	c := client.New(addr)
+	ctx := context.Background()
+	tables, err := c.Tables(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdbsh: connect %s: %v\n", addr, err)
+		return 1
+	}
+	fmt.Printf("cdbsh — connected to cdbd at %s (tables: %s)\n", addr, strings.Join(tables, ", "))
+
+	exitCode := 0
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("cql> ")
+		} else {
+			fmt.Print("...> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !remoteCommand(ctx, c, trimmed) {
+				return exitCode
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.Contains(line, ";") {
+			if remoteExecute(ctx, c, buf.String()) {
+				exitCode = 0
+			} else {
+				exitCode = 1
+			}
+			buf.Reset()
+		}
+		prompt()
+	}
+	return exitCode
+}
+
+func remoteCommand(ctx context.Context, c *client.Client, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\quit", "\\q":
+		return false
+	case "\\tables":
+		tables, err := c.Tables(ctx)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Println(strings.Join(tables, ", "))
+	default:
+		fmt.Println("unknown remote command; try \\tables, \\quit")
+	}
+	return true
+}
+
+// remoteExecute streams one statement and reports success.
+func remoteExecute(ctx context.Context, c *client.Client, stmt string) bool {
+	res, err := c.QueryStream(ctx, stmt, func(u cdb.RoundUpdate) {
+		fmt.Printf("[round %d: %d tasks, %d↑ %d↓, %d edges open]\n", u.Round, u.Tasks, u.Blue, u.Red, u.Open)
+	})
+	if err != nil {
+		var pe *cdb.ParseError
+		if errors.As(err, &pe) && pe.Offset >= 0 {
+			fmt.Printf("error: %v\n       %s\n       %s^\n", err, strings.ReplaceAll(stmt, "\n", " "), strings.Repeat(" ", pe.Offset))
+		} else {
+			fmt.Println("error:", err)
+		}
+		return false
+	}
+	if len(res.Rows) > 0 {
+		printGrid(append([][]string{res.Columns}, res.Rows...))
+	}
+	if res.Message != "" {
+		fmt.Println(res.Message)
+	}
+	if res.Stats.Tasks > 0 {
+		fmt.Printf("[crowd: %d tasks, %d rounds, %d answers, $%.2f]\n",
+			res.Stats.Tasks, res.Stats.Rounds, res.Stats.Assignments, res.Stats.Dollars)
+	}
+	return true
 }
 
 func printGrid(rows [][]string) {

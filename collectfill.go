@@ -21,7 +21,7 @@ import (
 func (db *DB) execFill(s *cql.Fill) (*Result, error) {
 	tb, ok := db.catalog.Get(s.Target.Table)
 	if !ok {
-		return nil, fmt.Errorf("cdb: unknown table %s", s.Target.Table)
+		return nil, fmt.Errorf("cdb: %w %s", ErrUnknownTable, s.Target.Table)
 	}
 	col := tb.Schema.ColIndex(s.Target.Column)
 	if col < 0 {
@@ -97,7 +97,7 @@ func (db *DB) execCollect(s *cql.Collect) (*Result, error) {
 	tabName := s.Cols[0].Table
 	tb, ok := db.catalog.Get(tabName)
 	if !ok {
-		return nil, fmt.Errorf("cdb: unknown table %s", tabName)
+		return nil, fmt.Errorf("cdb: %w %s", ErrUnknownTable, tabName)
 	}
 	if !tb.Schema.CrowdTable {
 		return nil, fmt.Errorf("cdb: %s is not a CROWD table", tabName)

@@ -1,0 +1,154 @@
+package cdb
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestOpenConfigDefaults pins that a zero Config constructs a working
+// empty-catalog instance and that filled fields apply the documented
+// defaults (Scale 0 → 1.0, DatasetSeed 0 → Seed).
+func TestOpenConfigDefaults(t *testing.T) {
+	db, err := OpenConfig(Config{})
+	if err != nil {
+		t.Fatalf("OpenConfig(zero) = %v", err)
+	}
+	if err := db.Err(); err != nil {
+		t.Fatalf("Err() after valid OpenConfig = %v", err)
+	}
+	if got := db.TableNames(); len(got) != 0 {
+		t.Errorf("zero Config preloaded tables %v", got)
+	}
+
+	db, err = OpenConfig(Config{Dataset: "example", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Citation", "Paper", "Researcher", "University"}
+	if got := db.TableNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("TableNames() = %v, want %v", got, want)
+	}
+}
+
+// TestOpenConfigEquivalence pins that OpenConfig is a pure translation
+// to Open's options: the same knobs yield bit-identical query results.
+func TestOpenConfigEquivalence(t *testing.T) {
+	const q = `SELECT * FROM Paper, Researcher WHERE Paper.author CROWDJOIN Researcher.name;`
+	a, err := OpenConfig(Config{Dataset: "example", Seed: 11, Workers: 40, WorkerAccuracy: 0.9, WorkerStddev: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Open(
+		WithSeed(11),
+		WithWorkers(40, 0.9, 0.05),
+		WithDataset("example", 1.0, 11),
+	)
+	ra, err := a.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Exec(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ra, rb) {
+		t.Errorf("OpenConfig result differs from equivalent Open:\n%+v\n%+v", ra, rb)
+	}
+}
+
+// TestOpenConfigInvalid pins that every knob Open silently falls back
+// on fails OpenConfig with an error naming the bad value.
+func TestOpenConfigInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"dataset", Config{Dataset: "imdb"}, `unknown dataset "imdb"`},
+		{"similarity", Config{Similarity: "3gram"}, `unknown similarity "3gram"`},
+		{"strategy", Config{Strategy: "greedy"}, `unknown strategy "greedy"`},
+		{"epsilon-high", Config{Epsilon: 1.5}, "epsilon 1.5 out of range"},
+		{"epsilon-negative", Config{Epsilon: -0.1}, "epsilon -0.1 out of range"},
+		{"redundancy", Config{Redundancy: -3}, "redundancy -3 must be positive"},
+		{"workers", Config{Workers: -5}, "worker count -5 must be positive"},
+		{"accuracy", Config{WorkerAccuracy: 1.7}, "accuracy 1.7 out of range"},
+		{"stddev", Config{Workers: 10, WorkerAccuracy: 0.8, WorkerStddev: -1}, "stddev -1 must be non-negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db, err := OpenConfig(tc.cfg)
+			if err == nil {
+				t.Fatalf("OpenConfig(%+v) succeeded, want error %q", tc.cfg, tc.want)
+			}
+			if db != nil {
+				t.Errorf("OpenConfig returned a DB alongside the error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestOpenLenientErr pins Open's backward-compatible contract: invalid
+// knobs never fail construction, but every one is recorded and
+// surfaced — joined — by Err.
+func TestOpenLenientErr(t *testing.T) {
+	db := Open(
+		WithDataset("imdb", 1, 1),
+		WithEpsilon(2),
+		WithStrategy("greedy"),
+	)
+	if db == nil {
+		t.Fatal("Open returned nil for invalid options")
+	}
+	err := db.Err()
+	if err == nil {
+		t.Fatal("Err() = nil after three invalid options")
+	}
+	for _, want := range []string{`unknown dataset "imdb"`, "epsilon 2 out of range", `unknown strategy "greedy"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("Err() %q does not mention %q", err, want)
+		}
+	}
+	// The fallback behaviour is preserved: the bogus dataset name still
+	// loads the paper dataset, as Open always did.
+	if got := db.TableNames(); len(got) == 0 {
+		t.Errorf("lenient Open did not fall back to a loaded dataset")
+	}
+}
+
+// TestTypedErrors pins the errors.Is/As contract of the exported
+// sentinels at their library-level sites.
+func TestTypedErrors(t *testing.T) {
+	db := Open(WithDataset("example", 0, 1), WithPerfectWorkers(10))
+
+	// CQL syntax error → *ParseError with a position.
+	_, err := db.Exec("SELECT * FORM Paper;")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("syntax error = %v (%T), want *ParseError", err, err)
+	}
+	if pe.Offset < 0 || pe.Near == "" {
+		t.Errorf("ParseError lacks a position: offset %d near %q", pe.Offset, pe.Near)
+	}
+
+	// Unknown table in FROM → ErrUnknownTable.
+	_, err = db.Exec("SELECT * FROM Nonesuch, Paper WHERE Nonesuch.a CROWDJOIN Paper.title;")
+	if !errors.Is(err, ErrUnknownTable) {
+		t.Fatalf("unknown FROM table = %v, want ErrUnknownTable", err)
+	}
+
+	// Unknown table in INSERT → ErrUnknownTable.
+	if err := db.Insert("Nonesuch", "x"); !errors.Is(err, ErrUnknownTable) {
+		t.Fatalf("Insert into missing table = %v, want ErrUnknownTable", err)
+	}
+
+	// Unknown table in COLLECT → ErrUnknownTable.
+	_, err = db.Exec("COLLECT Nonesuch.x;")
+	if !errors.Is(err, ErrUnknownTable) {
+		t.Fatalf("COLLECT on missing table = %v, want ErrUnknownTable", err)
+	}
+}

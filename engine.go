@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"cdb/internal/engine"
+	"cdb/internal/exec"
 )
 
 // Engine serves concurrent CQL queries over one DB's catalog and
@@ -161,6 +162,30 @@ func (f *Future) Result(ctx context.Context) (*Result, error) {
 // blocking.
 func (e *Engine) Submit(ctx context.Context, query string) (*Future, error) {
 	h, err := e.inner.Submit(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	return &Future{h: h}, nil
+}
+
+// RoundUpdate is the per-round progress snapshot delivered to
+// SubmitWithProgress observers: what the round asked the crowd, how it
+// ruled, and how much of the query graph remains open. Crowd queries
+// are long-lived by nature — answers trickle in over rounds — and this
+// is the unit a serving layer streams to remote clients while the
+// query runs.
+type RoundUpdate = exec.RoundUpdate
+
+// SubmitWithProgress is Submit with a streaming hook: onRound is
+// invoked at the end of every completed crowd round. The number of
+// invocations always equals the final Stats.Rounds (rounds discarded
+// by cancellation never report). A progress query bypasses the
+// whole-answer cache — it must execute rounds to have any to report —
+// but still shares HITs through the engine, so its rows and Stats are
+// bit-identical to an unobserved Submit. onRound runs on the query's
+// goroutine; hand off to a channel if the consumer can stall.
+func (e *Engine) SubmitWithProgress(ctx context.Context, query string, onRound func(RoundUpdate)) (*Future, error) {
+	h, err := e.inner.SubmitProgress(ctx, query, onRound)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,43 @@
+package cql
+
+import "fmt"
+
+// ParseError is a CQL syntax error pinned to its position in the
+// input. Every lexer and parser failure is one, so callers can
+// errors.As for it and point at the offending token — a shell
+// underlines it, an HTTP front-end returns the offset in its error
+// payload — instead of string-matching "at offset".
+type ParseError struct {
+	// Offset is the byte offset of the offending token in the parsed
+	// input, or -1 when the error has no single position (e.g. empty
+	// input).
+	Offset int
+	// Near is the offending token's text; "" at end of input or when
+	// no token is implicated.
+	Near string
+	// Msg describes the problem without position information.
+	Msg string
+}
+
+// Error implements error, rendering position info when present.
+func (e *ParseError) Error() string {
+	s := "cql: " + e.Msg
+	if e.Offset >= 0 {
+		s += fmt.Sprintf(" at offset %d", e.Offset)
+	}
+	if e.Near != "" {
+		s += fmt.Sprintf(" near %q", e.Near)
+	}
+	return s
+}
+
+// perr builds a ParseError at offset (pass -1 for position-free
+// errors) implicating the token text near.
+func perr(offset int, near, format string, args ...any) *ParseError {
+	return &ParseError{Offset: offset, Near: near, Msg: fmt.Sprintf(format, args...)}
+}
+
+// perrAt pins the error at the parser's current token.
+func (p *parser) perrAt(format string, args ...any) *ParseError {
+	return perr(p.cur().pos, p.cur().text, format, args...)
+}

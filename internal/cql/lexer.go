@@ -6,7 +6,6 @@
 package cql
 
 import (
-	"fmt"
 	"strconv"
 	"strings"
 	"unicode"
@@ -58,7 +57,7 @@ func lex(input string) ([]token, error) {
 				j++
 			}
 			if j >= len(input) {
-				return nil, fmt.Errorf("cql: unterminated string at offset %d", i)
+				return nil, perr(i, "", "unterminated string")
 			}
 			toks = append(toks, token{kind: tokString, text: input[i+1 : j], pos: i})
 			i = j + 1
@@ -73,11 +72,11 @@ func lex(input string) ([]token, error) {
 				j++
 			}
 			if j >= len(input) {
-				return nil, fmt.Errorf("cql: unterminated string at offset %d", i)
+				return nil, perr(i, "", "unterminated string")
 			}
 			unquoted, err := strconv.Unquote(input[i : j+1])
 			if err != nil {
-				return nil, fmt.Errorf("cql: bad string literal at offset %d: %v", i, err)
+				return nil, perr(i, "", "bad string literal: %v", err)
 			}
 			toks = append(toks, token{kind: tokString, text: unquoted, pos: i})
 			i = j + 1
@@ -105,7 +104,7 @@ func lex(input string) ([]token, error) {
 			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
 			i++
 		default:
-			return nil, fmt.Errorf("cql: unexpected character %q at offset %d", c, i)
+			return nil, perr(i, string(c), "unexpected character %q", c)
 		}
 	}
 	toks = append(toks, token{kind: tokEOF, pos: len(input)})

@@ -1,7 +1,6 @@
 package cql
 
 import (
-	"fmt"
 	"strconv"
 )
 
@@ -13,7 +12,7 @@ func Parse(input string) (Statement, error) {
 		return nil, err
 	}
 	if len(stmts) != 1 {
-		return nil, fmt.Errorf("cql: expected one statement, found %d", len(stmts))
+		return nil, perr(-1, "", "expected one statement, found %d", len(stmts))
 	}
 	return stmts[0], nil
 }
@@ -41,7 +40,7 @@ func ParseAll(input string) ([]Statement, error) {
 		}
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("cql: empty input")
+		return nil, perr(-1, "", "empty input")
 	}
 	return out, nil
 }
@@ -64,7 +63,7 @@ func (p *parser) atKeyword(k string) bool {
 
 func (p *parser) expectSymbol(s string) error {
 	if !p.atSymbol(s) {
-		return fmt.Errorf("cql: expected %q at offset %d, found %q", s, p.cur().pos, p.cur().text)
+		return p.perrAt("expected %q", s)
 	}
 	p.next()
 	return nil
@@ -72,7 +71,7 @@ func (p *parser) expectSymbol(s string) error {
 
 func (p *parser) expectKeyword(k string) error {
 	if !p.atKeyword(k) {
-		return fmt.Errorf("cql: expected %s at offset %d, found %q", k, p.cur().pos, p.cur().text)
+		return p.perrAt("expected %s", k)
 	}
 	p.next()
 	return nil
@@ -80,18 +79,18 @@ func (p *parser) expectKeyword(k string) error {
 
 func (p *parser) ident() (string, error) {
 	if !p.at(tokIdent) {
-		return "", fmt.Errorf("cql: expected identifier at offset %d, found %q", p.cur().pos, p.cur().text)
+		return "", p.perrAt("expected identifier")
 	}
 	return p.next().text, nil
 }
 
 func (p *parser) number() (int, error) {
 	if !p.at(tokNumber) {
-		return 0, fmt.Errorf("cql: expected number at offset %d, found %q", p.cur().pos, p.cur().text)
+		return 0, p.perrAt("expected number")
 	}
 	n, err := strconv.Atoi(p.next().text)
 	if err != nil {
-		return 0, fmt.Errorf("cql: bad number: %w", err)
+		return 0, perr(-1, "", "bad number: %v", err)
 	}
 	return n, nil
 }
@@ -107,7 +106,7 @@ func (p *parser) statement() (Statement, error) {
 	case p.atKeyword("COLLECT"):
 		return p.collectStmt()
 	default:
-		return nil, fmt.Errorf("cql: unexpected token %q at offset %d", p.cur().text, p.cur().pos)
+		return nil, p.perrAt("unexpected token")
 	}
 }
 
@@ -180,7 +179,7 @@ func (p *parser) colDef() (ColDef, error) {
 		p.next()
 		c.Type = "float"
 	default:
-		return c, fmt.Errorf("cql: expected column type at offset %d, found %q", p.cur().pos, p.cur().text)
+		return c, p.perrAt("expected column type")
 	}
 	return c, nil
 }
@@ -252,7 +251,7 @@ func (p *parser) selectStmt() (Statement, error) {
 			return nil, err
 		}
 		if ref.Table == "" {
-			return nil, fmt.Errorf("cql: GROUP BY column must be table-qualified")
+			return nil, perr(-1, "", "GROUP BY column must be table-qualified")
 		}
 		s.GroupBy = &ref
 	}
@@ -266,7 +265,7 @@ func (p *parser) selectStmt() (Statement, error) {
 			return nil, err
 		}
 		if ref.Table == "" {
-			return nil, fmt.Errorf("cql: ORDER BY column must be table-qualified")
+			return nil, perr(-1, "", "ORDER BY column must be table-qualified")
 		}
 		s.OrderBy = &ref
 	}
@@ -309,7 +308,7 @@ func (p *parser) optBudget() (int, error) {
 		return 0, err
 	}
 	if n <= 0 {
-		return 0, fmt.Errorf("cql: BUDGET must be positive, got %d", n)
+		return 0, perr(-1, "", "BUDGET must be positive, got %d", n)
 	}
 	return n, nil
 }
@@ -327,13 +326,13 @@ func (p *parser) predicate() (Predicate, error) {
 			return Predicate{}, err
 		}
 		if right.Table == "" {
-			return Predicate{}, fmt.Errorf("cql: CROWDJOIN right side must be table-qualified")
+			return Predicate{}, perr(-1, "", "CROWDJOIN right side must be table-qualified")
 		}
 		return Predicate{Kind: CrowdJoin, Left: left, Right: right}, nil
 	case p.atKeyword("CROWDEQUAL"):
 		p.next()
 		if !p.at(tokString) {
-			return Predicate{}, fmt.Errorf("cql: CROWDEQUAL expects a string literal at offset %d", p.cur().pos)
+			return Predicate{}, p.perrAt("CROWDEQUAL expects a string literal")
 		}
 		return Predicate{Kind: CrowdEqual, Left: left, Value: p.next().text}, nil
 	case p.atSymbol("="):
@@ -355,11 +354,10 @@ func (p *parser) predicate() (Predicate, error) {
 			}
 			return Predicate{Kind: EquiJoin, Left: left, Right: right}, nil
 		default:
-			return Predicate{}, fmt.Errorf("cql: bad right side of '=' at offset %d", p.cur().pos)
+			return Predicate{}, p.perrAt("bad right side of '='")
 		}
 	default:
-		return Predicate{}, fmt.Errorf("cql: expected CROWDJOIN, CROWDEQUAL or '=' at offset %d, found %q",
-			p.cur().pos, p.cur().text)
+		return Predicate{}, p.perrAt("expected CROWDJOIN, CROWDEQUAL or '='")
 	}
 }
 
@@ -370,7 +368,7 @@ func (p *parser) fillStmt() (Statement, error) {
 		return nil, err
 	}
 	if target.Table == "" {
-		return nil, fmt.Errorf("cql: FILL target must be Table.Column")
+		return nil, perr(-1, "", "FILL target must be Table.Column")
 	}
 	where, err := p.optWhere()
 	if err != nil {
@@ -392,7 +390,7 @@ func (p *parser) collectStmt() (Statement, error) {
 			return nil, err
 		}
 		if ref.Table == "" {
-			return nil, fmt.Errorf("cql: COLLECT columns must be Table.Column")
+			return nil, perr(-1, "", "COLLECT columns must be Table.Column")
 		}
 		c.Cols = append(c.Cols, ref)
 		if p.atSymbol(",") {

@@ -213,6 +213,19 @@ func (h *Handle) Done() <-chan struct{} { return h.done }
 // group/sort runs its tasks outside the per-query graph; both belong
 // on the exclusive DB.Exec path.
 func (e *Engine) Submit(ctx context.Context, query string) (*Handle, error) {
+	return e.SubmitProgress(ctx, query, nil)
+}
+
+// SubmitProgress is Submit with a per-round progress hook: progress is
+// invoked at the end of every completed crowd round with the
+// executor's RoundUpdate snapshot (see exec.Options.Progress). A
+// progress query always executes for real — it bypasses the
+// whole-answer cache and in-flight attach, which would complete
+// without any rounds to report — but still shares HITs and verdicts
+// through the coalescer, so its answers remain bit-identical to an
+// unobserved run. progress runs on the query's goroutine; hand off to
+// a channel if the consumer can stall.
+func (e *Engine) SubmitProgress(ctx context.Context, query string, progress func(exec.RoundUpdate)) (*Handle, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -247,7 +260,7 @@ func (e *Engine) Submit(ctx context.Context, query string) (*Handle, error) {
 	e.submitted.Add(1)
 	mSubmitted.Inc()
 	h := &Handle{Query: query, done: make(chan struct{})}
-	go e.serve(ctx, s, h)
+	go e.serve(ctx, s, h, progress)
 	return h, nil
 }
 
@@ -255,7 +268,7 @@ func (e *Engine) Submit(ctx context.Context, query string) (*Handle, error) {
 // whole answers with identical statements (cache or in-flight
 // attach), otherwise plan with the shared join cache, execute with
 // the coalescer as resolver, and project the answers.
-func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle) {
+func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress func(exec.RoundUpdate)) {
 	defer e.wg.Done()
 	defer func() { <-e.admit }()
 	defer close(h.done)
@@ -274,7 +287,7 @@ func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle) {
 	// execution slot before registering, so waiting cannot deadlock.
 	var fl *queryFlight
 	key := s.String()
-	if e.results != nil {
+	if e.results != nil && progress == nil {
 		for {
 			e.resMu.Lock()
 			if ans, ok := e.results.get(key); ok {
@@ -354,6 +367,7 @@ func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle) {
 		Pool:       e.cfg.Pool,
 		Resolver:   e.coal,
 		Trace:      tr,
+		Progress:   progress,
 	})
 	if err != nil {
 		h.err = err

@@ -115,7 +115,7 @@ func BuildPlan(stmt *cql.Select, cat *table.Catalog, orc Oracle, cfg PlanConfig)
 		}
 		tb, ok := cat.Get(name)
 		if !ok {
-			return nil, fmt.Errorf("exec: unknown table %s", name)
+			return nil, fmt.Errorf("exec: %w %s", table.ErrUnknownTable, name)
 		}
 		p.TableIdx[key] = len(s.Tables)
 		s.Tables = append(s.Tables, tb.Schema.Name)

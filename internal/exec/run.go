@@ -45,6 +45,31 @@ func (m QualityMode) String() string {
 	return "majority-voting"
 }
 
+// RoundUpdate is a progress snapshot emitted at the end of every
+// completed crowd round. It is what a serving layer streams to remote
+// clients while a long-lived crowd query trickles in: what this round
+// asked, how the crowd ruled, and how much of the query graph remains
+// open. Rounds discarded by cancellation never emit an update, so the
+// number of updates always equals the final Metrics.Rounds.
+type RoundUpdate struct {
+	// Round is the 1-based index of the round that just completed.
+	Round int `json:"round"`
+	// Tasks and Assignments count this round's crowd work: tasks
+	// issued and worker answers collected.
+	Tasks       int `json:"tasks"`
+	Assignments int `json:"assignments"`
+	// Blue and Red split this round's verdicts: edges the crowd judged
+	// matching vs non-matching.
+	Blue int `json:"blue"`
+	Red  int `json:"red"`
+	// TasksTotal and AssignmentsTotal accumulate across rounds.
+	TasksTotal       int `json:"tasks_total"`
+	AssignmentsTotal int `json:"assignments_total"`
+	// Open counts the valid uncolored edges still in play — the
+	// crowd work that may remain.
+	Open int `json:"open"`
+}
+
 // Options configures one execution.
 type Options struct {
 	// Strategy performs cost control. Required.
@@ -99,6 +124,11 @@ type Options struct {
 	// pool or transport. It takes precedence over Transport and the
 	// quality modes — the resolver owns aggregation.
 	Resolver TaskResolver
+	// Progress, when set, is invoked synchronously at the end of every
+	// completed crowd round with a RoundUpdate snapshot (nil-safe, like
+	// the tracer). It runs on the executing goroutine: a slow consumer
+	// delays the next round, so hand off to a channel for streaming.
+	Progress func(RoundUpdate)
 }
 
 // Report is the outcome of one execution.
@@ -361,6 +391,18 @@ func Run(ctx context.Context, p *Plan, opts Options) (*Report, error) {
 			})
 		}
 		tr.End(roundSpan)
+		if opts.Progress != nil {
+			opts.Progress(RoundUpdate{
+				Round:            rounds,
+				Tasks:            len(batch),
+				Assignments:      rep.Assignments - asksBefore,
+				Blue:             blue,
+				Red:              red,
+				TasksTotal:       tasks,
+				AssignmentsTotal: rep.Assignments,
+				Open:             g.CountValidUncolored(),
+			})
+		}
 		if opts.MaxRounds > 0 && rounds >= opts.MaxRounds {
 			break
 		}

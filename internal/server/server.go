@@ -1,0 +1,389 @@
+// Package server is cdbd's HTTP front-end over cdb.Engine: the layer
+// that turns the in-process concurrent query engine into a deployable
+// network service. It speaks the /v1 JSON wire protocol defined in
+// package client (the structs are shared, so the two sides cannot
+// drift), maps the engine's admission control onto HTTP semantics —
+// ErrOverloaded becomes 429 with Retry-After, a draining server
+// becomes 503 — and streams long-lived crowd queries round by round
+// over NDJSON instead of blocking, because crowd answers trickle in
+// over minutes and a remote caller deserves to watch them land.
+//
+// Graceful drain: Drain stops admission (every new /v1/query* request
+// is shed with 503 + Retry-After) and waits for in-flight queries to
+// finish, so every accepted query gets its response — including
+// partial results of queries cut short by their own deadlines — before
+// the process exits.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"cdb"
+	"cdb/client"
+	"cdb/internal/obs"
+)
+
+// Server metrics.
+var (
+	mRequests  = obs.Default.Counter("cdb_server_requests_total")
+	mQueries   = obs.Default.Counter("cdb_server_queries_total")
+	mStreams   = obs.Default.Counter("cdb_server_streams_total")
+	mShed      = obs.Default.Counter("cdb_server_shed_total")
+	mDrainShed = obs.Default.Counter("cdb_server_drain_shed_total")
+)
+
+// Config assembles a Server.
+type Config struct {
+	// DB provides catalog introspection (/v1/tables). Required.
+	DB *cdb.DB
+	// Engine serves the queries. Required; the server owns neither its
+	// construction nor (except via Drain) its shutdown ordering — but
+	// Drain does call Engine.Close.
+	Engine *cdb.Engine
+	// Logger receives one line per request; nil discards.
+	Logger *log.Logger
+	// RetryAfter is the backoff hint attached to 429 and 503 responses
+	// (header and payload). Zero means 1s.
+	RetryAfter time.Duration
+}
+
+// Server is the HTTP serving layer. Create with New, expose with
+// Handler, shut down with Drain.
+type Server struct {
+	db         *cdb.DB
+	engine     *cdb.Engine
+	log        *log.Logger
+	retryAfter time.Duration
+	mux        *http.ServeMux
+	draining   atomic.Bool
+}
+
+// New builds a server over an opened DB and its Engine.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil || cfg.Engine == nil {
+		return nil, fmt.Errorf("server: Config.DB and Config.Engine are required")
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(nopWriter{}, "", 0)
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	s := &Server{
+		db:         cfg.DB,
+		engine:     cfg.Engine,
+		log:        cfg.Logger,
+		retryAfter: cfg.RetryAfter,
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/query/stream", s.handleStream)
+	s.mux.HandleFunc("/v1/tables", s.handleTables)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	debug := obs.NewServeMux(obs.Default)
+	s.mux.Handle("/metrics", debug)
+	s.mux.Handle("/debug/", debug)
+	return s, nil
+}
+
+type nopWriter struct{}
+
+func (nopWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// Handler returns the server's root handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mRequests.Inc()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		s.mux.ServeHTTP(sw, r)
+		s.log.Printf("%s %s -> %d (%s)", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Millisecond))
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so streaming works through the
+// logging wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully stops the server's query side: new submissions are
+// shed with 503 immediately, and Drain blocks until every in-flight
+// and queued query has finished — their handlers then write complete
+// (or deadline-partial) responses. Call before http.Server.Shutdown,
+// which in turn waits for those final writes. Idempotent.
+func (s *Server) Drain() {
+	if s.draining.Swap(true) {
+		return
+	}
+	s.log.Printf("drain: admission stopped, waiting for in-flight queries")
+	s.engine.Close()
+	s.log.Printf("drain: in-flight queries finished")
+}
+
+// readRequest decodes a QueryRequest, bounding the body.
+func readRequest(r *http.Request) (client.QueryRequest, error) {
+	var req client.QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		return req, fmt.Errorf("bad request body: %v", err)
+	}
+	if req.Query == "" {
+		return req, fmt.Errorf("empty query")
+	}
+	return req, nil
+}
+
+// queryContext applies the request's server-side deadline.
+func queryContext(r *http.Request, req client.QueryRequest) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	if req.TimeoutMs > 0 {
+		return context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+	}
+	return ctx, func() {}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, &client.ErrorPayload{Code: client.CodeBadRequest, Message: "POST only"})
+		return
+	}
+	mQueries.Inc()
+	if s.shedIfDraining(w) {
+		return
+	}
+	req, err := readRequest(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, &client.ErrorPayload{Code: client.CodeBadRequest, Message: err.Error()})
+		return
+	}
+	ctx, cancel := queryContext(r, req)
+	defer cancel()
+	fut, err := s.engine.Submit(ctx, req.Query)
+	if err != nil {
+		s.writeMappedError(w, err)
+		return
+	}
+	// Wait on a background context: the Submit ctx still governs the
+	// query (deadline → graceful partial result at a round boundary,
+	// disconnect → cancellation), but waiting must survive the deadline
+	// to collect that partial result instead of racing it.
+	res, err := fut.Result(context.Background())
+	if err != nil {
+		s.writeMappedError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, &client.ErrorPayload{Code: client.CodeBadRequest, Message: "POST only"})
+		return
+	}
+	mStreams.Inc()
+	if s.shedIfDraining(w) {
+		return
+	}
+	req, err := readRequest(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, &client.ErrorPayload{Code: client.CodeBadRequest, Message: err.Error()})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, http.StatusInternalServerError, &client.ErrorPayload{Code: client.CodeInternal, Message: "response writer cannot stream"})
+		return
+	}
+	ctx, cancel := queryContext(r, req)
+	defer cancel()
+
+	// The progress hook runs on the query goroutine; hand updates to
+	// the handler goroutine through a channel. Sends block rather than
+	// drop — every completed round must reach the wire — and bail out
+	// on ctx so an aborted request cannot wedge the query.
+	updates := make(chan cdb.RoundUpdate, 16)
+	fut, err := s.engine.SubmitWithProgress(ctx, req.Query, func(u cdb.RoundUpdate) {
+		select {
+		case updates <- u:
+		case <-ctx.Done():
+		}
+	})
+	if err != nil {
+		s.writeMappedError(w, err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	enc := json.NewEncoder(w)
+	emit := func(ev client.StreamEvent) {
+		// Write errors mean the client went away; the ctx above
+		// cancels the query, nothing to do here.
+		_ = enc.Encode(ev)
+		flusher.Flush()
+	}
+
+	for {
+		select {
+		case u := <-updates:
+			emit(client.StreamEvent{Type: client.EventRound, Round: &u})
+		case <-fut.Done():
+			// Every progress send happens before the future completes,
+			// so once Done fires the remaining updates are buffered:
+			// drain them in order, then emit the terminal event.
+			for {
+				select {
+				case u := <-updates:
+					emit(client.StreamEvent{Type: client.EventRound, Round: &u})
+					continue
+				default:
+				}
+				break
+			}
+			res, err := fut.Result(context.Background())
+			if err != nil {
+				status, p := mapError(err, s.retryAfter)
+				_ = status // already streaming: the error travels in-band
+				emit(client.StreamEvent{Type: client.EventError, Error: p})
+			} else {
+				emit(client.StreamEvent{Type: client.EventResult, Result: res})
+			}
+			return
+		}
+	}
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, &client.ErrorPayload{Code: client.CodeBadRequest, Message: "GET only"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, client.TablesResponse{Tables: s.db.TableNames()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, map[string]string{"status": status})
+}
+
+// shedIfDraining rejects the request with 503 when the server is
+// draining; accepted queries keep running to completion.
+func (s *Server) shedIfDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	mDrainShed.Inc()
+	s.setRetryAfter(w)
+	s.writeError(w, http.StatusServiceUnavailable, &client.ErrorPayload{
+		Code:         client.CodeDraining,
+		Message:      "server is draining; retry against another replica",
+		RetryAfterMs: s.retryAfter.Milliseconds(),
+	})
+	return true
+}
+
+// mapError translates the library's typed errors into HTTP status +
+// wire payload. This is why the satellite work of this layer insisted
+// on sentinels: the mapping is errors.Is/As, not string matching.
+func mapError(err error, retryAfter time.Duration) (int, *client.ErrorPayload) {
+	var pe *cdb.ParseError
+	switch {
+	case errors.Is(err, cdb.ErrOverloaded):
+		return http.StatusTooManyRequests, &client.ErrorPayload{
+			Code:         client.CodeOverloaded,
+			Message:      "engine overloaded; retry later",
+			RetryAfterMs: retryAfter.Milliseconds(),
+		}
+	case errors.Is(err, cdb.ErrEngineClosed):
+		return http.StatusServiceUnavailable, &client.ErrorPayload{
+			Code:         client.CodeDraining,
+			Message:      "engine closed",
+			RetryAfterMs: retryAfter.Milliseconds(),
+		}
+	case errors.As(err, &pe):
+		off := pe.Offset
+		return http.StatusBadRequest, &client.ErrorPayload{
+			Code:    client.CodeParse,
+			Message: pe.Msg,
+			Offset:  &off,
+			Near:    pe.Near,
+		}
+	case errors.Is(err, cdb.ErrEngineUnsupported):
+		return http.StatusBadRequest, &client.ErrorPayload{
+			Code:    client.CodeUnsupported,
+			Message: err.Error(),
+		}
+	case errors.Is(err, cdb.ErrUnknownTable):
+		return http.StatusNotFound, &client.ErrorPayload{
+			Code:    client.CodeUnknownTable,
+			Message: err.Error(),
+		}
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, &client.ErrorPayload{
+			Code:    client.CodeTimeout,
+			Message: "deadline elapsed before the query completed",
+		}
+	default:
+		return http.StatusInternalServerError, &client.ErrorPayload{
+			Code:    client.CodeInternal,
+			Message: err.Error(),
+		}
+	}
+}
+
+func (s *Server) writeMappedError(w http.ResponseWriter, err error) {
+	status, p := mapError(err, s.retryAfter)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		mShed.Inc()
+		s.setRetryAfter(w)
+	}
+	s.writeError(w, status, p)
+}
+
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	secs := int(s.retryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, p *client.ErrorPayload) {
+	s.writeJSON(w, status, p)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

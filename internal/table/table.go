@@ -8,6 +8,7 @@ package table
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -188,6 +189,13 @@ type TupleRef struct {
 
 // String renders e.g. "Paper#3".
 func (r TupleRef) String() string { return fmt.Sprintf("%s#%d", r.Table, r.Row) }
+
+// ErrUnknownTable marks a reference to a table the catalog does not
+// hold. Every layer that resolves table names wraps it — catalog
+// lookups in the public API, FROM-clause binding in the planner — so
+// callers can errors.Is instead of string-matching, and an HTTP
+// front-end can map it to a status code.
+var ErrUnknownTable = errors.New("unknown table")
 
 // Catalog maps table names (case-insensitive) to tables. It is the
 // metadata store that CQL resolves against.
