@@ -84,6 +84,7 @@ type DB struct {
 	router     *crowd.Router
 	meta       *meta.Store
 	calibrate  bool
+	transitive bool
 	observer   obs.Observer
 	tracing    bool
 	faults     *faults.Injector
@@ -233,6 +234,18 @@ func WithRedundancy(k int) Option {
 // of plain majority voting.
 func WithQualityControl(on bool) Option {
 	return func(db *DB) { db.qualityOn = on }
+}
+
+// WithTransitivity toggles transitive join inference: crowd answers
+// are chained through per-predicate equivalence (A=B ∧ B=C ⟹ A=C;
+// A=B ∧ B≠C ⟹ A≠C), entailed labels are applied without spending
+// tasks, and question ordering prefers the answers that entail the
+// most. Stats.Inferred counts the labels deduced for free and
+// Result.Provenance attributes each answer's evidence. Costs extra
+// crowd rounds: edges whose label the round could entail are deferred,
+// trading latency for tasks.
+func WithTransitivity(on bool) Option {
+	return func(db *DB) { db.transitive = on }
 }
 
 // WithStrategy selects the task-selection strategy (see the Strategy*
@@ -450,6 +463,11 @@ type Stats struct {
 	// sharing changes what the platform does, not what a query observes.
 	Coalesced   int `json:"coalesced,omitempty"`
 	CachedTasks int `json:"cached_tasks,omitempty"`
+
+	// Inferred counts the edge labels transitive inference deduced
+	// without crowd work (WithTransitivity); zero when inference is off
+	// or nothing was entailed.
+	Inferred int `json:"inferred,omitempty"`
 }
 
 // Result is the outcome of one Exec call.
@@ -469,11 +487,23 @@ type Result struct {
 	// (1.0 when every supporting verdict is certain). Nil on the
 	// synchronous path.
 	Confidence []float64 `json:"confidence,omitempty"`
+	// Provenance holds one entry per row of Rows when transitive
+	// inference ran (WithTransitivity): how many of the answer's
+	// supporting edges were crowd-answered, inferred, or decided by
+	// prior evidence. GROUP BY folds member entries into their group's
+	// row by summing; ORDER BY permutes alongside the rows. Nil when
+	// inference is off.
+	Provenance []AnswerProvenance `json:"provenance,omitempty"`
 	// Trace is the statement's span tree when tracing is enabled via
 	// WithObserver or WithTracing; nil otherwise. Never serialized on
 	// the wire — traces are process-local diagnostics.
 	Trace *Trace `json:"-"`
 }
+
+// AnswerProvenance breaks one answer's supporting edges down by how
+// their labels were decided: crowd-answered, transitively inferred, or
+// prior evidence (exact equi-join matches colored at plan build).
+type AnswerProvenance = exec.AnswerProvenance
 
 // Exec parses and executes one CQL statement. It is ExecContext with
 // a background context: no deadline, never cancelled.
@@ -670,6 +700,7 @@ func (db *DB) execSelect(ctx context.Context, s *cql.Select, tr *obs.Tracer) (*R
 		Router:     db.router,
 		Meta:       db.meta,
 		Calibrate:  db.calibrate,
+		Transitive: db.transitive,
 		Trace:      tr,
 	}
 	if tp := db.transportFor(); tp != nil {
@@ -705,6 +736,8 @@ func (db *DB) execSelect(ctx context.Context, s *cql.Select, tr *obs.Tracer) (*R
 
 			Coalesced:   rep.Coalesced,
 			CachedTasks: rep.CachedTasks,
+
+			Inferred: rep.Inferred,
 		},
 	}
 	res.Columns = plan.ProjectionColumns()
@@ -716,6 +749,7 @@ func (db *DB) execSelect(ctx context.Context, s *cql.Select, tr *obs.Tracer) (*R
 		res.Rows = append(res.Rows, row)
 	}
 	res.Confidence = rep.Confidence
+	res.Provenance = rep.Provenance
 	if err := db.applyGroupSort(s, res); err != nil {
 		return nil, err
 	}

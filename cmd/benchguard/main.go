@@ -7,10 +7,18 @@
 // (n, workers) — so adding or removing scales never trips the guard;
 // only a measured slowdown on a shared metric does.
 //
+// With -trans-baseline and -trans-current it additionally guards the
+// transitive-inference experiment (BENCH_trans.json): the build fails
+// when the HITs saved by inference drop more than the allowed fraction
+// below the committed baseline — the direction is inverted relative to
+// ns/op, fewer savings is the regression.
+//
 // Usage:
 //
 //	go run ./cmd/cdbench -costbench -costbenchout BENCH_current.json
 //	go run ./cmd/benchguard -baseline BENCH_baseline.json -current BENCH_current.json
+//	go run ./cmd/cdbench -exp trans -trans-out BENCH_trans_current.json
+//	go run ./cmd/benchguard -trans-baseline BENCH_trans.json -trans-current BENCH_trans_current.json
 package main
 
 import (
@@ -21,6 +29,53 @@ import (
 
 	"cdb/internal/bench"
 )
+
+// checkTrans guards the transitive-inference savings: the current
+// HITsSaved must not fall more than the allowed fraction below the
+// committed baseline, and inference must never cost more HITs than the
+// non-inferring run. Exits the process with the guard's verdict.
+func checkTrans(basePath, curPath string, allowed float64) {
+	base, err := loadTrans(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := loadTrans(curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	if base.HITsSaved <= 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: baseline %s reports no HITs saved (%d); nothing to guard\n",
+			basePath, base.HITsSaved)
+		os.Exit(2)
+	}
+	floor := float64(base.HITsSaved) * (1 - allowed)
+	fmt.Printf("%-34s baseline %6d HITs saved  current %6d  floor %8.1f\n",
+		"trans/hits-saved", base.HITsSaved, cur.HITsSaved, floor)
+	if cur.HITsSaved <= 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: transitive inference saves nothing (%d HITs); REGRESSED\n", cur.HITsSaved)
+		os.Exit(1)
+	}
+	if float64(cur.HITsSaved) < floor {
+		fmt.Fprintf(os.Stderr, "benchguard: HITs saved dropped %.1f%% below baseline (allowed %.0f%%); REGRESSED\n",
+			(1-float64(cur.HITsSaved)/float64(base.HITsSaved))*100, allowed*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: inference savings within %.0f%% of baseline\n", allowed*100)
+}
+
+func loadTrans(path string) (*bench.TransBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r bench.TransBenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
 
 func load(path string) (*bench.CostBenchReport, error) {
 	data, err := os.ReadFile(path)
@@ -56,8 +111,20 @@ func main() {
 		baselinePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline report")
 		currentPath  = flag.String("current", "BENCH_cost.json", "freshly measured report")
 		allowed      = flag.Float64("allowed", 0.25, "allowed ns/op regression fraction before failing")
+
+		transBasePath = flag.String("trans-baseline", "", "committed BENCH_trans.json baseline (with -trans-current, runs the inference-savings guard instead)")
+		transCurPath  = flag.String("trans-current", "", "freshly measured trans report")
 	)
 	flag.Parse()
+
+	if *transBasePath != "" || *transCurPath != "" {
+		if *transBasePath == "" || *transCurPath == "" {
+			fmt.Fprintln(os.Stderr, "benchguard: -trans-baseline and -trans-current must be given together")
+			os.Exit(2)
+		}
+		checkTrans(*transBasePath, *transCurPath, *allowed)
+		return
+	}
 
 	base, err := load(*baselinePath)
 	if err != nil {

@@ -37,6 +37,8 @@ func main() {
 		serveQueries = flag.Int("serve-queries", 24, "serve experiment: workload size over the 5 query templates")
 		serveOut     = flag.String("serve-out", "BENCH_engine.json", "serve experiment: report path (empty skips the artifact)")
 
+		transOut = flag.String("trans-out", "BENCH_trans.json", "trans experiment: report path (empty skips the artifact)")
+
 		faultSeed      = flag.Uint64("fault-seed", 1, "chaos engine seed (same seed replays identical faults)")
 		faultDrop      = flag.Float64("fault-drop", 0, "fraction of crowd answers dropped (chaos experiment sweeps its own grid unless set)")
 		faultStraggler = flag.Float64("fault-straggler", 0, "fraction of answers delayed past the round deadline")
@@ -120,6 +122,7 @@ func main() {
 	cfg.ServeClients = *serveClients
 	cfg.ServeQueries = *serveQueries
 	cfg.ServeOut = *serveOut
+	cfg.TransOut = *transOut
 	if *faultDrop > 0 {
 		// An explicit drop rate pins the chaos experiment's whole grid
 		// to that single intensity.

@@ -40,8 +40,12 @@ type Config struct {
 	// Strategy names the task-selection strategy (see the Strategy*
 	// constants); empty means StrategyCDB. QualityControl enables
 	// CDB+ (EM truth inference + entropy-driven assignment).
+	// Transitive enables transitive join inference (see
+	// WithTransitivity): answered equalities deduce entailed labels for
+	// free at the price of extra latency rounds.
 	Strategy       string
 	QualityControl bool
+	Transitive     bool
 
 	// Oracle overrides the simulation ground truth (the dataset's
 	// oracle, when one is loaded, is installed first).
@@ -126,6 +130,9 @@ func OpenConfig(cfg Config) (*DB, error) {
 	}
 	if cfg.QualityControl {
 		opts = append(opts, WithQualityControl(true))
+	}
+	if cfg.Transitive {
+		opts = append(opts, WithTransitivity(true))
 	}
 	if cfg.Metadata {
 		opts = append(opts, WithMetadata())

@@ -34,6 +34,7 @@ type engineOptions struct {
 	cacheSize   int
 	resultCache int
 	tracing     bool
+	transitive  bool
 }
 
 // EngineOption configures NewEngine.
@@ -70,6 +71,15 @@ func WithEngineTracing(on bool) EngineOption {
 	return func(o *engineOptions) { o.tracing = on }
 }
 
+// WithEngineTransitivity toggles transitive join inference for every
+// served query (see WithTransitivity). The engine inherits the DB's
+// setting by default; inferred verdicts additionally enter the shared
+// cache, so one query's deductions answer other queries' tasks —
+// EngineStats reports the traffic.
+func WithEngineTransitivity(on bool) EngineOption {
+	return func(o *engineOptions) { o.transitive = on }
+}
+
 // Errors surfaced by Engine.Submit (re-exported from the serving
 // layer so callers can errors.Is against them).
 var (
@@ -83,7 +93,7 @@ var (
 // from the DB's RNG at construction, so a DB opened with the same
 // WithSeed yields an engine that replays identical verdicts.
 func (db *DB) NewEngine(opts ...EngineOption) (*Engine, error) {
-	o := engineOptions{tracing: db.tracing}
+	o := engineOptions{tracing: db.tracing, transitive: db.transitive}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -100,6 +110,7 @@ func (db *DB) NewEngine(opts ...EngineOption) (*Engine, error) {
 		CacheSize:       o.cacheSize,
 		ResultCacheSize: o.resultCache,
 		Tracing:         o.tracing,
+		Transitive:      o.transitive,
 	})
 	if err != nil {
 		return nil, err
@@ -218,6 +229,10 @@ type EngineStats struct {
 	JoinsComputed int64 // similarity joins executed
 	JoinsShared   int64 // similarity joins reused from the cache
 
+	InferredPublished int64 // transitively inferred verdicts entered into the shared cache
+	InferredHits      int64 // tasks answered by another query's inferred verdict
+	InferredRejected  int64 // inferred labels that disagreed with the crowd verdict and were dropped
+
 	CacheEntries int // live verdict-cache entries
 }
 
@@ -243,6 +258,10 @@ func (e *Engine) Stats() EngineStats {
 
 		JoinsComputed: s.JoinsComputed,
 		JoinsShared:   s.JoinsShared,
+
+		InferredPublished: s.InferredPublished,
+		InferredHits:      s.InferredHits,
+		InferredRejected:  s.InferredRejected,
 
 		CacheEntries: s.CacheEntries,
 	}

@@ -38,9 +38,11 @@ func (db *DB) applyGroupSort(s *cql.Select, res *Result) error {
 
 		// One output row per group: the first member as representative,
 		// plus the group size. A group is only as trustworthy as its
-		// least-confident member, so confidences fold by min.
+		// least-confident member, so confidences fold by min; provenance
+		// folds by summing the members' edge counts.
 		var rows [][]string
 		var conf []float64
+		var prov []AnswerProvenance
 		for _, g := range groups {
 			rep := append([]string(nil), res.Rows[g[0]]...)
 			rep = append(rep, strconv.Itoa(len(g)))
@@ -54,10 +56,22 @@ func (db *DB) applyGroupSort(s *cql.Select, res *Result) error {
 				}
 				conf = append(conf, c)
 			}
+			if res.Provenance != nil {
+				var p AnswerProvenance
+				for _, idx := range g {
+					p.Crowd += res.Provenance[idx].Crowd
+					p.Inferred += res.Provenance[idx].Inferred
+					p.Prior += res.Provenance[idx].Prior
+				}
+				prov = append(prov, p)
+			}
 		}
 		res.Rows = rows
 		if res.Confidence != nil {
 			res.Confidence = conf
+		}
+		if res.Provenance != nil {
+			res.Provenance = prov
 		}
 		res.Columns = append(append([]string(nil), res.Columns...), "group_count")
 	}
@@ -82,6 +96,13 @@ func (db *DB) applyGroupSort(s *cql.Select, res *Result) error {
 				conf[i] = res.Confidence[idx]
 			}
 			res.Confidence = conf
+		}
+		if res.Provenance != nil {
+			prov := make([]AnswerProvenance, len(perm))
+			for i, idx := range perm {
+				prov[i] = res.Provenance[idx]
+			}
+			res.Provenance = prov
 		}
 	}
 	return nil

@@ -62,6 +62,9 @@ type Config struct {
 	ServeClients int    // engine concurrency (in-flight queries)
 	ServeQueries int    // workload size (arrivals over the 5 templates)
 	ServeOut     string // BENCH_engine.json path ("" skips the artifact)
+
+	// Transitive-inference knobs (the "trans" experiment).
+	TransOut string // BENCH_trans.json path ("" skips the artifact)
 }
 
 // DefaultConfig returns settings sized for minutes-scale regeneration.
@@ -81,6 +84,8 @@ func DefaultConfig() Config {
 		ServeClients: 8,
 		ServeQueries: 24,
 		ServeOut:     "BENCH_engine.json",
+
+		TransOut: "BENCH_trans.json",
 	}
 }
 
@@ -249,11 +254,12 @@ var Registry = map[string]func(Config) ([]*Table, error){
 	"table5": Table5,
 	"chaos":  Chaos,
 	"serve":  Serve,
+	"trans":  Trans,
 }
 
 // ExperimentIDs returns the registry keys in canonical order.
 func ExperimentIDs() []string {
-	return []string{"fig1", "fig8", "fig11", "fig14", "fig17", "fig18", "fig20", "fig21", "fig22", "fig23", "table5", "chaos", "serve"}
+	return []string{"fig1", "fig8", "fig11", "fig14", "fig17", "fig18", "fig20", "fig21", "fig22", "fig23", "table5", "chaos", "serve", "trans"}
 }
 
 // aliases used by several experiments.

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"cdb/internal/cost"
+	"cdb/internal/crowd"
+	"cdb/internal/dataset"
+	"cdb/internal/exec"
+	"cdb/internal/stats"
+)
+
+// TransModeResult is one execution mode's totals over the transitive-
+// inference workload.
+type TransModeResult struct {
+	Mode        string  `json:"mode"` // "baseline" or "transitive"
+	Tasks       int     `json:"tasks"`
+	Rounds      int     `json:"rounds"`
+	Assignments int     `json:"assignments"`
+	HITs        int     `json:"hits"`
+	Inferred    int     `json:"inferred,omitempty"`
+	F1          float64 `json:"f1"` // mean per-query F1
+}
+
+// TransBenchReport is the schema of BENCH_trans.json: the paper join
+// workload with transitive inference off vs on, same crowd seeds.
+type TransBenchReport struct {
+	Date       string          `json:"date"`
+	Dataset    string          `json:"dataset"`
+	Scale      float64         `json:"scale"`
+	Redundancy int             `json:"redundancy"`
+	Reps       int             `json:"reps"`
+	Baseline   TransModeResult `json:"baseline"`
+	Transitive TransModeResult `json:"transitive"`
+	TasksSaved int             `json:"tasks_saved"`
+	HITsSaved  int             `json:"hits_saved"`
+	F1Delta    float64         `json:"f1_delta"` // transitive − baseline
+}
+
+// transCell runs one (query, mode) cell. Both modes of a cell get a
+// pool built from the same seed, so the comparison differs only in the
+// inference overlay, never in worker-quality draws.
+func transCell(d *dataset.Data, query string, transitive bool, cfg Config, poolSeed uint64) (*exec.Report, error) {
+	p, err := buildPlan(d, query, exec.PlanConfig{Sim: defaultSim, Epsilon: 0.3})
+	if err != nil {
+		return nil, err
+	}
+	return exec.Run(context.Background(), p, exec.Options{
+		Strategy:   &cost.Expectation{},
+		Redundancy: cfg.Redundancy,
+		Pool:       crowd.NewPool(cfg.PoolSize, cfg.WorkerQ, cfg.WorkerSD, stats.NewRNG(poolSeed)),
+		Transitive: transitive,
+	})
+}
+
+// Trans is the "trans" experiment: every paper benchmark query
+// replayed with transitive inference off and on, equal crowd seeds,
+// reporting the crowd work inference saves and the (bounded) quality
+// movement. Writes BENCH_trans.json (cfg.TransOut) as the committed
+// artifact.
+func Trans(cfg Config) ([]*Table, error) {
+	rng := stats.NewRNG(cfg.Seed)
+	base := TransModeResult{Mode: "baseline"}
+	trans := TransModeResult{Mode: "transitive"}
+	var baseF1, transF1 stats.Agg
+	cells := 0
+
+	for rep := 0; rep < cfg.Reps; rep++ {
+		d := genData(cfg, rng.Uint64())
+		qs := dataset.Queries(cfg.Dataset)
+		for _, label := range dataset.QueryLabels() {
+			poolSeed := rng.Uint64()
+			rb, err := transCell(d, qs[label], false, cfg, poolSeed)
+			if err != nil {
+				return nil, err
+			}
+			rt, err := transCell(d, qs[label], true, cfg, poolSeed)
+			if err != nil {
+				return nil, err
+			}
+			base.Tasks += rb.Metrics.Tasks
+			base.Rounds += rb.Metrics.Rounds
+			base.Assignments += rb.Assignments
+			base.HITs += rb.HITs
+			baseF1.Add(rb.Metrics)
+			trans.Tasks += rt.Metrics.Tasks
+			trans.Rounds += rt.Metrics.Rounds
+			trans.Assignments += rt.Assignments
+			trans.HITs += rt.HITs
+			trans.Inferred += rt.Inferred
+			transF1.Add(rt.Metrics)
+			cells++
+		}
+	}
+	_, _, _, _, base.F1 = baseF1.Mean()
+	_, _, _, _, trans.F1 = transF1.Mean()
+
+	report := TransBenchReport{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Dataset:    cfg.Dataset,
+		Scale:      cfg.Scale,
+		Redundancy: cfg.Redundancy,
+		Reps:       cfg.Reps,
+		Baseline:   base,
+		Transitive: trans,
+		TasksSaved: base.Tasks - trans.Tasks,
+		HITsSaved:  base.HITs - trans.HITs,
+		F1Delta:    trans.F1 - base.F1,
+	}
+	if cfg.TransOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(cfg.TransOut, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+
+	t := &Table{
+		ID: "trans",
+		Title: fmt.Sprintf("transitive join inference over %d query runs: %d tasks saved (%d HITs), %d labels inferred, F1 %+0.4f",
+			cells, report.TasksSaved, report.HITsSaved, trans.Inferred, report.F1Delta),
+		LabelNames: []string{"mode"},
+		ValueNames: []string{"tasks", "hits", "assignments", "rounds", "inferred", "f1"},
+		Rows: []Row{
+			{Labels: []string{"baseline"}, Values: []float64{float64(base.Tasks), float64(base.HITs), float64(base.Assignments), float64(base.Rounds), 0, base.F1}},
+			{Labels: []string{"transitive"}, Values: []float64{float64(trans.Tasks), float64(trans.HITs), float64(trans.Assignments), float64(trans.Rounds), float64(trans.Inferred), trans.F1}},
+		},
+	}
+	return []*Table{t}, nil
+}

@@ -18,6 +18,11 @@ type Budget struct {
 	// package default (100000).
 	CandidateCap int
 
+	// closure, when set via SetClosure, excludes entailed edges from
+	// the budget: an edge whose label transitivity already determines
+	// is treated as resolved, so no budgeted task is spent on it.
+	closure *graph.Closure
+
 	spent int
 }
 
@@ -27,13 +32,33 @@ func NewBudget(b int) *Budget { return &Budget{B: b} }
 // Name implements Strategy.
 func (b *Budget) Name() string { return "CDB-Budget" }
 
+// SetClosure installs (or removes) the transitive-inference overlay.
+func (b *Budget) SetClosure(c *graph.Closure) { b.closure = c }
+
 // Spent reports how many tasks the strategy has issued so far.
 func (b *Budget) Spent() int { return b.spent }
+
+// unresolved reports whether an edge still needs crowd work: uncolored
+// and not entailed by the overlay.
+func (b *Budget) unresolved(g *graph.Graph, e int) bool {
+	if g.Edge(e).Color != graph.Unknown {
+		return false
+	}
+	if b.closure != nil {
+		if _, _, ok := b.closure.Entails(e); ok {
+			return false
+		}
+	}
+	return true
+}
 
 // NextRound implements Strategy.
 func (b *Budget) NextRound(g *graph.Graph) []int {
 	if b.spent >= b.B {
 		return nil
+	}
+	if b.closure != nil {
+		b.closure.Update()
 	}
 	cap := b.CandidateCap
 	if cap <= 0 {
@@ -43,7 +68,7 @@ func (b *Budget) NextRound(g *graph.Graph) []int {
 	var pick *graph.Embedding
 	for i := range cands {
 		for _, e := range cands[i].Edges {
-			if g.Edge(e).Color == graph.Unknown {
+			if b.unresolved(g, e) {
 				pick = &cands[i]
 				break
 			}
@@ -53,11 +78,11 @@ func (b *Budget) NextRound(g *graph.Graph) []int {
 		}
 	}
 	if pick == nil {
-		return nil // everything resolvable is resolved
+		return nil // everything resolvable is resolved or entailed
 	}
 	var ask []int
 	for _, e := range pick.Edges {
-		if g.Edge(e).Color == graph.Unknown {
+		if b.unresolved(g, e) {
 			ask = append(ask, e)
 		}
 	}

@@ -80,14 +80,26 @@ type Expectation struct {
 	// Workers caps the scoring worker pool; 0 means GOMAXPROCS.
 	Workers int
 
+	// closure, when set via SetClosure, is the transitive-inference
+	// overlay: edges whose label it already entails are excluded from
+	// the ordering (they cost a HIT but reveal nothing), and the
+	// ordering becomes expected-optimal for inference — candidates are
+	// ranked first by expected inference yield (matching probability ×
+	// endpoint cluster sizes: a likely-Blue answer inside large clusters
+	// entails the most labels for free), with the pruning expectation of
+	// Eq. 1 breaking ties.
+	closure *graph.Closure
+
 	// Incremental score cache.
 	cacheUID     uint64 // graph identity the cache belongs to
 	cacheEdges   int
 	cacheWeightV int
-	cursor       int // ColorEvents consumed so far
+	cacheClosure *graph.Closure // overlay the cached ordering was filtered by
+	cursor       int            // ColorEvents consumed so far
 	haveCache    bool
 	score        []float64 // dense, by edge id
 	order        []int     // cached ordering (valid uncolored at last scoring)
+	yield        []float64 // dense inference-yield cache (closure mode only)
 
 	// Reusable scratch.
 	cleanBuf, dirtyBuf, mergeBuf []int
@@ -133,7 +145,7 @@ func (e *Expectation) NextRound(g *graph.Graph) []int {
 	if e.Serial {
 		batch = latency.SerialBatch(g, order)
 	} else {
-		batch = latency.ParallelBatchScored(g, order, score)
+		batch = TransBatch(g, e.closure, latency.ParallelBatchScored(g, order, score))
 	}
 	e.tracer.Mutate(bt, func(s *obs.Span) { s.Tasks = len(batch) })
 	e.tracer.End(bt)
@@ -145,23 +157,102 @@ func (e *Expectation) NextRound(g *graph.Graph) []int {
 // spans. A nil tracer (the default) keeps both phases span-free.
 func (e *Expectation) SetTracer(t *obs.Tracer) { e.tracer = t }
 
+// SetClosure installs (or, with nil, removes) a transitive-inference
+// overlay. The executor calls this when Options.Transitive is on; the
+// overlay must belong to the same graph the strategy is driving. The
+// score cache detects the change and rescores.
+func (e *Expectation) SetClosure(c *graph.Closure) { e.closure = c }
+
 // CacheStats implements obs.CacheStatser with monotone totals of the
 // incremental cache's full rescans, delta rescans and pure hits.
 func (e *Expectation) CacheStats() (full, delta, hit uint64) {
 	return e.statFull, e.statDelta, e.statHit
 }
 
-// Flush implements Strategy: everything valid and uncolored.
-func (e *Expectation) Flush(g *graph.Graph) []int { return g.ValidUncolored() }
+// Flush implements Strategy: everything valid and uncolored, minus
+// edges whose label the overlay already entails — a flush round must
+// not spend HITs on answers inference provides for free.
+func (e *Expectation) Flush(g *graph.Graph) []int {
+	return closureFilter(g.ValidUncolored(), e.closure)
+}
+
+// TransBatch drops every batch edge whose label the round's other
+// answers could entail, so inference gets a chance to answer it for
+// free: per predicate, the edges asked together must connect the
+// closure's current clusters as a forest. A cycle-closing edge is
+// determined by the rest of its cycle whenever those answers chain
+// (all Blue, or a Blue path plus one Red), so asking it in the same
+// round can only waste HITs — deferring it costs at most a round of
+// latency, never a task. The batch arrives in priority order, so the
+// most valuable edges of each would-be cycle survive; the scan is a
+// pure function of (batch order, closure state), keeping rounds
+// deterministic. Filters in place. A nil closure passes through.
+func TransBatch(g *graph.Graph, c *graph.Closure, batch []int) []int {
+	if c == nil || len(batch) == 0 {
+		return batch
+	}
+	// Batch-local union-find over closure cluster roots. Roots embed
+	// the predicate, so clusters of different predicates never meet.
+	parent := make(map[int]int, 2*len(batch))
+	var find func(x int) int
+	find = func(x int) int {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p == x {
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	kept := batch[:0]
+	for _, id := range batch {
+		ed := g.Edge(id)
+		ra := find(c.ClusterRoot(ed.Pred, ed.U))
+		rb := find(c.ClusterRoot(ed.Pred, ed.V))
+		if ra == rb {
+			continue // would close a cluster cycle: entailable, defer
+		}
+		parent[ra] = rb
+		kept = append(kept, id)
+	}
+	return kept
+}
+
+// closureFilter drops entailed edges from a batch in place. A nil
+// closure passes the batch through; otherwise the closure is brought
+// up to date first.
+func closureFilter(edges []int, c *graph.Closure) []int {
+	if c == nil {
+		return edges
+	}
+	c.Update()
+	kept := edges[:0]
+	for _, id := range edges {
+		if _, _, ok := c.Entails(id); !ok {
+			kept = append(kept, id)
+		}
+	}
+	return kept
+}
 
 // orderScored returns the current ordering and dense scores, serving
 // from the cache when possible. The returned slices are owned by the
 // strategy and valid until the next call.
 func (e *Expectation) orderScored(g *graph.Graph) ([]int, []float64) {
 	g.Revalidate()
+	if e.closure != nil {
+		// Keep the overlay current before filtering or yield-ranking; the
+		// overlay journals nothing itself, so this cannot dirty the cache.
+		e.closure.Update()
+	}
 	events := g.ColorEvents()
 	reset := !e.haveCache || e.cacheUID != g.UID() || e.cacheEdges != g.NumEdges() ||
-		e.cacheWeightV != g.WeightVersion() || e.cursor > len(events)
+		e.cacheWeightV != g.WeightVersion() || e.cacheClosure != e.closure ||
+		e.cursor > len(events)
 	if !reset {
 		// Validity and the valid-uncolored set shrink monotonically
 		// under Unknown→{Blue,Red}; a reverse transition can grow them,
@@ -191,17 +282,69 @@ func (e *Expectation) orderScored(g *graph.Graph) ([]int, []float64) {
 	e.cacheUID = g.UID()
 	e.cacheEdges = g.NumEdges()
 	e.cacheWeightV = g.WeightVersion()
+	e.cacheClosure = e.closure
 	return e.order, e.score
 }
 
-// rescoreAll scores and sorts every valid uncolored edge.
+// rescoreAll scores and sorts every valid uncolored edge (minus
+// entailed ones in closure mode).
 func (e *Expectation) rescoreAll(g *graph.Graph) {
-	e.order = g.ValidUncoloredInto(e.order)
+	e.order = closureFilter(g.ValidUncoloredInto(e.order), e.closure)
 	if len(e.score) != g.NumEdges() {
 		e.score = make([]float64, g.NumEdges())
 	}
 	e.scoreEdges(g, e.order)
-	sortEdgesByScore(g, e.order, e.score)
+	e.computeYields(g, e.order)
+	e.sortEdges(g, e.order)
+}
+
+// computeYields fills the dense yield cache for the given edges in
+// closure mode: W · (|cluster(U)|·|cluster(V)| − 1), the expected
+// number of *other* labels an answer to this edge would entail (every
+// cluster-pair combination beyond the asked edge itself), weighted by
+// the matching probability because Blue answers merge clusters and
+// compound future inference. Between two singletons the yield is zero,
+// so the ordering degrades exactly to the Eq. 1 pruning expectation
+// until clusters form. Runs on the calling goroutine — cluster lookups
+// path-compress the union-find, so they must not race the parallel
+// Eq. 1 scoring workers.
+func (e *Expectation) computeYields(g *graph.Graph, edges []int) {
+	if e.closure == nil {
+		return
+	}
+	if len(e.yield) != g.NumEdges() {
+		e.yield = make([]float64, g.NumEdges())
+	}
+	for _, id := range edges {
+		e.yield[id] = inferenceYield(g, e.closure, id)
+	}
+}
+
+// inferenceYield is the expected-optimal labeling key of one edge.
+func inferenceYield(g *graph.Graph, c *graph.Closure, id int) float64 {
+	ed := g.Edge(id)
+	pairs := float64(c.ClusterSize(ed.Pred, ed.U)) * float64(c.ClusterSize(ed.Pred, ed.V))
+	return ed.W * (pairs - 1)
+}
+
+// sortEdges orders a run under the active comparator: plain Eq. 1
+// ordering, or yield-first in closure mode.
+func (e *Expectation) sortEdges(g *graph.Graph, edges []int) {
+	if e.closure == nil {
+		sortEdgesByScore(g, edges, e.score)
+		return
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		return yieldLess(g, e.score, e.yield, edges[i], edges[j])
+	})
+}
+
+// less is the active strict total order on two edge ids.
+func (e *Expectation) less(g *graph.Graph, a, b int) bool {
+	if e.closure == nil {
+		return scoredLess(g, e.score, a, b)
+	}
+	return yieldLess(g, e.score, e.yield, a, b)
 }
 
 // rescoreDirty repairs the cached ordering after the given color
@@ -234,20 +377,32 @@ func (e *Expectation) rescoreDirty(g *graph.Graph, events []graph.ColorEvent) {
 	}
 
 	// Split the surviving ordering into clean (scores unchanged, still
-	// sorted among themselves) and dirty (rescore + re-sort) runs.
+	// sorted among themselves) and dirty (rescore + re-sort) runs. The
+	// closure's entailments and cluster sizes for an edge can only
+	// change through a colored edge of the same predicate connected to
+	// it by Blue paths — all inside the event edge's component — so
+	// clean entries also keep their cached yield and non-entailed
+	// status; newly entailed edges are always in a dirty component and
+	// are dropped here.
 	clean, dirty := e.cleanBuf[:0], e.dirtyBuf[:0]
 	for _, id := range e.order {
 		if g.Edge(id).Color != graph.Unknown || !g.IsValid(id) {
 			continue
 		}
 		if ci := compOf[id]; ci >= 0 && e.dirtyComp[ci] {
+			if e.closure != nil {
+				if _, _, ok := e.closure.Entails(id); ok {
+					continue
+				}
+			}
 			dirty = append(dirty, id)
 		} else {
 			clean = append(clean, id)
 		}
 	}
 	e.scoreEdges(g, dirty)
-	sortEdgesByScore(g, dirty, e.score)
+	e.computeYields(g, dirty)
+	e.sortEdges(g, dirty)
 
 	// Merge the two sorted runs. The comparator is a strict total
 	// order (ties fall through to the edge id), so the merge equals
@@ -255,7 +410,7 @@ func (e *Expectation) rescoreDirty(g *graph.Graph, events []graph.ColorEvent) {
 	merged := e.mergeBuf[:0]
 	i, j := 0, 0
 	for i < len(clean) && j < len(dirty) {
-		if scoredLess(g, e.score, clean[i], dirty[j]) {
+		if e.less(g, clean[i], dirty[j]) {
 			merged = append(merged, clean[i])
 			i++
 		} else {
@@ -330,6 +485,17 @@ func sortEdgesByScore(g *graph.Graph, edges []int, score []float64) {
 	sort.Slice(edges, func(i, j int) bool {
 		return scoredLess(g, score, edges[i], edges[j])
 	})
+}
+
+// yieldLess is the expected-optimal labeling order used in closure
+// mode: expected inference yield descending (ask the likely-Blue pair
+// whose answer entails the most other labels first), with the plain
+// expectation order breaking ties — still a strict total order.
+func yieldLess(g *graph.Graph, score, yield []float64, a, b int) bool {
+	if yield[a] != yield[b] {
+		return yield[a] > yield[b]
+	}
+	return scoredLess(g, score, a, b)
 }
 
 // cutLosser abstracts where a hypothetical cut is evaluated: the graph

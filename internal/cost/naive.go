@@ -1,6 +1,8 @@
 package cost
 
 import (
+	"sort"
+
 	"cdb/internal/graph"
 	"cdb/internal/latency"
 )
@@ -15,47 +17,76 @@ import (
 type NaiveExpectation struct {
 	// Serial disables the latency scheduler (one task per round).
 	Serial bool
+
+	// closure mirrors Expectation's transitive-inference mode with a
+	// from-scratch filter and yield ranking per call.
+	closure *graph.Closure
 }
 
 // Name implements Strategy.
 func (e *NaiveExpectation) Name() string { return "CDB-naive" }
 
+// SetClosure installs (or removes) the transitive-inference overlay,
+// mirroring Expectation.SetClosure.
+func (e *NaiveExpectation) SetClosure(c *graph.Closure) { e.closure = c }
+
 // Order ranks valid uncolored edges by pruning expectation.
 func (e *NaiveExpectation) Order(g *graph.Graph) []int {
-	order, _ := NaiveOrderScored(g)
+	order, _ := e.OrderScored(g)
 	return order
 }
 
 // OrderScored returns the full-rescan ordering and dense scores.
 func (e *NaiveExpectation) OrderScored(g *graph.Graph) ([]int, []float64) {
-	return NaiveOrderScored(g)
+	return NaiveOrderScoredClosure(g, e.closure)
 }
 
 // NextRound implements Strategy.
 func (e *NaiveExpectation) NextRound(g *graph.Graph) []int {
-	order, score := NaiveOrderScored(g)
+	order, score := e.OrderScored(g)
 	if len(order) == 0 {
 		return nil
 	}
 	if e.Serial {
 		return latency.SerialBatch(g, order)
 	}
-	return latency.ParallelBatchScored(g, order, score)
+	return TransBatch(g, e.closure, latency.ParallelBatchScored(g, order, score))
 }
 
-// Flush implements Strategy: everything valid and uncolored.
-func (e *NaiveExpectation) Flush(g *graph.Graph) []int { return g.ValidUncolored() }
+// Flush implements Strategy: everything valid, uncolored and not
+// entailed.
+func (e *NaiveExpectation) Flush(g *graph.Graph) []int {
+	return closureFilter(g.ValidUncolored(), e.closure)
+}
 
 // NaiveOrderScored computes the expectation ordering by rescoring and
 // re-sorting every valid uncolored edge — O(E) CutLoss evaluations and
 // a full sort per call. The returned score slice is dense, indexed by
 // edge id.
 func NaiveOrderScored(g *graph.Graph) ([]int, []float64) {
-	edges := g.ValidUncolored()
+	return NaiveOrderScoredClosure(g, nil)
+}
+
+// NaiveOrderScoredClosure is NaiveOrderScored under transitive
+// inference: entailed edges are dropped and the ordering is yield-
+// first, all recomputed from scratch per call. It is the equivalence
+// reference for Expectation's incremental closure mode.
+func NaiveOrderScoredClosure(g *graph.Graph, c *graph.Closure) ([]int, []float64) {
+	edges := closureFilter(g.ValidUncolored(), c)
 	score := make([]float64, g.NumEdges())
 	for _, id := range edges {
 		score[id] = PruningExpectation(g, id)
 	}
-	sortEdgesByScore(g, edges, score)
+	if c == nil {
+		sortEdgesByScore(g, edges, score)
+		return edges, score
+	}
+	yield := make([]float64, g.NumEdges())
+	for _, id := range edges {
+		yield[id] = inferenceYield(g, c, id)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		return yieldLess(g, score, yield, edges[i], edges[j])
+	})
 	return edges, score
 }

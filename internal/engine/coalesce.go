@@ -14,9 +14,12 @@ import (
 
 // Coalescer metrics (process-wide, across all engines).
 var (
-	mCoalTasks  = obs.Default.Counter("cdb_engine_tasks_total")
-	mCoalShared = obs.Default.Counter("cdb_engine_tasks_shared_total")
-	mCoalSaved  = obs.Default.Counter("cdb_engine_assignments_saved_total")
+	mCoalTasks   = obs.Default.Counter("cdb_engine_tasks_total")
+	mCoalShared  = obs.Default.Counter("cdb_engine_tasks_shared_total")
+	mCoalSaved   = obs.Default.Counter("cdb_engine_assignments_saved_total")
+	mInferredPub = obs.Default.Counter("cdb_engine_inferred_published_total")
+	mInferredHit = obs.Default.Counter("cdb_engine_inferred_hits_total")
+	mInferredRej = obs.Default.Counter("cdb_engine_inferred_rejected_total")
 )
 
 // coalescer is the engine's shared serving layer for crowd tasks: it
@@ -47,11 +50,14 @@ type coalescer struct {
 	inflight map[string]*flight
 	cache    *lruCache[exec.TaskVerdict]
 
-	resolved  atomic.Int64 // tasks resolved
-	issued    atomic.Int64 // assignments actually drawn from the crowd
-	saved     atomic.Int64 // assignments avoided by sharing
-	coalesced atomic.Int64 // tasks attached to an in-flight HIT
-	cached    atomic.Int64 // tasks served from the verdict cache
+	resolved    atomic.Int64 // tasks resolved
+	issued      atomic.Int64 // assignments actually drawn from the crowd
+	saved       atomic.Int64 // assignments avoided by sharing
+	coalesced   atomic.Int64 // tasks attached to an in-flight HIT
+	cached      atomic.Int64 // tasks served from the verdict cache
+	inferredPub atomic.Int64 // inferred verdicts accepted into the cache
+	inferredHit atomic.Int64 // cache hits served by an inferred verdict
+	inferredRej atomic.Int64 // inferred verdicts rejected by the agreement check
 }
 
 // flight is one in-flight HIT: the owner fills verdict and closes
@@ -102,6 +108,10 @@ func (c *coalescer) resolve(ctx context.Context, req exec.TaskRequest) (exec.Tas
 		c.saved.Add(int64(v.Assignments))
 		mCoalShared.Inc()
 		mCoalSaved.Add(int64(v.Assignments))
+		if v.Inferred {
+			c.inferredHit.Add(1)
+			mInferredHit.Inc()
+		}
 		return v, nil
 	}
 	if fl, ok := c.inflight[key]; ok {
@@ -173,6 +183,46 @@ func (c *coalescer) answer(req exec.TaskRequest) exec.TaskVerdict {
 		conf = 1 - conf
 	}
 	return exec.TaskVerdict{Value: value, Confidence: conf, Assignments: k}
+}
+
+// PublishInferred implements exec.InferredPublisher: a transitive
+// query pushes the labels its closure derived into the shared verdict
+// cache, so later queries asking the same task are served without
+// crowd work.
+//
+// Bit-identity is preserved by an agreement filter: the deterministic
+// crowd verdict for the task is computed (a pure function of seed, key
+// and redundancy — no assignments are issued), and the inferred label
+// is published only when the two agree. The cached entry is then
+// byte-identical to what a real resolve would have produced, merely
+// flagged Inferred, so a query observes the same answers whether it
+// hit this entry, the crowd, or ran before the publisher. A
+// disagreeing label — inference chained through wrong answers, or the
+// crowd itself would err — is dropped and counted, never cached.
+// Entries already resolved or in flight are left untouched.
+func (c *coalescer) PublishInferred(tasks []exec.InferredTask) {
+	for _, t := range tasks {
+		v := c.answer(t.Req)
+		if v.Value != t.Value {
+			c.inferredRej.Add(1)
+			mInferredRej.Inc()
+			continue
+		}
+		v.Inferred = true
+		key := strconv.Itoa(t.Req.K) + "\x1f" + t.Req.Key
+		c.mu.Lock()
+		_, have := c.cache.items[key]
+		_, flying := c.inflight[key]
+		if !have && !flying {
+			c.cache.put(key, v)
+		}
+		c.mu.Unlock()
+		if have || flying {
+			continue
+		}
+		c.inferredPub.Add(1)
+		mInferredPub.Inc()
+	}
 }
 
 // lruCache is a bounded string-keyed map with least-recently-used

@@ -96,6 +96,10 @@ type Config struct {
 	// Tracing attaches a per-query obs.Tracer; each Answer then
 	// carries its own span tree.
 	Tracing bool
+	// Transitive turns on transitive join inference (exec.Options.
+	// Transitive) for every served query, and publishes the inferred
+	// verdicts into the shared cache for cross-query reuse.
+	Transitive bool
 }
 
 // Engine is a concurrent query-serving layer over one CDB catalog and
@@ -366,6 +370,7 @@ func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress f
 		Quality:    exec.MajorityVoting,
 		Pool:       e.cfg.Pool,
 		Resolver:   e.coal,
+		Transitive: e.cfg.Transitive,
 		Trace:      tr,
 		Progress:   progress,
 	})
@@ -445,6 +450,14 @@ type Stats struct {
 	JoinsComputed int64 // similarity joins executed
 	JoinsShared   int64 // similarity joins reused from the cache
 
+	// Transitive-inference sharing: labels one query derived entering
+	// the verdict cache, later queries served by them, and inferred
+	// labels dropped because they disagreed with the deterministic
+	// crowd verdict.
+	InferredPublished int64
+	InferredHits      int64
+	InferredRejected  int64
+
 	CacheEntries int // live verdict-cache entries
 }
 
@@ -475,6 +488,10 @@ func (e *Engine) Stats() Stats {
 
 		JoinsComputed: e.joins.computed.Load(),
 		JoinsShared:   e.joins.shared.Load(),
+
+		InferredPublished: e.coal.inferredPub.Load(),
+		InferredHits:      e.coal.inferredHit.Load(),
+		InferredRejected:  e.coal.inferredRej.Load(),
 
 		CacheEntries: entries,
 	}

@@ -45,11 +45,12 @@ type outcome struct {
 
 // runSequential executes the workload one query at a time on a fresh
 // engine (concurrency 1, queue sized to hold the rest).
-func runSequential(t *testing.T, seed uint64, queries []string) []outcome {
+func runSequential(t *testing.T, seed uint64, queries []string, transitive bool) []outcome {
 	t.Helper()
 	cfg := testConfig(t, seed)
 	cfg.MaxInFlight = 1
 	cfg.MaxQueue = len(queries)
+	cfg.Transitive = transitive
 	e, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -76,14 +77,26 @@ func runSequential(t *testing.T, seed uint64, queries []string) []outcome {
 // tasks coalesce. Run under -race this also exercises the coalescer,
 // join cache and dict for data races.
 func TestConcurrentMatchesSequential(t *testing.T) {
+	checkConcurrentMatchesSequential(t, false)
+}
+
+// TestConcurrentMatchesSequentialTransitive re-runs the bit-identity
+// property with transitive inference on: inferred labels and their
+// cross-query publication must not let scheduling leak into results.
+func TestConcurrentMatchesSequentialTransitive(t *testing.T) {
+	checkConcurrentMatchesSequential(t, true)
+}
+
+func checkConcurrentMatchesSequential(t *testing.T, transitive bool) {
 	defer testutil.VerifyNoLeaks(t)()
 	const seed = 99
 	queries := workload()
-	want := runSequential(t, seed, queries)
+	want := runSequential(t, seed, queries, transitive)
 
 	cfg := testConfig(t, seed)
 	cfg.MaxInFlight = 8
 	cfg.MaxQueue = len(queries)
+	cfg.Transitive = transitive
 	e, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -141,6 +154,12 @@ func TestConcurrentMatchesSequential(t *testing.T) {
 	}
 	if st.AssignmentsIssued+st.AssignmentsSaved == 0 {
 		t.Fatalf("engine did no work at all")
+	}
+	if transitive && st.InferredPublished == 0 {
+		t.Fatalf("transitive engine published no inferred verdicts: %+v", st)
+	}
+	if !transitive && st.InferredPublished+st.InferredHits+st.InferredRejected != 0 {
+		t.Fatalf("baseline engine leaked inference counters: %+v", st)
 	}
 }
 
@@ -246,6 +265,102 @@ func TestRejectsUnsupported(t *testing.T) {
 	e.Close()
 	if _, err := e.Submit(context.Background(), dataset.Queries("paper")["2J"]); !errors.Is(err, ErrClosed) {
 		t.Fatalf("want ErrClosed after Close, got %v", err)
+	}
+}
+
+// TestPublishInferredAgreementFilter unit-tests the coalescer's
+// publication rules: an inferred label agreeing with the deterministic
+// crowd verdict enters the cache (and later resolves hit it, flagged
+// Inferred, with no assignments issued); a disagreeing label is
+// rejected; an already-resolved task is never overwritten.
+func TestPublishInferredAgreementFilter(t *testing.T) {
+	pool := crowd.NewPool(50, 0.95, 0.01, stats.NewRNG(3))
+	c := newCoalescer(7, pool, 0)
+
+	req := exec.TaskRequest{Edge: 1, Key: "join\x1ftest\x1fa\x1fb", Truth: true, Prior: 0.9, K: 3}
+	truth := c.answer(req) // the deterministic crowd verdict
+
+	// Agreement: published, then served from cache without crowd work.
+	c.PublishInferred([]exec.InferredTask{{Req: req, Value: truth.Value}})
+	if got := c.inferredPub.Load(); got != 1 {
+		t.Fatalf("published = %d, want 1", got)
+	}
+	v, err := c.resolve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Inferred || !v.Cached {
+		t.Fatalf("verdict %+v not served as inferred cache hit", v)
+	}
+	if v.Value != truth.Value || v.Confidence != truth.Confidence || v.Assignments != truth.Assignments {
+		t.Fatalf("inferred verdict %+v differs from crowd verdict %+v", v, truth)
+	}
+	if c.issued.Load() != 0 {
+		t.Fatalf("inferred hit issued %d assignments", c.issued.Load())
+	}
+	if c.inferredHit.Load() != 1 {
+		t.Fatalf("inferredHit = %d, want 1", c.inferredHit.Load())
+	}
+
+	// Disagreement: rejected, nothing cached.
+	req2 := exec.TaskRequest{Edge: 2, Key: "join\x1ftest\x1fa\x1fc", Truth: true, Prior: 0.9, K: 3}
+	wrong := !c.answer(req2).Value
+	c.PublishInferred([]exec.InferredTask{{Req: req2, Value: wrong}})
+	if c.inferredRej.Load() != 1 {
+		t.Fatalf("rejected = %d, want 1", c.inferredRej.Load())
+	}
+	v2, err := c.resolve(context.Background(), req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Inferred || v2.Cached {
+		t.Fatalf("rejected publication still served a cache hit: %+v", v2)
+	}
+
+	// Already resolved: publication must not overwrite or recount.
+	c.PublishInferred([]exec.InferredTask{{Req: req2, Value: v2.Value}})
+	v3, err := c.resolve(context.Background(), req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3.Inferred {
+		t.Fatalf("crowd-resolved entry was overwritten by a publication: %+v", v3)
+	}
+	if c.inferredPub.Load() != 1 {
+		t.Fatalf("published = %d after no-op publication, want 1", c.inferredPub.Load())
+	}
+}
+
+// TestInferredVerdictsCrossQueries is the cross-query payoff: a
+// transitive 2J query publishes the labels it inferred, and a later 3J
+// query — a different statement over a superset of the same joins, so
+// the answer cache cannot serve it — picks some of them up as inferred
+// cache hits.
+func TestInferredVerdictsCrossQueries(t *testing.T) {
+	defer testutil.VerifyNoLeaks(t)()
+	cfg := testConfig(t, 42)
+	cfg.Transitive = true
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	qs := dataset.Queries("paper")
+	for _, label := range []string{"2J", "3J"} {
+		h, err := e.Submit(context.Background(), qs[label])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.InferredPublished == 0 {
+		t.Fatalf("2J published no inferred verdicts: %+v", st)
+	}
+	if st.InferredHits == 0 {
+		t.Fatalf("3J saw no inferred-verdict cache hits: %+v", st)
 	}
 }
 

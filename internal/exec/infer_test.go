@@ -1,0 +1,126 @@
+package exec
+
+import (
+	"context"
+	"testing"
+
+	"cdb/internal/cost"
+	"cdb/internal/dataset"
+)
+
+// paperPlan builds a plan over the paper benchmark's 2-join query at a
+// small scale — dirty enough that value clusters exist and transitive
+// inference has something to deduce.
+func paperPlan(t *testing.T, seed uint64) (*Plan, *dataset.Data) {
+	t.Helper()
+	d := dataset.GenPaper(dataset.Config{Seed: seed, Scale: 0.15})
+	p, err := BuildPlan(mustSelect(t, dataset.Queries("paper")["2J"]), d.Catalog, d.Oracle, DefaultPlanConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, d
+}
+
+// TestTransitiveInfersForFree: with perfect workers, transitive mode
+// must find the same answers as the baseline while labeling some edges
+// by inference — and every inferred label must be correct, since the
+// evidence it chains is correct.
+func TestTransitiveInfersForFree(t *testing.T) {
+	run := func(transitive bool) *Report {
+		p, _ := paperPlan(t, 11)
+		rep, err := Run(context.Background(), p, Options{
+			Strategy:   &cost.Expectation{},
+			Redundancy: 3,
+			Pool:       perfectPool(1, 40),
+			Transitive: transitive,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	base := run(false)
+	trans := run(true)
+
+	if trans.Inferred == 0 {
+		t.Fatal("transitive mode inferred nothing on the dirty paper dataset")
+	}
+	if trans.Metrics.Precision != base.Metrics.Precision || trans.Metrics.Recall != base.Metrics.Recall {
+		t.Fatalf("quality moved: base P/R %v/%v, transitive %v/%v",
+			base.Metrics.Precision, base.Metrics.Recall, trans.Metrics.Precision, trans.Metrics.Recall)
+	}
+	if len(trans.Answers) != len(base.Answers) {
+		t.Fatalf("answers: base %d, transitive %d", len(base.Answers), len(trans.Answers))
+	}
+	if trans.Metrics.Tasks >= base.Metrics.Tasks {
+		t.Fatalf("transitive mode asked %d tasks, baseline %d — inference saved nothing",
+			trans.Metrics.Tasks, base.Metrics.Tasks)
+	}
+	if base.Inferred != 0 || base.Provenance != nil {
+		t.Fatalf("baseline run leaked inference state: %d inferred, provenance %v",
+			base.Inferred, base.Provenance)
+	}
+}
+
+// TestTransitiveProvenance: Provenance is aligned with Answers, each
+// entry accounts for every supporting edge, and the totals agree with
+// Report.Inferred-labeled edges actually used by answers.
+func TestTransitiveProvenance(t *testing.T) {
+	p, _ := paperPlan(t, 3)
+	rep, err := Run(context.Background(), p, Options{
+		Strategy:   &cost.Expectation{},
+		Redundancy: 3,
+		Pool:       perfectPool(1, 40),
+		Transitive: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Provenance) != len(rep.Answers) {
+		t.Fatalf("provenance entries %d, answers %d", len(rep.Provenance), len(rep.Answers))
+	}
+	sawInferred := false
+	for i, a := range rep.Answers {
+		pv := rep.Provenance[i]
+		if pv.Crowd+pv.Inferred+pv.Prior != len(a.Edges) {
+			t.Fatalf("answer %d: provenance %+v does not cover %d edges", i, pv, len(a.Edges))
+		}
+		if pv.Inferred > 0 {
+			sawInferred = true
+		}
+	}
+	if rep.Inferred > 0 && len(rep.Answers) > 0 && !sawInferred {
+		// Inference may land on Red (pruned) edges only, but on this
+		// dirty dataset some Blue entailments should support answers.
+		t.Log("no answer was backed by an inferred edge (all inference went to pruning)")
+	}
+	// Confidence stays aligned and in range with inferred edges mixed in.
+	if len(rep.Confidence) != len(rep.Answers) {
+		t.Fatalf("confidence entries %d, answers %d", len(rep.Confidence), len(rep.Answers))
+	}
+	for i, c := range rep.Confidence {
+		if c <= 0 || c > 1 {
+			t.Fatalf("answer %d confidence %v out of (0, 1]", i, c)
+		}
+	}
+}
+
+// TestTransitiveRoundUpdates: Progress snapshots carry the per-round
+// inferred count and sum to the report total.
+func TestTransitiveRoundUpdates(t *testing.T) {
+	p, _ := paperPlan(t, 11)
+	total := 0
+	rep, err := Run(context.Background(), p, Options{
+		Strategy:   &cost.Expectation{},
+		Redundancy: 3,
+		Pool:       perfectPool(1, 40),
+		Transitive: true,
+		Progress:   func(u RoundUpdate) { total += u.Inferred },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != rep.Inferred {
+		t.Fatalf("round updates sum %d inferred, report says %d", total, rep.Inferred)
+	}
+}

@@ -50,6 +50,9 @@ type TaskVerdict struct {
 	// HIT; Cached marks one served from the shared verdict cache.
 	Coalesced bool
 	Cached    bool
+	// Inferred marks a cached verdict that another query derived by
+	// transitive inference instead of crowd work.
+	Inferred bool
 }
 
 // TaskResolver intercepts a round's crowdsourcing. The engine's HIT

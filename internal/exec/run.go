@@ -68,6 +68,9 @@ type RoundUpdate struct {
 	// Open counts the valid uncolored edges still in play — the
 	// crowd work that may remain.
 	Open int `json:"open"`
+	// Inferred counts edges this round labeled by transitive inference
+	// instead of crowd work (zero unless Options.Transitive).
+	Inferred int `json:"inferred,omitempty"`
 }
 
 // Options configures one execution.
@@ -129,6 +132,12 @@ type Options struct {
 	// the tracer). It runs on the executing goroutine: a slow consumer
 	// delays the next round, so hand off to a channel for streaming.
 	Progress func(RoundUpdate)
+	// Transitive enables transitive inference over crowd answers
+	// (within each predicate, A=B ∧ B=C entails A=C and A=B ∧ B≠C
+	// entails A≠C): after every round the entailed labels are colored
+	// into the graph for free, closure-aware strategies stop asking
+	// entailed edges, and Report gains Inferred / Provenance.
+	Transitive bool
 }
 
 // Report is the outcome of one execution.
@@ -153,6 +162,12 @@ type Report struct {
 	// Zero off the resolver path.
 	Coalesced   int
 	CachedTasks int
+	// Inferred counts edges labeled by transitive inference instead of
+	// crowd work; Provenance breaks each answer's supporting edges down
+	// by origin, aligned with Answers. Both zero/nil unless
+	// Options.Transitive.
+	Inferred   int
+	Provenance []AnswerProvenance
 	// PerMarket counts tasks routed to each market when a Router is
 	// configured (async transport: accepted answers per market).
 	PerMarket map[string]int
@@ -169,6 +184,10 @@ type Report struct {
 	seen map[int]map[int]bool
 	// edgeConf records per-edge verdict confidence.
 	edgeConf map[int]float64
+	// crowdEdges / inferredEdges track per-edge label origin for
+	// Provenance (only populated in transitive mode).
+	crowdEdges    map[int]bool
+	inferredEdges map[int]bool
 	// retryBudget is the query-wide allowance of reissued assignments.
 	retryBudget int
 }
@@ -218,6 +237,24 @@ func Run(ctx context.Context, p *Plan, opts Options) (*Report, error) {
 		defer tc.SetTracer(nil)
 	}
 	cacheStats, _ := opts.Strategy.(obs.CacheStatser)
+
+	var closure *graph.Closure
+	if opts.Transitive {
+		closure = graph.NewClosure(g)
+		// Inferred labels inherit the weakest verdict confidence on
+		// their entailing path; edges colored without a verdict (exact
+		// equi-joins) count as certain.
+		closure.ConfFn = func(e int) float64 {
+			if v, ok := rep.edgeConf[e]; ok {
+				return v
+			}
+			return 1
+		}
+		if cc, ok := opts.Strategy.(ClosureCarrier); ok {
+			cc.SetClosure(closure)
+			defer cc.SetClosure(nil)
+		}
+	}
 
 	var calib *quality.Calibrator
 	var rawW []float64
@@ -351,6 +388,9 @@ func Run(ctx context.Context, p *Plan, opts Options) (*Report, error) {
 				g.SetColor(e, graph.Red)
 				red++
 			}
+			if closure != nil {
+				rep.markCrowd(e)
+			}
 			if calib != nil {
 				calib.Observe(rawW[e], match)
 			}
@@ -368,9 +408,18 @@ func Run(ctx context.Context, p *Plan, opts Options) (*Report, error) {
 		}
 		tr.End(colorSpan)
 
+		inferredRound := 0
+		if closure != nil {
+			inferredRound = rep.applyInference(p, closure, opts)
+			if inferredRound > 0 {
+				n := inferredRound
+				tr.Event("inference", func(s *obs.Span) { s.Tasks = n })
+			}
+		}
+
 		if tr != nil {
 			validAfter := g.CountValidUncolored()
-			colored := len(verdicts)
+			colored := len(verdicts) + inferredRound
 			round := rounds
 			tr.Mutate(roundSpan, func(s *obs.Span) {
 				s.Round = round
@@ -401,6 +450,7 @@ func Run(ctx context.Context, p *Plan, opts Options) (*Report, error) {
 				TasksTotal:       tasks,
 				AssignmentsTotal: rep.Assignments,
 				Open:             g.CountValidUncolored(),
+				Inferred:         inferredRound,
 			})
 		}
 		if opts.MaxRounds > 0 && rounds >= opts.MaxRounds {
@@ -429,6 +479,9 @@ func Run(ctx context.Context, p *Plan, opts Options) (*Report, error) {
 		mPartials.Inc()
 	}
 	rep.Answers = g.Answers()
+	if closure != nil {
+		rep.assembleProvenance()
+	}
 	if rep.edgeConf != nil {
 		rep.Confidence = make([]float64, len(rep.Answers))
 		for i, a := range rep.Answers {

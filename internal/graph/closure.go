@@ -1,0 +1,334 @@
+package graph
+
+import "cdb/internal/obs"
+
+// Transitive-inference overlay (ROADMAP item: transitivity-aware
+// joins). Crowd answers about value equality are transitive within one
+// predicate: once the crowd confirms A=B and B=C, A=C needs no HIT,
+// and A=B with B≠C entails A≠C ("Leveraging Transitive Relations for
+// Crowdsourced Joins", Wang et al.). The Closure maintains, per
+// predicate, a union-find over the endpoints of Blue edges plus a
+// cluster-pair Red relation, and answers "is this uncolored edge's
+// label already entailed?" in near-constant time.
+//
+// Scope: inference never crosses predicates. Two predicates compare
+// different column pairs, so a vertex (tuple) participates in one
+// equivalence relation per incident predicate; the overlay keys its
+// union-find nodes by (predicate, vertex).
+//
+// Consistency model: the overlay is fed by the graph's ColorEvent
+// journal, exactly like the cost engine's incremental score cache. On
+// the crowdsourcing path every transition is Unknown→{Blue,Red} and
+// the overlay absorbs the suffix incrementally; any reverse transition
+// (recoloring, Unknown-ing) cannot be expressed by a union-find, so
+// Update falls back to a full rebuild from the current edge colors.
+// Either way the resulting clusters are a pure function of the journal
+// — replaying the same journal yields the same entailments in the same
+// order, which is what keeps engine-level result sharing bit-identical
+// (the property tests in closure_test.go enforce replay identity).
+//
+// Applying entailed labels via SetColor is a fixpoint in one pass: an
+// entailed Blue edge connects vertices already in one cluster and an
+// entailed Red edge connects a cluster pair already marked red, so
+// observing those events changes nothing. The executor can therefore
+// infer after each round without iterating.
+
+// Closure health metrics: rebuilds are the O(E) slow path; conflicts
+// count crowd answers that contradict the closure (a Red edge inside a
+// Blue cluster, or a Blue edge across an entailed-Red cluster pair).
+var (
+	mClosureRebuild  = obs.Default.Counter("cdb_graph_closure_rebuild_total")
+	mClosureConflict = obs.Default.Counter("cdb_graph_closure_conflict_total")
+)
+
+// Closure is the transitive-inference overlay over one graph's crowd
+// colors. Not safe for concurrent use: methods mutate internal state
+// (journal cursor, path compression). One Closure serves one
+// execution.
+type Closure struct {
+	g *Graph
+
+	// ConfFn optionally supplies the verdict confidence of a colored
+	// edge (in (0, 1]); nil, or any out-of-range return, means full
+	// confidence. The executor installs its per-edge confidence record
+	// so inferred labels inherit the weakest evidence backing them.
+	ConfFn func(edge int) float64
+
+	cursor int // ColorEvents consumed so far
+
+	// Union-find over (predicate, vertex) nodes, built lazily on first
+	// Update. conf[root] is the minimum confidence over the cluster's
+	// Blue edges (1 for singletons).
+	parent []int
+	size   []int
+	conf   []float64
+
+	// red[rootA][rootB] is the strongest Red-edge confidence observed
+	// between the two clusters; symmetric.
+	red map[int]map[int]float64
+
+	conflicts int
+	rebuilds  int
+}
+
+// NewClosure creates an empty overlay for g. Call Update to absorb the
+// journal (including colors applied before creation, e.g. the exact
+// equi-join edges pre-colored at plan build).
+func NewClosure(g *Graph) *Closure {
+	return &Closure{g: g, red: make(map[int]map[int]float64)}
+}
+
+// Update brings the overlay up to date with the graph's color journal:
+// the unconsumed suffix is absorbed incrementally when every
+// transition starts from Unknown, otherwise the overlay is rebuilt
+// from the current edge colors. Idempotent; call before Entails or
+// ClusterSize after any round of coloring.
+func (c *Closure) Update() {
+	events := c.g.ColorEvents()
+	if c.parent == nil {
+		// First use: build the identity partition, then absorb the whole
+		// journal below (not counted as a rebuild — there is nothing to
+		// re-do yet).
+		c.resetNodes()
+	} else if c.cursor > len(events) {
+		c.rebuild(len(events))
+		return
+	}
+	for _, ev := range events[c.cursor:] {
+		if ev.Old != Unknown || ev.New == Unknown {
+			c.rebuild(len(events))
+			return
+		}
+	}
+	for _, ev := range events[c.cursor:] {
+		c.observe(ev.Edge, ev.New)
+	}
+	c.cursor = len(events)
+}
+
+// rebuild reconstructs the overlay from the current edge colors (which
+// are themselves the fold of the journal, so the result is still a
+// pure function of it).
+func (c *Closure) rebuild(cursor int) {
+	c.rebuilds++
+	mClosureRebuild.Inc()
+	c.resetNodes()
+	for id := range c.g.edges {
+		if col := c.g.edges[id].Color; col != Unknown {
+			c.observe(id, col)
+		}
+	}
+	c.cursor = cursor
+}
+
+// resetNodes restores the identity partition (every (pred, vertex)
+// node its own singleton cluster, no red links).
+func (c *Closure) resetNodes() {
+	nodes := len(c.g.S.Preds) * c.g.nVerts
+	if len(c.parent) != nodes {
+		c.parent = make([]int, nodes)
+		c.size = make([]int, nodes)
+		c.conf = make([]float64, nodes)
+	}
+	for i := range c.parent {
+		c.parent[i] = i
+		c.size[i] = 1
+		c.conf[i] = 1
+	}
+	c.red = make(map[int]map[int]float64)
+	c.conflicts = 0
+	c.cursor = 0
+}
+
+// observe folds one colored edge into the overlay.
+func (c *Closure) observe(id int, col Color) {
+	e := c.g.edges[id]
+	a := c.node(e.Pred, e.U)
+	b := c.node(e.Pred, e.V)
+	switch col {
+	case Blue:
+		c.union(a, b, c.confOf(id))
+	case Red:
+		c.markRed(a, b, c.confOf(id))
+	}
+}
+
+// Entails reports whether the (uncolored) edge's label is already
+// determined by the closure: Blue when its endpoints share a cluster,
+// Red when their clusters are linked by a Red edge. The confidence is
+// the weakest evidence on the entailing path: the cluster's minimum
+// Blue confidence, further capped by the Red link for Red entailments.
+// Colored edges report no entailment.
+func (c *Closure) Entails(id int) (Color, float64, bool) {
+	e := c.g.edges[id]
+	if e.Color != Unknown || c.parent == nil {
+		return Unknown, 0, false
+	}
+	ra := c.find(c.node(e.Pred, e.U))
+	rb := c.find(c.node(e.Pred, e.V))
+	if ra == rb {
+		return Blue, c.conf[ra], true
+	}
+	if w, ok := c.red[ra][rb]; ok {
+		conf := min3(w, c.conf[ra], c.conf[rb])
+		return Red, conf, true
+	}
+	return Unknown, 0, false
+}
+
+// ClusterSize returns the number of (pred, vertex) nodes in v's
+// equivalence cluster under predicate pred — 1 until Blue evidence
+// merges it with anything. The expected-optimal ordering weights
+// candidate edges by the product of their endpoint cluster sizes.
+func (c *Closure) ClusterSize(pred, v int) int {
+	if c.parent == nil {
+		return 1
+	}
+	return c.size[c.find(c.node(pred, v))]
+}
+
+// ClusterRoot returns a canonical id for v's equivalence cluster under
+// pred: two vertices share a cluster iff their roots are equal. The
+// lookup path-compresses the shared union-find, so callers must not
+// race Update or concurrent lookups.
+func (c *Closure) ClusterRoot(pred, v int) int {
+	if c.parent == nil {
+		return c.node(pred, v)
+	}
+	return c.find(c.node(pred, v))
+}
+
+// Conflicts counts crowd answers that contradicted the closure since
+// the last rebuild (Red inside a cluster, Blue across a Red pair). The
+// direct answer wins — the overlay drops the entailment — but a high
+// count means worker error rates are undermining inference.
+func (c *Closure) Conflicts() int { return c.conflicts }
+
+// Rebuilds counts full reconstructions (the slow path; zero on a pure
+// crowdsourcing run).
+func (c *Closure) Rebuilds() int { return c.rebuilds }
+
+func (c *Closure) node(pred, v int) int { return pred*c.g.nVerts + v }
+
+func (c *Closure) confOf(id int) float64 {
+	if c.ConfFn == nil {
+		return 1
+	}
+	if w := c.ConfFn(id); w > 0 && w <= 1 {
+		return w
+	}
+	return 1
+}
+
+func (c *Closure) find(x int) int {
+	root := x
+	for c.parent[root] != root {
+		root = c.parent[root]
+	}
+	for c.parent[x] != root {
+		c.parent[x], x = root, c.parent[x]
+	}
+	return root
+}
+
+// union merges the clusters of a and b on Blue evidence with
+// confidence w. Union by size, ties to the smaller root id; the merged
+// outcome (members, confidence, red links, conflict count) is
+// independent of map iteration order because every combination is a
+// commutative min/max.
+func (c *Closure) union(a, b int, w float64) {
+	ra, rb := c.find(a), c.find(b)
+	if ra == rb {
+		if w < c.conf[ra] {
+			c.conf[ra] = w
+		}
+		return
+	}
+	// A Blue edge across an entailed-Red cluster pair: the direct
+	// answer wins, the red link is dropped.
+	if _, ok := c.red[ra][rb]; ok {
+		c.noteConflict()
+		c.unlinkRed(ra, rb)
+	}
+	if c.size[ra] < c.size[rb] || (c.size[ra] == c.size[rb] && rb < ra) {
+		ra, rb = rb, ra
+	}
+	c.parent[rb] = ra
+	c.size[ra] += c.size[rb]
+	if c.conf[rb] < c.conf[ra] {
+		c.conf[ra] = c.conf[rb]
+	}
+	if w < c.conf[ra] {
+		c.conf[ra] = w
+	}
+	// Re-key the absorbed root's red links to the surviving root.
+	if m := c.red[rb]; m != nil {
+		delete(c.red, rb)
+		for p, pw := range m {
+			delete(c.red[p], rb)
+			if len(c.red[p]) == 0 {
+				delete(c.red, p)
+			}
+			if p == ra {
+				// Cannot happen (the ra–rb link was unlinked above), but a
+				// self red link would corrupt Entails; drop it defensively.
+				c.noteConflict()
+				continue
+			}
+			c.linkRed(ra, p, pw)
+		}
+	}
+}
+
+// markRed records Red evidence with confidence w between the clusters
+// of a and b.
+func (c *Closure) markRed(a, b int, w float64) {
+	ra, rb := c.find(a), c.find(b)
+	if ra == rb {
+		// A Red edge inside a Blue cluster: the cluster stands (splitting
+		// would discard confirmed answers), the contradiction is counted.
+		c.noteConflict()
+		return
+	}
+	c.linkRed(ra, rb, w)
+}
+
+// linkRed installs or strengthens the symmetric red link ra↔rb.
+func (c *Closure) linkRed(ra, rb int, w float64) {
+	for _, pair := range [2][2]int{{ra, rb}, {rb, ra}} {
+		m := c.red[pair[0]]
+		if m == nil {
+			m = make(map[int]float64)
+			c.red[pair[0]] = m
+		}
+		if old, ok := m[pair[1]]; !ok || w > old {
+			m[pair[1]] = w
+		}
+	}
+}
+
+func (c *Closure) unlinkRed(ra, rb int) {
+	delete(c.red[ra], rb)
+	if len(c.red[ra]) == 0 {
+		delete(c.red, ra)
+	}
+	delete(c.red[rb], ra)
+	if len(c.red[rb]) == 0 {
+		delete(c.red, rb)
+	}
+}
+
+func (c *Closure) noteConflict() {
+	c.conflicts++
+	mClosureConflict.Inc()
+}
+
+func min3(a, b, c float64) float64 {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
