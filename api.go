@@ -498,6 +498,12 @@ type Result struct {
 	// WithObserver or WithTracing; nil otherwise. Never serialized on
 	// the wire — traces are process-local diagnostics.
 	Trace *Trace `json:"-"`
+	// RequestID is the serving tier's correlation ID: the
+	// X-CDB-Request-ID the query arrived under (caller-supplied or
+	// minted by cdbd), echoed here so the response body, trace spans
+	// and query-log lines of one request all join on the same key.
+	// Empty for queries executed without one.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // AnswerProvenance breaks one answer's supporting edges down by how

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"cdb"
+	"cdb/internal/reqid"
 )
 
 // Client talks to one cdbd server. Safe for concurrent use.
@@ -179,23 +180,42 @@ func (c *Client) QueryStream(ctx context.Context, query string, onRound func(cdb
 
 // Tables lists the tables in the server's catalog.
 func (c *Client) Tables(ctx context.Context) ([]string, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/tables", nil)
-	if err != nil {
+	var tr TablesResponse
+	if err := c.get(ctx, "/v1/tables", &tr); err != nil {
 		return nil, err
 	}
+	return tr.Tables, nil
+}
+
+// Queries snapshots the server's live query table (GET /v1/queries):
+// everything in flight plus recently completed queries. The endpoint
+// stays up during drain, so it is the way to watch a shutdown progress.
+func (c *Client) Queries(ctx context.Context) (*QueriesResponse, error) {
+	var qr QueriesResponse
+	if err := c.get(ctx, "/v1/queries", &qr); err != nil {
+		return nil, err
+	}
+	return &qr, nil
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	c.correlate(ctx, hreq)
 	resp, err := c.hc.Do(hreq)
 	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
+		return fmt.Errorf("client: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, decodeAPIError(resp)
+		return decodeAPIError(resp)
 	}
-	var tr TablesResponse
-	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
-		return nil, fmt.Errorf("client: decode tables: %w", err)
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode %s: %w", path, err)
 	}
-	return tr.Tables, nil
+	return nil
 }
 
 func (c *Client) post(ctx context.Context, path string, body any) (*http.Response, error) {
@@ -208,11 +228,29 @@ func (c *Client) post(ctx context.Context, path string, body any) (*http.Respons
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	c.correlate(ctx, hreq)
 	resp, err := c.hc.Do(hreq)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
 	return resp, nil
+}
+
+// correlate stamps the outgoing request with the correlation headers.
+// A request ID attached to ctx (cdb.ContextWithRequestID) rides along
+// so client and server logs share a key; absent one, the server mints
+// its own and echoes it. The traceparent continues a trace already on
+// ctx or starts a fresh one per request.
+func (c *Client) correlate(ctx context.Context, hreq *http.Request) {
+	cor := reqid.From(ctx)
+	if cor.RequestID != "" {
+		hreq.Header.Set(HeaderRequestID, cor.RequestID)
+	}
+	if tp, ok := reqid.ParseTraceParent(cor.TraceParent); ok {
+		hreq.Header.Set(HeaderTraceParent, tp.Child().String())
+	} else {
+		hreq.Header.Set(HeaderTraceParent, reqid.NewTraceParent().String())
+	}
 }
 
 // decodeAPIError turns a non-2xx response into an *APIError,

@@ -29,6 +29,53 @@ type TablesResponse struct {
 	Tables []string `json:"tables"`
 }
 
+// Correlation headers. Every response carries HeaderRequestID; requests
+// may supply it to name the query across client logs, server logs,
+// trace spans and the query log. HeaderTraceParent is the W3C
+// trace-context header; the server joins an incoming trace (minting a
+// child span ID) or starts a fresh one.
+const (
+	HeaderRequestID   = "X-CDB-Request-ID"
+	HeaderTraceParent = "traceparent"
+)
+
+// QueryInfo is one query's introspection record in GET /v1/queries —
+// the wire form of cdb.QueryStatus. States are the cdb.Query*
+// constants: queued, running, draining, done, shared, failed.
+type QueryInfo struct {
+	// ID is the engine-local submission sequence number.
+	ID int64 `json:"id"`
+	// RequestID is the correlation ID the query ran under.
+	RequestID string `json:"request_id,omitempty"`
+	// Query is the submitted CQL text.
+	Query string `json:"query"`
+	// State is the lifecycle state at snapshot time.
+	State string `json:"state"`
+	// ElapsedMs counts from admission (total time once completed).
+	ElapsedMs int64 `json:"elapsed_ms"`
+	// Rounds..Open mirror cdb.QueryStatus: completed crowd rounds, the
+	// work they issued, and the edges still open after the last round.
+	Rounds      int `json:"rounds"`
+	Tasks       int `json:"tasks,omitempty"`
+	Assignments int `json:"assignments,omitempty"`
+	Open        int `json:"open,omitempty"`
+	// HITs, Coalesced and Cached are final sharing economics (completed
+	// queries only).
+	HITs      int `json:"hits,omitempty"`
+	Coalesced int `json:"coalesced,omitempty"`
+	Cached    int `json:"cached,omitempty"`
+	// Error is the failure message (state "failed" only).
+	Error string `json:"error,omitempty"`
+}
+
+// QueriesResponse is the body of GET /v1/queries: the live query table
+// (admission order) plus recently completed queries (most recent
+// first).
+type QueriesResponse struct {
+	InFlight []QueryInfo `json:"in_flight"`
+	Recent   []QueryInfo `json:"recent"`
+}
+
 // Error codes carried by ErrorPayload.Code. They are the wire-stable
 // names of the library's typed errors.
 const (

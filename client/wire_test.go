@@ -1,0 +1,86 @@
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestQueriesWireSchema pins the JSON wire schema of GET /v1/queries
+// the same way the root package pins Result: a renamed or retyped
+// field is a breaking protocol change that must be made deliberately
+// (run with -update), not discovered by a confused cdbtop.
+func TestQueriesWireSchema(t *testing.T) {
+	// Every field populated with distinguishable values so the golden
+	// file shows the complete schema.
+	resp := QueriesResponse{
+		InFlight: []QueryInfo{{
+			ID:          3,
+			RequestID:   "req-0123456789abcdef",
+			Query:       "SELECT * FROM Paper, Researcher WHERE Paper.author CROWDJOIN Researcher.name;",
+			State:       "running",
+			ElapsedMs:   1250,
+			Rounds:      2,
+			Tasks:       13,
+			Assignments: 65,
+			Open:        4,
+		}},
+		Recent: []QueryInfo{{
+			ID:          2,
+			RequestID:   "req-fedcba9876543210",
+			Query:       "SELECT Paper.title FROM Paper WHERE Paper.conference CROWDEQUAL 'SIGMOD';",
+			State:       "done",
+			ElapsedMs:   890,
+			Rounds:      3,
+			Tasks:       9,
+			Assignments: 45,
+			HITs:        5,
+			Coalesced:   2,
+			Cached:      1,
+		}, {
+			ID:        1,
+			Query:     "SELECT * FROM Nope;",
+			State:     "failed",
+			ElapsedMs: 4,
+			Error:     "unknown table \"Nope\"",
+		}},
+	}
+	got, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "queries_wire.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (run `go test -run TestQueriesWireSchema -update ./client` after a deliberate schema change)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("queries wire schema drifted from %s — this breaks cdbtop and other pollers.\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+
+	// A minimal in-flight entry stays lean: omitempty drops the
+	// completion-only economics, the always-on fields remain.
+	lean, err := json.Marshal(QueryInfo{ID: 1, Query: "SELECT 1", State: "queued"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantLean = `{"id":1,"query":"SELECT 1","state":"queued","elapsed_ms":0,"rounds":0}`
+	if string(lean) != wantLean {
+		t.Errorf("lean QueryInfo wire form drifted:\ngot  %s\nwant %s", lean, wantLean)
+	}
+}

@@ -54,9 +54,22 @@ func main() {
 
 		retryAfter   = flag.Duration("retry-after", time.Second, "backoff hint on 429/503 responses")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for connection shutdown after the engine drains")
+
+		queryLogPath = flag.String("query-log", "", "append one JSON line per logged query to this file (empty disables)")
+		slowQueryMs  = flag.Int64("slow-query-ms", 0, "only log queries at least this slow (0 logs every query)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "cdbd: ", log.LstdFlags|log.Lmsgprefix)
+
+	var qlog *server.QueryLog
+	if *queryLogPath != "" {
+		f, err := os.OpenFile(*queryLogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Fatalf("query log: %v", err)
+		}
+		defer f.Close()
+		qlog = server.NewQueryLog(f, time.Duration(*slowQueryMs)*time.Millisecond)
+	}
 
 	db, err := cdb.OpenConfig(cdb.Config{
 		Seed:           *seed,
@@ -87,6 +100,7 @@ func main() {
 		Engine:     engine,
 		Logger:     logger,
 		RetryAfter: *retryAfter,
+		QueryLog:   qlog,
 	})
 	if err != nil {
 		logger.Fatalf("server: %v", err)

@@ -10,7 +10,7 @@
 //
 //	\tables          list tables
 //	\dump <table>    print a table (local mode)
-//	\metrics         print the process metrics (Prometheus text format)
+//	\metrics         print the process metrics (quantile summary)
 //	\quit            exit
 //
 // In remote mode every SELECT runs over cdbd's streaming endpoint, so
@@ -149,7 +149,7 @@ func command(db *cdb.DB, cmd string) bool {
 	case "\\meta":
 		db.Metadata().WriteReport(os.Stdout)
 	case "\\metrics":
-		if err := cdb.WriteMetrics(os.Stdout); err != nil {
+		if err := cdb.WriteMetricsSummary(os.Stdout); err != nil {
 			fmt.Println("error:", err)
 		}
 	case "\\dump":

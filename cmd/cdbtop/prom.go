@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"cdb/internal/obs"
+)
+
+// metricsSnapshot is one parsed /metrics scrape: scalar samples
+// (counters and gauges share a namespace — names are unique in the
+// registry) plus reconstructed histograms ready for quantile math.
+type metricsSnapshot struct {
+	scalars map[string]int64
+	hists   map[string]obs.HistSnap
+}
+
+func (m *metricsSnapshot) scalar(name string) int64 {
+	if m == nil {
+		return 0
+	}
+	return m.scalars[name]
+}
+
+func (m *metricsSnapshot) hist(name string) (obs.HistSnap, bool) {
+	if m == nil {
+		return obs.HistSnap{}, false
+	}
+	h, ok := m.hists[name]
+	return h, ok
+}
+
+// parsePrometheus reads the text exposition format cdbd's /metrics
+// emits (the subset obs.WritePrometheus produces: no labels except a
+// histogram's le). Histogram _bucket series arrive cumulative and in
+// bound order; they are de-cumulated back into per-bucket counts so
+// the shared obs.HistSnap.Quantile estimator applies unchanged.
+func parsePrometheus(r io.Reader) (*metricsSnapshot, error) {
+	snap := &metricsSnapshot{
+		scalars: make(map[string]int64),
+		hists:   make(map[string]obs.HistSnap),
+	}
+	isHist := make(map[string]bool)
+	cumulative := make(map[string][]int64) // bucket counts as scraped
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 8<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			// "# TYPE <name> <kind>" declares what follows.
+			fields := strings.Fields(line)
+			if len(fields) == 4 && fields[1] == "TYPE" && fields[3] == "histogram" {
+				isHist[fields[2]] = true
+				snap.hists[fields[2]] = obs.HistSnap{Name: fields[2]}
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		key, val := line[:sp], strings.TrimSpace(line[sp+1:])
+		switch {
+		case strings.Contains(key, "_bucket{le="):
+			brace := strings.Index(key, "_bucket{")
+			base := key[:brace]
+			if !isHist[base] {
+				continue
+			}
+			le := strings.TrimSuffix(strings.TrimPrefix(key[brace:], `_bucket{le="`), `"}`)
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("cdbtop: bad bucket count %q: %v", line, err)
+			}
+			h := snap.hists[base]
+			if le != "+Inf" {
+				bound, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return nil, fmt.Errorf("cdbtop: bad bucket bound %q: %v", line, err)
+				}
+				h.Bounds = append(h.Bounds, bound)
+			}
+			cumulative[base] = append(cumulative[base], n)
+			snap.hists[base] = h
+		case isHist[strings.TrimSuffix(key, "_sum")] && strings.HasSuffix(key, "_sum"):
+			base := strings.TrimSuffix(key, "_sum")
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("cdbtop: bad sum %q: %v", line, err)
+			}
+			h := snap.hists[base]
+			h.Sum = f
+			snap.hists[base] = h
+		case isHist[strings.TrimSuffix(key, "_count")] && strings.HasSuffix(key, "_count"):
+			base := strings.TrimSuffix(key, "_count")
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("cdbtop: bad count %q: %v", line, err)
+			}
+			h := snap.hists[base]
+			h.Count = n
+			snap.hists[base] = h
+		default:
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				continue // not a scalar sample we understand
+			}
+			snap.scalars[key] = n
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cdbtop: scan metrics: %w", err)
+	}
+	// De-cumulate bucket counts into the HistSnap layout (one extra
+	// +Inf entry) and precompute the quantiles.
+	for base, cum := range cumulative {
+		h := snap.hists[base]
+		if len(cum) != len(h.Bounds)+1 {
+			return nil, fmt.Errorf("cdbtop: histogram %s: %d buckets for %d bounds", base, len(cum), len(h.Bounds))
+		}
+		h.Counts = make([]int64, len(cum))
+		prev := int64(0)
+		for i, c := range cum {
+			h.Counts[i] = c - prev
+			prev = c
+		}
+		h.P50, h.P95, h.P99 = h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+		snap.hists[base] = h
+	}
+	return snap, nil
+}

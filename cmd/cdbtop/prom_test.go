@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"cdb/client"
+	"cdb/internal/obs"
+)
+
+// TestParsePrometheusRoundTrip feeds a real registry's exposition text
+// through the parser and checks scalars and histograms survive intact
+// — the dashboard must agree with the server about every number.
+func TestParsePrometheusRoundTrip(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("cdb_server_requests_total").Add(42)
+	r.Gauge("cdb_engine_inflight").Add(3)
+	h := r.Histogram("cdb_server_latency_query_seconds", obs.DurationBuckets)
+	for _, v := range []float64{0.001, 0.002, 0.004, 0.1, 2.5} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := parsePrometheus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := snap.scalar("cdb_server_requests_total"); got != 42 {
+		t.Errorf("requests_total = %d, want 42", got)
+	}
+	if got := snap.scalar("cdb_engine_inflight"); got != 3 {
+		t.Errorf("inflight = %d, want 3", got)
+	}
+	ph, ok := snap.hist("cdb_server_latency_query_seconds")
+	if !ok {
+		t.Fatal("latency histogram missing from parse")
+	}
+	want := findHist(t, r, "cdb_server_latency_query_seconds")
+	if ph.Count != want.Count {
+		t.Errorf("count = %d, want %d", ph.Count, want.Count)
+	}
+	if math.Abs(ph.Sum-want.Sum) > 1e-12 {
+		t.Errorf("sum = %g, want %g", ph.Sum, want.Sum)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got, exp := ph.Quantile(q), want.Quantile(q); math.Abs(got-exp) > 1e-12 {
+			t.Errorf("quantile(%v) = %g, want %g", q, got, exp)
+		}
+	}
+	if ph.P95 != want.Quantile(0.95) {
+		t.Errorf("precomputed P95 = %g, want %g", ph.P95, want.Quantile(0.95))
+	}
+}
+
+func findHist(t *testing.T, r *obs.Registry, name string) obs.HistSnap {
+	t.Helper()
+	for _, h := range r.Snapshot().Histograms {
+		if h.Name == name {
+			return h
+		}
+	}
+	t.Fatalf("histogram %s not in registry snapshot", name)
+	return obs.HistSnap{}
+}
+
+// TestParsePrometheusMalformed pins the parser's tolerance: unknown
+// lines are skipped, truncated histograms are an error.
+func TestParsePrometheusMalformed(t *testing.T) {
+	snap, err := parsePrometheus(strings.NewReader(
+		"# HELP something\nnot_a_sample\nweird{label=\"x\"} abc\ncdb_ok_total 7\n"))
+	if err != nil {
+		t.Fatalf("tolerant parse failed: %v", err)
+	}
+	if got := snap.scalar("cdb_ok_total"); got != 7 {
+		t.Errorf("cdb_ok_total = %d, want 7", got)
+	}
+
+	_, err = parsePrometheus(strings.NewReader(
+		"# TYPE h histogram\nh_bucket{le=\"0.1\"} 1\nh_sum 0.05\nh_count 1\n"))
+	if err == nil {
+		t.Error("histogram missing its +Inf bucket should fail to parse")
+	}
+}
+
+// TestRenderSnapshot smoke-tests the dashboard rendering: all sections
+// present, quantiles as durations, query rows truncated.
+func TestRenderSnapshot(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("cdb_server_requests_total").Add(10)
+	r.Counter("cdb_server_requests_2xx_total").Add(9)
+	r.Counter("cdb_server_requests_429_total").Add(1)
+	h := r.Histogram("cdb_server_latency_query_seconds", obs.DurationBuckets)
+	h.Observe(0.010)
+	h.Observe(0.020)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := parsePrometheus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &client.QueriesResponse{
+		InFlight: []client.QueryInfo{{
+			ID: 7, RequestID: "req-deadbeef00112233", State: "running",
+			ElapsedMs: 1500, Rounds: 2, Open: 3,
+			Query: strings.Repeat("SELECT * FROM Paper ", 10),
+		}},
+		Recent: []client.QueryInfo{{
+			ID: 6, RequestID: "req-cafe", State: "done", ElapsedMs: 900, Rounds: 1, HITs: 4,
+			Query: "SELECT 1",
+		}},
+	}
+
+	var out bytes.Buffer
+	render(&out, "http://localhost:8080", nil, cur, q, 0)
+	s := out.String()
+	for _, want := range []string{
+		"2xx=9", "429=1", "/v1/query", "in-flight queries (1)", "recent queries (1)",
+		"running", "done", "req-cafe", "…", // truncated long query
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render output missing %q\n%s", want, s)
+		}
+	}
+}

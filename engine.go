@@ -160,6 +160,7 @@ func (f *Future) Result(ctx context.Context) (*Result, error) {
 		Confidence: rep.Confidence,
 	}
 	res.Trace = ans.Trace
+	res.RequestID = ans.RequestID
 	res.Message = fmt.Sprintf("%d answers, %d tasks, %d rounds", len(res.Rows), res.Stats.Tasks, res.Stats.Rounds)
 	if res.Stats.Coalesced+res.Stats.CachedTasks > 0 {
 		res.Message += fmt.Sprintf(" (%d shared)", res.Stats.Coalesced+res.Stats.CachedTasks)
@@ -205,6 +206,31 @@ func (e *Engine) SubmitWithProgress(ctx context.Context, query string, onRound f
 
 // Close stops admission and waits for in-flight queries to finish.
 func (e *Engine) Close() { e.inner.Close() }
+
+// QueryStatus is one query's live (or recently completed) introspection
+// record; see the engine State* constants for the lifecycle. This is
+// the unit cdbd serves on GET /v1/queries and cdbtop renders.
+type QueryStatus = engine.QueryStatus
+
+// QuerySnapshot is a point-in-time view of the engine's query registry:
+// everything in flight (admission order) plus a bounded ring of
+// recently completed queries (most recent first).
+type QuerySnapshot = engine.IntrospectSnapshot
+
+// Query lifecycle states as they appear in QueryStatus.State.
+const (
+	QueryQueued   = engine.StateQueued
+	QueryRunning  = engine.StateRunning
+	QueryDraining = engine.StateDraining
+	QueryDone     = engine.StateDone
+	QueryShared   = engine.StateShared
+	QueryFailed   = engine.StateFailed
+)
+
+// Queries snapshots the engine's query registry without disturbing it —
+// safe to poll while queries run, and during drain (running queries
+// repaint as draining).
+func (e *Engine) Queries() QuerySnapshot { return e.inner.Introspect() }
 
 // EngineStats snapshots the engine's sharing economics: what the
 // fleet asked for, what actually went to the crowd, and what sharing

@@ -30,12 +30,14 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cdb/internal/cost"
 	"cdb/internal/cql"
 	"cdb/internal/crowd"
 	"cdb/internal/exec"
 	"cdb/internal/obs"
+	"cdb/internal/reqid"
 	"cdb/internal/sim"
 	"cdb/internal/table"
 )
@@ -46,6 +48,10 @@ var (
 	mCompleted   = obs.Default.Counter("cdb_engine_queries_completed_total")
 	mRejected    = obs.Default.Counter("cdb_engine_queries_rejected_total")
 	mQueryShared = obs.Default.Counter("cdb_engine_queries_shared_total")
+	// Phase-duration histograms for the engine-owned phases; the
+	// executor owns the round/issue ones (cdb_exec_phase_*).
+	mPhaseParse = obs.Default.Histogram("cdb_engine_phase_parse_seconds", obs.DurationBuckets)
+	mPhasePlan  = obs.Default.Histogram("cdb_engine_phase_plan_seconds", obs.DurationBuckets)
 )
 
 // Sentinel errors returned by Submit.
@@ -100,6 +106,9 @@ type Config struct {
 	// Transitive) for every served query, and publishes the inferred
 	// verdicts into the shared cache for cross-query reuse.
 	Transitive bool
+	// RecentQueries bounds the completed-query ring buffer served by
+	// Introspect (default 64).
+	RecentQueries int
 }
 
 // Engine is a concurrent query-serving layer over one CDB catalog and
@@ -109,6 +118,7 @@ type Engine struct {
 	cfg   Config
 	coal  *coalescer
 	joins *joinCache
+	intr  *introspection
 
 	slots chan struct{} // executing queries
 	admit chan struct{} // executing + queued (admission tickets)
@@ -159,6 +169,7 @@ func New(cfg Config) (*Engine, error) {
 		cfg:         cfg,
 		coal:        newCoalescer(cfg.Seed, cfg.Pool, cfg.CacheSize),
 		joins:       newJoinCache(),
+		intr:        newIntrospection(cfg.RecentQueries),
 		slots:       make(chan struct{}, cfg.MaxInFlight),
 		admit:       make(chan struct{}, cfg.MaxInFlight+cfg.MaxQueue),
 		resInflight: make(map[string]*queryFlight),
@@ -180,6 +191,10 @@ type Answer struct {
 	Report  *exec.Report
 	// Trace is the query's span tree when Config.Tracing is on.
 	Trace *obs.Trace
+	// RequestID is the serving tier's correlation ID the query ran
+	// under (empty without one); per handle even when the Answer rows
+	// are shared.
+	RequestID string
 }
 
 // Handle is the future for one submitted query.
@@ -233,7 +248,9 @@ func (e *Engine) SubmitProgress(ctx context.Context, query string, progress func
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	parseStart := time.Now()
 	st, err := cql.Parse(query)
+	mPhaseParse.Observe(time.Since(parseStart).Seconds())
 	if err != nil {
 		return nil, err
 	}
@@ -264,7 +281,8 @@ func (e *Engine) SubmitProgress(ctx context.Context, query string, progress func
 	e.submitted.Add(1)
 	mSubmitted.Inc()
 	h := &Handle{Query: query, done: make(chan struct{})}
-	go e.serve(ctx, s, h, progress)
+	entry := e.intr.admit(reqid.From(ctx).RequestID, query)
+	go e.serve(ctx, s, h, progress, entry)
 	return h, nil
 }
 
@@ -272,10 +290,23 @@ func (e *Engine) SubmitProgress(ctx context.Context, query string, progress func
 // whole answers with identical statements (cache or in-flight
 // attach), otherwise plan with the shared join cache, execute with
 // the coalescer as resolver, and project the answers.
-func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress func(exec.RoundUpdate)) {
+func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress func(exec.RoundUpdate), entry *queryEntry) {
 	defer e.wg.Done()
 	defer func() { <-e.admit }()
 	defer close(h.done)
+
+	// Retire the registry entry with whatever final state the paths
+	// below chose; deferred last so it runs before h.done closes and a
+	// waiter can observe the query as still in flight.
+	finState := StateFailed
+	var finFill func(*QueryStatus)
+	defer func() {
+		if finState == StateFailed && finFill == nil && h.err != nil {
+			msg := h.err.Error()
+			finFill = func(st *QueryStatus) { st.Err = msg }
+		}
+		e.intr.finish(entry, finState, finFill)
+	}()
 
 	select {
 	case e.slots <- struct{}{}:
@@ -284,6 +315,7 @@ func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress f
 		return
 	}
 	defer func() { <-e.slots }()
+	e.intr.start(entry)
 
 	// Query-level sharing. Safe only because answers are deterministic
 	// in the canonical statement: the cached Answer is bit-identical
@@ -296,9 +328,10 @@ func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress f
 			e.resMu.Lock()
 			if ans, ok := e.results.get(key); ok {
 				e.resMu.Unlock()
-				e.shareAnswer(h, ans)
+				e.shareAnswer(h, ans, entry.req)
 				e.qCached.Add(1)
 				mQueryShared.Inc()
+				finState = StateShared
 				return
 			}
 			owner, ok := e.resInflight[key]
@@ -316,9 +349,10 @@ func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress f
 				return
 			}
 			if owner.ans != nil {
-				e.shareAnswer(h, owner.ans)
+				e.shareAnswer(h, owner.ans, entry.req)
 				e.qAttached.Add(1)
 				mQueryShared.Inc()
+				finState = StateShared
 				return
 			}
 			// The owner failed (its context died, or a planning
@@ -338,6 +372,7 @@ func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress f
 	var tr *obs.Tracer
 	if e.cfg.Tracing {
 		tr = obs.NewTracer(nil)
+		tr.SetRequestID(entry.req)
 		root := tr.Begin(obs.SpanQuery)
 		tr.Mutate(root, func(sp *obs.Span) { sp.Query = h.Query })
 		defer func() {
@@ -348,6 +383,7 @@ func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress f
 		}()
 	}
 
+	planStart := time.Now()
 	planSpan := tr.Begin(obs.SpanPlan)
 	plan, err := exec.BuildPlan(s, e.cfg.Catalog, e.cfg.Oracle, exec.PlanConfig{
 		Sim:     e.cfg.Sim,
@@ -355,6 +391,7 @@ func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress f
 		Joiner:  e.joins.Join,
 	})
 	tr.End(planSpan)
+	mPhasePlan.Observe(time.Since(planStart).Seconds())
 	if err != nil {
 		h.err = err
 		return
@@ -364,6 +401,9 @@ func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress f
 	if s.Budget > 0 {
 		strategy = cost.NewBudget(s.Budget)
 	}
+	// The registry sees every completed round regardless of whether the
+	// submitter asked for progress; the caller's hook (if any) still
+	// runs on the query goroutine afterwards.
 	rep, err := exec.Run(ctx, plan, exec.Options{
 		Strategy:   strategy,
 		Redundancy: e.cfg.Redundancy,
@@ -372,14 +412,19 @@ func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress f
 		Resolver:   e.coal,
 		Transitive: e.cfg.Transitive,
 		Trace:      tr,
-		Progress:   progress,
+		Progress: func(u exec.RoundUpdate) {
+			e.intr.roundDone(entry, u.Round, u.TasksTotal, u.AssignmentsTotal, u.Open)
+			if progress != nil {
+				progress(u)
+			}
+		},
 	})
 	if err != nil {
 		h.err = err
 		return
 	}
 
-	ans := &Answer{Columns: plan.ProjectionColumns(), Report: rep}
+	ans := &Answer{Columns: plan.ProjectionColumns(), Report: rep, RequestID: entry.req}
 	for _, a := range rep.Answers {
 		row, perr := plan.ProjectAnswer(a)
 		if perr != nil {
@@ -394,6 +439,15 @@ func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress f
 	}
 	e.completed.Add(1)
 	mCompleted.Inc()
+	finState = StateDone
+	finFill = func(st *QueryStatus) {
+		st.Rounds = rep.Metrics.Rounds
+		st.Tasks = rep.Metrics.Tasks
+		st.Assignments = rep.Assignments
+		st.HITs = rep.HITs
+		st.Coalesced = rep.Coalesced
+		st.Cached = rep.CachedTasks
+	}
 }
 
 // shareAnswer serves h from a completed identical execution. The
@@ -403,9 +457,10 @@ func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress f
 // charges the full redundancy, so subscribers reusing it keep the
 // virtual-chargeback invariant, and the engine's savings counters
 // absorb the crowd work the share avoided.
-func (e *Engine) shareAnswer(h *Handle, ans *Answer) {
+func (e *Engine) shareAnswer(h *Handle, ans *Answer, req string) {
 	cp := *ans
 	cp.Trace = nil
+	cp.RequestID = req
 	h.ans = &cp
 	e.completed.Add(1)
 	mCompleted.Inc()
@@ -413,6 +468,18 @@ func (e *Engine) shareAnswer(h *Handle, ans *Answer) {
 		e.coal.saved.Add(int64(rep.Assignments))
 		mCoalSaved.Add(int64(rep.Assignments))
 	}
+}
+
+// Introspect snapshots the engine's query registry: every in-flight
+// query (admission order) with its live state, elapsed time and
+// completed-round counters, plus the bounded ring of recently
+// completed queries (most recent first). Once Close has begun, running
+// queries report as draining.
+func (e *Engine) Introspect() IntrospectSnapshot {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	return e.intr.snapshot(closed)
 }
 
 // Close stops admission and waits for every in-flight query to finish.

@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"cdb/internal/cost"
 	"cdb/internal/crowd"
@@ -21,6 +22,11 @@ var (
 	mTasks      = obs.Default.Counter("cdb_exec_tasks_total")
 	mQueryTasks = obs.Default.Histogram("cdb_exec_query_tasks", obs.SizeBuckets)
 	mQueryRnds  = obs.Default.Histogram("cdb_exec_query_rounds", obs.SizeBuckets)
+	// Phase-duration histograms: where a query's wall clock goes. The
+	// round histogram observes each completed crowd round end to end;
+	// issue isolates the task-issue/answer-collection slice of it.
+	mPhaseRound = obs.Default.Histogram("cdb_exec_phase_round_seconds", obs.DurationBuckets)
+	mPhaseIssue = obs.Default.Histogram("cdb_exec_phase_issue_seconds", obs.DurationBuckets)
 )
 
 // QualityMode selects the answer-aggregation machinery.
@@ -284,6 +290,7 @@ func Run(ctx context.Context, p *Plan, opts Options) (*Report, error) {
 			}
 			break
 		}
+		roundStart := time.Now()
 		roundSpan := tr.Begin(obs.SpanRound)
 		validBefore := 0
 		var cacheF0, cacheD0, cacheH0 uint64
@@ -335,6 +342,7 @@ func Run(ctx context.Context, p *Plan, opts Options) (*Report, error) {
 			}
 		}
 
+		issueStart := time.Now()
 		issueSpan := tr.Begin(obs.SpanIssue)
 		var verdicts map[int]bool
 		var roundErr error
@@ -348,6 +356,7 @@ func Run(ctx context.Context, p *Plan, opts Options) (*Report, error) {
 		default:
 			verdicts = rep.crowdsourceMajority(p, batch, opts)
 		}
+		mPhaseIssue.Observe(time.Since(issueStart).Seconds())
 		tr.Mutate(issueSpan, func(s *obs.Span) {
 			s.Tasks = len(batch)
 			s.Asks = rep.Assignments - asksBefore
@@ -440,6 +449,7 @@ func Run(ctx context.Context, p *Plan, opts Options) (*Report, error) {
 			})
 		}
 		tr.End(roundSpan)
+		mPhaseRound.Observe(time.Since(roundStart).Seconds())
 		if opts.Progress != nil {
 			opts.Progress(RoundUpdate{
 				Round:            rounds,

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistSnapQuantile pins the bucket-interpolation estimator against
+// hand-computed values on a tiny layout.
+func TestHistSnapQuantile(t *testing.T) {
+	// Bounds 1, 2, 4 (+Inf implicit); one observation per bucket.
+	h := HistSnap{
+		Bounds: []float64{1, 2, 4},
+		Counts: []int64{1, 1, 1, 1},
+		Count:  4,
+	}
+	cases := []struct{ q, want float64 }{
+		{0.0, 0},   // rank 0 interpolates to the first bucket's floor
+		{0.1, 0.4}, // rank 0.4 → 40% into [0,1)
+		{0.25, 1},  // rank 1 → exactly the first bound
+		{0.5, 2},   // rank 2 → exactly the second bound
+		{0.625, 3}, // rank 2.5 → halfway into [2,4)'s single observation
+		{0.75, 4},  // rank 3 → the last finite bound
+		{1.0, 4},   // +Inf bucket clamps to the highest finite bound
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+// TestHistSnapQuantileEdges pins degenerate inputs: empty histograms,
+// empty buckets, out-of-range q.
+func TestHistSnapQuantileEdges(t *testing.T) {
+	var empty HistSnap
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %g, want 0", got)
+	}
+
+	// A gap: all mass in the last finite bucket.
+	h := HistSnap{
+		Bounds: []float64{1, 2, 4},
+		Counts: []int64{0, 0, 2, 0},
+		Count:  2,
+	}
+	if got := h.Quantile(0.5); math.Abs(got-3) > 1e-12 {
+		t.Errorf("gap Quantile(0.5) = %g, want 3 (midpoint of [2,4))", got)
+	}
+	// q outside [0,1] clamps.
+	if got := h.Quantile(-1); got != h.Quantile(0) {
+		t.Errorf("Quantile(-1) = %g, want clamp to Quantile(0) = %g", got, h.Quantile(0))
+	}
+	if got := h.Quantile(2); got != h.Quantile(1) {
+		t.Errorf("Quantile(2) = %g, want clamp to Quantile(1) = %g", got, h.Quantile(1))
+	}
+}
+
+// TestSnapshotQuantiles checks Snapshot precomputes P50/P95/P99
+// consistently with Quantile.
+func TestSnapshotQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", DurationBuckets)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) * 0.001) // 0..99ms
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histogram count = %d", len(snap.Histograms))
+	}
+	hs := snap.Histograms[0]
+	if hs.P50 != hs.Quantile(0.50) || hs.P95 != hs.Quantile(0.95) || hs.P99 != hs.Quantile(0.99) {
+		t.Errorf("precomputed quantiles diverge: p50=%g p95=%g p99=%g", hs.P50, hs.P95, hs.P99)
+	}
+	if hs.P50 <= 0 || hs.P50 >= hs.P95 || hs.P95 > hs.P99 {
+		t.Errorf("quantile ordering broken: p50=%g p95=%g p99=%g", hs.P50, hs.P95, hs.P99)
+	}
+	// Sanity: the median of 0..99ms must land near 50ms given the
+	// exponential layout (bucket resolution, not exactness).
+	if hs.P50 < 0.03 || hs.P50 > 0.08 {
+		t.Errorf("p50 = %g, want ~0.05 within bucket resolution", hs.P50)
+	}
+}

@@ -209,13 +209,57 @@ type GaugeSnap struct {
 }
 
 // HistSnap is one histogram in a Snapshot. Counts has one more entry
-// than Bounds (the +Inf bucket).
+// than Bounds (the +Inf bucket). P50/P95/P99 are the bucket-estimated
+// latency quantiles (see Quantile) so dashboards and cdbtop read SLO
+// numbers straight off the snapshot instead of re-deriving them.
 type HistSnap struct {
 	Name   string    `json:"name"`
 	Bounds []float64 `json:"bounds"`
 	Counts []int64   `json:"counts"`
 	Count  int64     `json:"count"`
 	Sum    float64   `json:"sum"`
+	P50    float64   `json:"p50"`
+	P95    float64   `json:"p95"`
+	P99    float64   `json:"p99"`
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket
+// counts, Prometheus histogram_quantile style: find the bucket the
+// rank falls into, then interpolate linearly inside it (the first
+// bucket interpolates from 0). Observations in the +Inf bucket clamp
+// to the highest finite bound — a histogram can't honestly claim more
+// than its layout resolves. Returns 0 for an empty histogram.
+func (h HistSnap) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 || len(h.Counts) != len(h.Bounds)+1 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := int64(0)
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(h.Bounds) { // +Inf bucket
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		inBucket := rank - float64(cum-c)
+		return lo + (hi-lo)*(inBucket/float64(c))
+	}
+	return h.Bounds[len(h.Bounds)-1]
 }
 
 // Snapshot is a point-in-time copy of a registry, sorted by name for
@@ -240,13 +284,15 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	hists := make([]HistSnap, 0, len(r.hists))
 	for name, h := range r.hists {
-		hists = append(hists, HistSnap{
+		hs := HistSnap{
 			Name:   name,
 			Bounds: h.Bounds(),
 			Counts: h.BucketCounts(),
 			Count:  h.Count(),
 			Sum:    h.Sum(),
-		})
+		}
+		hs.P50, hs.P95, hs.P99 = hs.Quantile(0.50), hs.Quantile(0.95), hs.Quantile(0.99)
+		hists = append(hists, hs)
 	}
 	r.mu.Unlock()
 	sort.Slice(counters, func(i, j int) bool { return counters[i].Name < counters[j].Name })

@@ -48,6 +48,7 @@ const (
 // when zero.
 type Span struct {
 	Trace  uint64 `json:"trace"`            // trace (query) identity
+	Req    string `json:"req,omitempty"`    // request correlation ID (serving tier)
 	ID     int    `json:"id"`               // dense per-trace span id
 	Parent int    `json:"parent"`           // parent span id, -1 for the root
 	Name   string `json:"name"`             // one of the Span* constants
@@ -99,6 +100,7 @@ var traceIDs atomic.Uint64
 type Tracer struct {
 	mu    sync.Mutex
 	id    uint64
+	req   string // request correlation ID stamped on every span
 	t0    time.Time
 	spans []Span // by span id; Dur < 0 while still open
 	stack []SpanID
@@ -121,6 +123,22 @@ func (t *Tracer) TraceID() uint64 {
 
 func (t *Tracer) now() int64 { return time.Since(t.t0).Microseconds() }
 
+// SetRequestID attaches the serving tier's request-correlation ID to
+// this trace: every span already recorded and every span yet to come
+// carries it, so the JSONL lines of one request are joinable by ID
+// across processes. Nil-safe like every Tracer method.
+func (t *Tracer) SetRequestID(id string) {
+	if t == nil || id == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.req = id
+	for i := range t.spans {
+		t.spans[i].Req = id
+	}
+}
+
 // Begin opens a span named name as a child of the current innermost
 // open span and returns its id.
 func (t *Tracer) Begin(name string) SpanID {
@@ -136,6 +154,7 @@ func (t *Tracer) Begin(name string) SpanID {
 	id := SpanID(len(t.spans))
 	t.spans = append(t.spans, Span{
 		Trace:  t.id,
+		Req:    t.req,
 		ID:     int(id),
 		Parent: parent,
 		Name:   name,
@@ -203,6 +222,7 @@ func (t *Tracer) Event(name string, f func(*Span)) {
 	}
 	sp := Span{
 		Trace:  t.id,
+		Req:    t.req,
 		ID:     len(t.spans),
 		Parent: parent,
 		Name:   name,
@@ -233,7 +253,7 @@ func (t *Tracer) Finish() *Trace {
 		t.End(root)
 		t.mu.Lock()
 	}
-	tr := &Trace{TraceID: t.id, Spans: t.spans}
+	tr := &Trace{TraceID: t.id, RequestID: t.req, Spans: t.spans}
 	t.spans = nil
 	t.mu.Unlock()
 	return tr
@@ -243,7 +263,11 @@ func (t *Tracer) Finish() *Trace {
 // tracing is enabled.
 type Trace struct {
 	TraceID uint64
-	Spans   []Span
+	// RequestID is the serving tier's correlation ID when the query
+	// arrived through cdbd (or the submitter set one); also stamped on
+	// every span.
+	RequestID string
+	Spans     []Span
 }
 
 // ByName returns the spans with the given name, in begin order.

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// QueryLogEntry is one line of the structured query log: everything an
+// operator needs to find, explain and re-run one query after the fact.
+// The RequestID is the join key against client logs, trace spans
+// (Span.Req) and the access log.
+type QueryLogEntry struct {
+	// TS is the completion time, RFC3339 with nanoseconds, UTC.
+	TS string `json:"ts"`
+	// RequestID is the correlation ID the request ran under.
+	RequestID string `json:"request_id,omitempty"`
+	// Endpoint is "query" or "stream".
+	Endpoint string `json:"endpoint"`
+	// Query is the submitted CQL text.
+	Query string `json:"query"`
+	// Status is the HTTP status the request resolved to (for streams,
+	// the status the terminal event maps to).
+	Status int `json:"status"`
+	// LatencyMs is submission-to-response time.
+	LatencyMs int64 `json:"latency_ms"`
+	// Rounds..HITs are the query's final crowd economics (success only).
+	Rounds      int `json:"rounds,omitempty"`
+	Tasks       int `json:"tasks,omitempty"`
+	Assignments int `json:"assignments,omitempty"`
+	HITs        int `json:"hits,omitempty"`
+	// Partial and Reason mirror Stats.Partial: the query returned a
+	// degraded answer and why (deadline, budget, ...).
+	Partial bool   `json:"partial,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+	// Error is the failure message for non-2xx outcomes.
+	Error string `json:"error,omitempty"`
+}
+
+// QueryLog appends JSONL QueryLogEntry lines to a writer, keeping only
+// queries at or above a slowness threshold. A nil *QueryLog discards
+// everything, so handlers call Record unconditionally.
+type QueryLog struct {
+	mu   sync.Mutex
+	w    io.Writer
+	slow time.Duration
+	err  error
+}
+
+// NewQueryLog logs queries whose latency is >= slow to w. A zero slow
+// threshold logs every query — the "structured access log for queries"
+// mode; a nil w (like a nil log) discards.
+func NewQueryLog(w io.Writer, slow time.Duration) *QueryLog {
+	return &QueryLog{w: w, slow: slow}
+}
+
+// Record appends entry if latency clears the slowness threshold. The
+// entry's TS and LatencyMs are stamped here so call sites only fill the
+// query-shaped fields. Nil-safe; write failures are retained (Err), not
+// allowed to fail the request.
+func (l *QueryLog) Record(entry QueryLogEntry, latency time.Duration) {
+	if l == nil || l.w == nil || latency < l.slow {
+		return
+	}
+	entry.TS = time.Now().UTC().Format(time.RFC3339Nano)
+	entry.LatencyMs = latency.Milliseconds()
+	line, err := json.Marshal(entry)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	if _, werr := l.w.Write(line); werr != nil && l.err == nil {
+		l.err = werr
+	}
+	l.mu.Unlock()
+}
+
+// Err returns the first write failure, if any.
+func (l *QueryLog) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}

@@ -28,16 +28,58 @@ import (
 	"cdb"
 	"cdb/client"
 	"cdb/internal/obs"
+	"cdb/internal/reqid"
 )
 
-// Server metrics.
+// Server metrics. Requests are counted overall and by status class
+// (429 split out from the rest of 4xx because shed-by-backpressure and
+// caller-error are different operational signals), and each endpoint
+// gets its own end-to-end latency histogram — the RED triple an SLO is
+// written against.
 var (
 	mRequests  = obs.Default.Counter("cdb_server_requests_total")
+	mReq2xx    = obs.Default.Counter("cdb_server_requests_2xx_total")
+	mReq4xx    = obs.Default.Counter("cdb_server_requests_4xx_total")
+	mReq429    = obs.Default.Counter("cdb_server_requests_429_total")
+	mReq5xx    = obs.Default.Counter("cdb_server_requests_5xx_total")
 	mQueries   = obs.Default.Counter("cdb_server_queries_total")
 	mStreams   = obs.Default.Counter("cdb_server_streams_total")
 	mShed      = obs.Default.Counter("cdb_server_shed_total")
 	mDrainShed = obs.Default.Counter("cdb_server_drain_shed_total")
+
+	mLatQuery   = obs.Default.Histogram("cdb_server_latency_query_seconds", obs.DurationBuckets)
+	mLatStream  = obs.Default.Histogram("cdb_server_latency_stream_seconds", obs.DurationBuckets)
+	mLatTables  = obs.Default.Histogram("cdb_server_latency_tables_seconds", obs.DurationBuckets)
+	mLatQueries = obs.Default.Histogram("cdb_server_latency_queries_seconds", obs.DurationBuckets)
+	mLatOther   = obs.Default.Histogram("cdb_server_latency_other_seconds", obs.DurationBuckets)
 )
+
+func countStatus(code int) {
+	switch {
+	case code < 300:
+		mReq2xx.Inc()
+	case code == http.StatusTooManyRequests:
+		mReq429.Inc()
+	case code >= 400 && code < 500:
+		mReq4xx.Inc()
+	case code >= 500:
+		mReq5xx.Inc()
+	}
+}
+
+func latencyFor(path string) *obs.Histogram {
+	switch path {
+	case "/v1/query":
+		return mLatQuery
+	case "/v1/query/stream":
+		return mLatStream
+	case "/v1/tables":
+		return mLatTables
+	case "/v1/queries":
+		return mLatQueries
+	}
+	return mLatOther
+}
 
 // Config assembles a Server.
 type Config struct {
@@ -52,6 +94,9 @@ type Config struct {
 	// RetryAfter is the backoff hint attached to 429 and 503 responses
 	// (header and payload). Zero means 1s.
 	RetryAfter time.Duration
+	// QueryLog receives one JSONL line per completed query at or above
+	// its slowness threshold; nil disables.
+	QueryLog *QueryLog
 }
 
 // Server is the HTTP serving layer. Create with New, expose with
@@ -61,6 +106,7 @@ type Server struct {
 	engine     *cdb.Engine
 	log        *log.Logger
 	retryAfter time.Duration
+	qlog       *QueryLog
 	mux        *http.ServeMux
 	draining   atomic.Bool
 }
@@ -81,11 +127,13 @@ func New(cfg Config) (*Server, error) {
 		engine:     cfg.Engine,
 		log:        cfg.Logger,
 		retryAfter: cfg.RetryAfter,
+		qlog:       cfg.QueryLog,
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/query/stream", s.handleStream)
 	s.mux.HandleFunc("/v1/tables", s.handleTables)
+	s.mux.HandleFunc("/v1/queries", s.handleQueries)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	debug := obs.NewServeMux(obs.Default)
 	s.mux.Handle("/metrics", debug)
@@ -97,14 +145,37 @@ type nopWriter struct{}
 
 func (nopWriter) Write(p []byte) (int, error) { return len(p), nil }
 
-// Handler returns the server's root handler.
+// Handler returns the server's root handler. It wraps every route in
+// the correlation middleware: the request's X-CDB-Request-ID is
+// sanitized (or minted when absent), echoed on the response, and
+// attached to the request context so it reaches the engine, every trace
+// span, and the query log. An incoming W3C traceparent is continued
+// (same trace ID, fresh parent span ID) or a new trace is started; the
+// resulting traceparent is echoed too. The middleware also keeps the
+// RED accounting: request counters by status class and per-endpoint
+// end-to-end latency histograms.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		mRequests.Inc()
 		start := time.Now()
+		cor := reqid.Correlation{RequestID: reqid.Sanitize(r.Header.Get(client.HeaderRequestID))}
+		if cor.RequestID == "" {
+			cor.RequestID = reqid.New()
+		}
+		if tp, ok := reqid.ParseTraceParent(r.Header.Get(client.HeaderTraceParent)); ok {
+			cor.TraceParent = tp.Child().String()
+		} else {
+			cor.TraceParent = reqid.NewTraceParent().String()
+		}
+		w.Header().Set(client.HeaderRequestID, cor.RequestID)
+		w.Header().Set(client.HeaderTraceParent, cor.TraceParent)
+		r = r.WithContext(reqid.With(r.Context(), cor))
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		s.mux.ServeHTTP(sw, r)
-		s.log.Printf("%s %s -> %d (%s)", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		countStatus(sw.status)
+		latencyFor(r.URL.Path).Observe(elapsed.Seconds())
+		s.log.Printf("%s %s %s -> %d (%s)", cor.RequestID, r.Method, r.URL.Path, sw.status, elapsed.Round(time.Millisecond))
 	})
 }
 
@@ -181,9 +252,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := queryContext(r, req)
 	defer cancel()
+	start := time.Now()
 	fut, err := s.engine.Submit(ctx, req.Query)
 	if err != nil {
 		s.writeMappedError(w, err)
+		s.logQuery("query", r, req.Query, nil, err, time.Since(start))
 		return
 	}
 	// Wait on a background context: the Submit ctx still governs the
@@ -193,9 +266,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	res, err := fut.Result(context.Background())
 	if err != nil {
 		s.writeMappedError(w, err)
+		s.logQuery("query", r, req.Query, nil, err, time.Since(start))
 		return
 	}
 	s.writeJSON(w, http.StatusOK, res)
+	s.logQuery("query", r, req.Query, res, nil, time.Since(start))
+}
+
+// logQuery records one completed query into the structured query log,
+// deriving the terminal status and economics from the result or error.
+func (s *Server) logQuery(endpoint string, r *http.Request, query string, res *cdb.Result, err error, latency time.Duration) {
+	entry := QueryLogEntry{
+		RequestID: reqid.From(r.Context()).RequestID,
+		Endpoint:  endpoint,
+		Query:     query,
+		Status:    http.StatusOK,
+	}
+	if err != nil {
+		entry.Status, _ = mapError(err, s.retryAfter)
+		entry.Error = err.Error()
+	} else if res != nil {
+		entry.Rounds = res.Stats.Rounds
+		entry.Tasks = res.Stats.Tasks
+		entry.Assignments = res.Stats.Assignments
+		entry.HITs = res.Stats.HITs
+		entry.Partial = res.Stats.Partial
+		entry.Reason = res.Stats.Reason
+	}
+	s.qlog.Record(entry, latency)
 }
 
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
@@ -219,6 +317,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := queryContext(r, req)
 	defer cancel()
+	start := time.Now()
 
 	// The progress hook runs on the query goroutine; hand updates to
 	// the handler goroutine through a channel. Sends block rather than
@@ -233,6 +332,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil {
 		s.writeMappedError(w, err)
+		s.logQuery("stream", r, req.Query, nil, err, time.Since(start))
 		return
 	}
 
@@ -273,6 +373,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			} else {
 				emit(client.StreamEvent{Type: client.EventResult, Result: res})
 			}
+			s.logQuery("stream", r, req.Query, res, err, time.Since(start))
 			return
 		}
 	}
@@ -284,6 +385,47 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, client.TablesResponse{Tables: s.db.TableNames()})
+}
+
+// handleQueries serves the live query table. It is deliberately not
+// behind shedIfDraining: watching the drain progress is exactly when an
+// operator needs it most.
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, &client.ErrorPayload{Code: client.CodeBadRequest, Message: "GET only"})
+		return
+	}
+	snap := s.engine.Queries()
+	resp := client.QueriesResponse{
+		InFlight: make([]client.QueryInfo, 0, len(snap.InFlight)),
+		Recent:   make([]client.QueryInfo, 0, len(snap.Recent)),
+	}
+	for _, st := range snap.InFlight {
+		resp.InFlight = append(resp.InFlight, queryInfo(st))
+	}
+	for _, st := range snap.Recent {
+		resp.Recent = append(resp.Recent, queryInfo(st))
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// queryInfo maps the engine's introspection record onto the wire form.
+func queryInfo(st cdb.QueryStatus) client.QueryInfo {
+	return client.QueryInfo{
+		ID:          st.ID,
+		RequestID:   st.RequestID,
+		Query:       st.Statement,
+		State:       st.State,
+		ElapsedMs:   st.ElapsedMs,
+		Rounds:      st.Rounds,
+		Tasks:       st.Tasks,
+		Assignments: st.Assignments,
+		Open:        st.Open,
+		HITs:        st.HITs,
+		Coalesced:   st.Coalesced,
+		Cached:      st.Cached,
+		Error:       st.Err,
+	}
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {

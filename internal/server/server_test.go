@@ -93,6 +93,9 @@ func TestServerDeterminism(t *testing.T) {
 			t.Fatalf("query %d: %v", i, err)
 		}
 		got.Trace, want[i].Trace = nil, nil
+		// The server mints a fresh correlation ID per request; identity
+		// lives outside the determinism contract.
+		got.RequestID, want[i].RequestID = "", ""
 		if !reflect.DeepEqual(got, want[i]) {
 			t.Errorf("query %d: server-mediated result differs from in-process\ngot  %+v\nwant %+v", i, got, want[i])
 		}

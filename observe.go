@@ -1,9 +1,14 @@
 package cdb
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"strings"
+	"time"
 
 	"cdb/internal/obs"
+	"cdb/internal/reqid"
 )
 
 // Observability surface. The heavy lifting lives in internal/obs; the
@@ -70,6 +75,60 @@ func Metrics() *MetricsRegistry { return obs.Default }
 // WriteMetrics writes the current metric values to w in Prometheus
 // text exposition format (version 0.0.4).
 func WriteMetrics(w io.Writer) error { return obs.Default.WritePrometheus(w) }
+
+// WriteMetricsSummary writes a human-oriented rendering of the current
+// metrics: counters and gauges one per line, histograms as
+// count/p50/p95/p99/mean instead of raw cumulative buckets. Histograms
+// named *_seconds render their quantiles as durations. This is what
+// cdbsh's \metrics prints — an operator wants latency quantiles, not
+// twenty bucket counters.
+func WriteMetricsSummary(w io.Writer) error {
+	snap := obs.Default.Snapshot()
+	for _, c := range snap.Counters {
+		if _, err := fmt.Fprintf(w, "%-46s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range snap.Gauges {
+		if _, err := fmt.Fprintf(w, "%-46s %d\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range snap.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		val := func(v float64) string {
+			if strings.HasSuffix(h.Name, "_seconds") {
+				return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+			}
+			return fmt.Sprintf("%.4g", v)
+		}
+		mean := h.Sum / float64(h.Count)
+		if _, err := fmt.Fprintf(w, "%-46s count=%d p50=%s p95=%s p99=%s mean=%s\n",
+			h.Name, h.Count, val(h.P50), val(h.P95), val(h.P99), val(mean)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ContextWithRequestID attaches a request-correlation ID to ctx.
+// Queries submitted (or client requests issued) under the returned
+// context carry the ID end to end: cdbd echoes it on the response,
+// stamps it on every trace span, and writes it to the query log — the
+// key that joins one request's artifacts across processes.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	c := reqid.From(ctx)
+	c.RequestID = reqid.Sanitize(id)
+	return reqid.With(ctx, c)
+}
+
+// RequestIDFromContext extracts the request-correlation ID from ctx
+// ("" when none is attached).
+func RequestIDFromContext(ctx context.Context) string {
+	return reqid.From(ctx).RequestID
+}
 
 // ServeMetrics starts an HTTP listener on addr (":0" picks a free
 // port) exposing /metrics (Prometheus text), /debug/vars (expvar) and

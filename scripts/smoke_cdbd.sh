@@ -1,20 +1,30 @@
 #!/usr/bin/env bash
-# Smoke-test the cdbd serving stack end to end: build server and shell,
-# run three queries through the typed client, then SIGTERM the server
-# mid-query and assert the in-flight stream still completes with its
-# result before the process exits cleanly.
+# Smoke-test the cdbd serving stack end to end: build server, shell and
+# dashboard, round-trip a request ID (header -> result body -> query
+# log), run three queries through the typed client, watch an in-flight
+# stream in /v1/queries, then SIGTERM the server mid-query and assert
+# the stream still completes with its result before the process exits
+# cleanly. All logs land under a temp dir (override with CDBD_LOG /
+# CDBD_QUERY_LOG), never in the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ADDR=${CDBD_ADDR:-127.0.0.1:8099}
-LOG=${CDBD_LOG:-cdbd-smoke.log}
+SMOKE_DIR=$(mktemp -d "${TMPDIR:-/tmp}/cdbd-smoke.XXXXXX")
+LOG=${CDBD_LOG:-$SMOKE_DIR/cdbd-smoke.log}
+QLOG=${CDBD_QUERY_LOG:-$SMOKE_DIR/cdbd-queries.jsonl}
 BIN=${CDBD_BIN:-./bin}
 
 mkdir -p "$BIN"
 go build -o "$BIN/cdbd" ./cmd/cdbd
 go build -o "$BIN/cdbsh" ./cmd/cdbsh
+go build -o "$BIN/cdbtop" ./cmd/cdbtop
 
-"$BIN/cdbd" -addr "$ADDR" -dataset example -seed 7 -workers 30 -accuracy 0.9 2>"$LOG" &
+# Large paper dataset with extra redundancy: the 3-way join below runs
+# ~1s over 3 crowd rounds, a wide enough window for the mid-stream
+# introspection poll to observe it in flight.
+"$BIN/cdbd" -addr "$ADDR" -dataset paper -scale 0.8 -seed 7 -workers 30 -accuracy 0.9 \
+  -redundancy 15 -query-log "$QLOG" -slow-query-ms 0 2>"$LOG" &
 SRV=$!
 cleanup() { kill "$SRV" 2>/dev/null || true; }
 trap cleanup EXIT
@@ -29,21 +39,50 @@ echo "== catalog =="
 curl -sf "http://$ADDR/v1/tables"
 echo
 
+echo "== request-ID round trip: header -> result body -> query log =="
+RID="smoke-rid-$$"
+HDRS="$SMOKE_DIR/headers.txt"
+RES=$(curl -sf -D "$HDRS" -H "X-CDB-Request-ID: $RID" -XPOST "http://$ADDR/v1/query" \
+  -d '{"query":"SELECT Paper.title FROM Paper WHERE Paper.conference CROWDEQUAL \"sigmod\";"}')
+grep -qi "x-cdb-request-id: $RID" "$HDRS" || { echo "response did not echo the request ID"; cat "$HDRS"; exit 1; }
+echo "$RES" | grep -q "\"request_id\":\"$RID\"" || { echo "result body missing request_id"; echo "$RES" | head -c 400; exit 1; }
+grep -q "$RID" "$QLOG" || { echo "query log missing the request ID"; cat "$QLOG"; exit 1; }
+
 echo "== three queries over cdbsh -connect (typed client + streaming) =="
 "$BIN/cdbsh" -connect "$ADDR" <<'EOF'
 SELECT * FROM Paper, Researcher WHERE Paper.author CROWDJOIN Researcher.name;
 SELECT * FROM Paper, Citation WHERE Paper.title CROWDJOIN Citation.title;
-SELECT * FROM Researcher, University WHERE Researcher.affiliation CROWDJOIN University.name;
+SELECT Paper.author FROM Paper WHERE Paper.conference CROWDEQUAL "icde";
 \quit
 EOF
 
-echo "== SIGTERM mid-query: in-flight stream must still finish =="
-STREAM_OUT=$(mktemp)
+echo "== cdbtop -once against the live server =="
+TOP=$("$BIN/cdbtop" -addr "$ADDR" -once)
+echo "$TOP" | grep -q "requests" || { echo "cdbtop missing request counters"; echo "$TOP"; exit 1; }
+echo "$TOP" | grep -q "recent queries" || { echo "cdbtop missing the recent-query table"; echo "$TOP"; exit 1; }
+
+echo "== mid-stream introspection, then SIGTERM: stream must still finish =="
+STREAM_OUT="$SMOKE_DIR/stream.ndjson"
 curl -sN -XPOST "http://$ADDR/v1/query/stream" \
   -d '{"query":"SELECT Paper.title, Researcher.name FROM Paper, Researcher, Citation WHERE Paper.author CROWDJOIN Researcher.name AND Paper.title CROWDJOIN Citation.title;"}' \
   >"$STREAM_OUT" &
 CURL=$!
-sleep 0.05
+
+# While the stream runs, /v1/queries must show it in flight with at
+# least one completed crowd round.
+SAW_INFLIGHT=0
+for _ in $(seq 1 500); do
+  kill -0 "$CURL" 2>/dev/null || break
+  Q=$(curl -sf "http://$ADDR/v1/queries" || true)
+  INFLIGHT=${Q%%\"recent\"*}
+  if echo "$INFLIGHT" | grep -q '"state":"running"' && echo "$INFLIGHT" | grep -Eq '"rounds":[1-9]'; then
+    SAW_INFLIGHT=1
+    break
+  fi
+  sleep 0.02
+done
+[ "$SAW_INFLIGHT" = 1 ] || { echo "/v1/queries never showed the in-flight stream with a completed round"; exit 1; }
+
 kill -TERM "$SRV"
 
 if ! wait "$CURL"; then
@@ -56,10 +95,11 @@ if ! wait "$SRV"; then
 fi
 trap - EXIT
 grep -q 'drained cleanly' "$LOG" || { echo "missing clean-drain log line"; cat "$LOG"; exit 1; }
+grep -q '"endpoint":"stream"' "$QLOG" || { echo "query log missing the stream entry"; cat "$QLOG"; exit 1; }
 
 echo "== post-drain: new connections are refused =="
 if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then
   echo "server still serving after drain"; exit 1
 fi
 
-echo "smoke: OK"
+echo "smoke: OK (logs in $SMOKE_DIR)"

@@ -56,6 +56,7 @@ func TestResultWireSchema(t *testing.T) {
 			{Crowd: 4, Inferred: 2, Prior: 1},
 			{Crowd: 3},
 		},
+		RequestID: "req-0123456789abcdef",
 	}
 	got, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
