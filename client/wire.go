@@ -64,16 +64,43 @@ type QueryInfo struct {
 	HITs      int `json:"hits,omitempty"`
 	Coalesced int `json:"coalesced,omitempty"`
 	Cached    int `json:"cached,omitempty"`
+	// Ledger counts tasks served from the durable crowd-work ledger —
+	// paid for before a restart, re-issued zero times (completed
+	// queries only; absent when the server runs without -ledger-dir).
+	Ledger int `json:"ledger,omitempty"`
 	// Error is the failure message (state "failed" only).
 	Error string `json:"error,omitempty"`
 }
 
+// LedgerInfo is the server-wide durability summary on GET /v1/queries:
+// what the crowd-work ledger holds, what it replayed at boot, and how
+// much of this session's traffic the replayed work served.
+type LedgerInfo struct {
+	// Replayed is the records applied from disk at boot; TornTruncated
+	// counts torn WAL tails cut at the last valid CRC frame on the way.
+	Replayed      int64 `json:"replayed"`
+	TornTruncated int64 `json:"torn_truncated,omitempty"`
+	// Appended / Compactions count records logged and snapshot
+	// compactions since boot.
+	Appended    int64 `json:"appended"`
+	Compactions int64 `json:"compactions,omitempty"`
+	// Hits is the session traffic served from replayed verdicts — paid
+	// crowd work that was not re-issued.
+	Hits int64 `json:"hits"`
+	// Verdicts / Statements / Answers are the durable contents.
+	Verdicts   int `json:"verdicts"`
+	Statements int `json:"statements"`
+	Answers    int `json:"answers"`
+}
+
 // QueriesResponse is the body of GET /v1/queries: the live query table
 // (admission order) plus recently completed queries (most recent
-// first).
+// first). Ledger is present only when the server runs a crowd-work
+// ledger (-ledger-dir).
 type QueriesResponse struct {
 	InFlight []QueryInfo `json:"in_flight"`
 	Recent   []QueryInfo `json:"recent"`
+	Ledger   *LedgerInfo `json:"ledger,omitempty"`
 }
 
 // Error codes carried by ErrorPayload.Code. They are the wire-stable

@@ -52,6 +52,9 @@ func main() {
 		verdictLRU  = flag.Int("verdict-cache", 4096, "shared verdict cache entries")
 		resultLRU   = flag.Int("result-cache", 256, "whole-answer cache entries (negative disables)")
 
+		ledgerDir = flag.String("ledger-dir", "", "durable crowd-work ledger directory: paid verdicts survive restarts and are replayed on boot (empty disables)")
+		fsyncPol  = flag.String("fsync", "interval", "ledger durability policy: always, interval or never")
+
 		retryAfter   = flag.Duration("retry-after", time.Second, "backoff hint on 429/503 responses")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for connection shutdown after the engine drains")
 
@@ -85,14 +88,24 @@ func main() {
 	if err != nil {
 		logger.Fatalf("config: %v", err)
 	}
-	engine, err := db.NewEngine(
+	engineOpts := []cdb.EngineOption{
 		cdb.WithMaxInFlight(*maxInFlight),
 		cdb.WithMaxQueue(*maxQueue),
 		cdb.WithVerdictCache(*verdictLRU),
 		cdb.WithResultCache(*resultLRU),
-	)
+	}
+	if *ledgerDir != "" {
+		engineOpts = append(engineOpts,
+			cdb.WithLedgerDir(*ledgerDir),
+			cdb.WithLedgerFsync(*fsyncPol))
+	}
+	engine, err := db.NewEngine(engineOpts...)
 	if err != nil {
 		logger.Fatalf("engine: %v", err)
+	}
+	if ls := engine.LedgerStats(); ls.Enabled {
+		logger.Printf("ledger: replayed %d records from %s (%d verdicts, %d statements, %d answers; torn tails truncated: %d; fsync=%s)",
+			ls.Replayed, *ledgerDir, ls.Verdicts, ls.Statements, ls.Answers, ls.TornTruncations, *fsyncPol)
 	}
 
 	srv, err := server.New(server.Config{
@@ -117,7 +130,14 @@ func main() {
 		// Drain ordering: stop admitting and wait for every accepted
 		// query first, so their handlers finish writing; only then
 		// close the listener and linger for the final response bytes.
+		// Engine.Close (inside Drain) flushes and syncs the ledger
+		// after the last query, so every paid verdict is durable
+		// before the process exits.
 		srv.Drain()
+		if ls := engine.LedgerStats(); ls.Enabled {
+			logger.Printf("ledger: synced and closed (%d records appended this session, %d replay hits, %d compactions)",
+				ls.Appended, ls.Hits, ls.Compactions)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {

@@ -11,6 +11,7 @@
 //	\tables          list tables
 //	\dump <table>    print a table (local mode)
 //	\metrics         print the process metrics (quantile summary)
+//	\ledger          durable crowd-work ledger counters (remote mode)
 //	\quit            exit
 //
 // In remote mode every SELECT runs over cdbd's streaming endpoint, so
@@ -152,6 +153,8 @@ func command(db *cdb.DB, cmd string) bool {
 		if err := cdb.WriteMetricsSummary(os.Stdout); err != nil {
 			fmt.Println("error:", err)
 		}
+	case "\\ledger":
+		fmt.Println("the crowd-work ledger lives in the serving engine: run cdbd with -ledger-dir and use \\ledger from cdbsh -connect")
 	case "\\dump":
 		if len(fields) < 2 {
 			fmt.Println("usage: \\dump <table>")
@@ -164,7 +167,7 @@ func command(db *cdb.DB, cmd string) bool {
 		}
 		printGrid(rows)
 	default:
-		fmt.Println("unknown command; try \\tables, \\dump <table>, \\meta, \\metrics, \\quit")
+		fmt.Println("unknown command; try \\tables, \\dump <table>, \\meta, \\metrics, \\ledger, \\quit")
 	}
 	return true
 }
@@ -251,8 +254,23 @@ func remoteCommand(ctx context.Context, c *client.Client, cmd string) bool {
 			break
 		}
 		fmt.Println(strings.Join(tables, ", "))
+	case "\\ledger":
+		resp, err := c.Queries(ctx)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		l := resp.Ledger
+		if l == nil {
+			fmt.Println("no ledger: the server runs without -ledger-dir")
+			break
+		}
+		fmt.Printf("ledger: %d verdicts, %d statements, %d answers durable\n", l.Verdicts, l.Statements, l.Answers)
+		fmt.Printf("        replayed %d records at boot (%d torn tails truncated)\n", l.Replayed, l.TornTruncated)
+		fmt.Printf("        appended %d this session, %d compactions, %d replay hits (paid HIT work not re-issued)\n",
+			l.Appended, l.Compactions, l.Hits)
 	default:
-		fmt.Println("unknown remote command; try \\tables, \\quit")
+		fmt.Println("unknown remote command; try \\tables, \\ledger, \\quit")
 	}
 	return true
 }

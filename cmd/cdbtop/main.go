@@ -2,9 +2,10 @@
 // operator's live view of the serving layer. It polls /metrics
 // (Prometheus text) and /v1/queries (the engine's query registry) and
 // renders request rates by status class, per-endpoint latency
-// quantiles, execution-phase timings, and the live query table — the
-// queued/running/draining queries with their crowd-round progress,
-// plus the most recently completed ones.
+// quantiles, execution-phase timings, crowd-work-ledger durability
+// counters (when the server runs -ledger-dir), and the live query
+// table — the queued/running/draining queries with their crowd-round
+// progress, plus the most recently completed ones.
 //
 //	cdbtop -addr localhost:8080
 //	cdbtop -addr localhost:8080 -interval 1s
@@ -137,11 +138,17 @@ func render(w io.Writer, base string, prev, cur *metricsSnapshot, q *client.Quer
 		cur.scalar("cdb_server_requests_5xx_total"),
 		cur.scalar("cdb_server_shed_total"),
 		cur.scalar("cdb_server_drain_shed_total"))
-	fmt.Fprintf(w, "engine    in-flight=%d queued=%d  queries=%d streams=%d\n\n",
+	fmt.Fprintf(w, "engine    in-flight=%d queued=%d  queries=%d streams=%d\n",
 		cur.scalar("cdb_engine_inflight"),
 		cur.scalar("cdb_engine_queued"),
 		cur.scalar("cdb_server_queries_total"),
 		cur.scalar("cdb_server_streams_total"))
+	if l := q.Ledger; l != nil {
+		fmt.Fprintf(w, "ledger    verdicts=%d stmts=%d answers=%d  replayed=%d appended=%d compactions=%d  hits=%d torn=%d\n",
+			l.Verdicts, l.Statements, l.Answers,
+			l.Replayed, l.Appended, l.Compactions, l.Hits, l.TornTruncated)
+	}
+	fmt.Fprintln(w)
 
 	fmt.Fprintf(w, "%-18s %8s %10s %10s %10s\n", "endpoint", "count", "p50", "p95", "p99")
 	for _, e := range endpoints {
@@ -177,10 +184,10 @@ func render(w io.Writer, base string, prev, cur *metricsSnapshot, q *client.Quer
 	}
 	fmt.Fprintf(w, "\nrecent queries (%d)\n", len(q.Recent))
 	if len(recent) > 0 {
-		fmt.Fprintf(w, "%4s %-9s %9s %6s %6s %-18s %s\n", "id", "state", "elapsed", "rounds", "hits", "request", "query")
+		fmt.Fprintf(w, "%4s %-9s %9s %6s %6s %6s %-18s %s\n", "id", "state", "elapsed", "rounds", "hits", "ledger", "request", "query")
 		for _, qi := range recent {
-			fmt.Fprintf(w, "%4d %-9s %9s %6d %6d %-18s %s\n",
-				qi.ID, qi.State, fmtMs(qi.ElapsedMs), qi.Rounds, qi.HITs, trunc(qi.RequestID, 18), trunc(qi.Query, 48))
+			fmt.Fprintf(w, "%4d %-9s %9s %6d %6d %6d %-18s %s\n",
+				qi.ID, qi.State, fmtMs(qi.ElapsedMs), qi.Rounds, qi.HITs, qi.Ledger, trunc(qi.RequestID, 18), trunc(qi.Query, 48))
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"cdb/internal/engine"
 	"cdb/internal/exec"
+	"cdb/internal/ledger"
 )
 
 // Engine serves concurrent CQL queries over one DB's catalog and
@@ -35,6 +36,8 @@ type engineOptions struct {
 	resultCache int
 	tracing     bool
 	transitive  bool
+	ledgerDir   string
+	ledgerFsync string
 }
 
 // EngineOption configures NewEngine.
@@ -80,6 +83,27 @@ func WithEngineTransitivity(on bool) EngineOption {
 	return func(o *engineOptions) { o.transitive = on }
 }
 
+// WithLedgerDir makes paid crowd work durable: every resolved verdict,
+// executed statement and completed answer is appended to a CRC-framed
+// write-ahead log in dir, and NewEngine replays the directory (torn
+// tail truncated, never fatal) to pre-warm the verdict, sim-join and
+// answer caches — so a restarted engine never re-asks the crowd for
+// work it already paid for. The directory is bound to the engine seed:
+// reopening it under a different seed fails, because verdicts are pure
+// functions of the seed. Empty (the default) disables the ledger.
+func WithLedgerDir(dir string) EngineOption {
+	return func(o *engineOptions) { o.ledgerDir = dir }
+}
+
+// WithLedgerFsync selects the ledger durability policy: "always" (sync
+// every append — zero accepted-verdict loss on kill -9), "interval"
+// (background sync every 100ms, the default), or "never" (the OS page
+// cache decides; Close still syncs). Only meaningful with
+// WithLedgerDir.
+func WithLedgerFsync(policy string) EngineOption {
+	return func(o *engineOptions) { o.ledgerFsync = policy }
+}
+
 // Errors surfaced by Engine.Submit (re-exported from the serving
 // layer so callers can errors.Is against them).
 var (
@@ -97,6 +121,19 @@ func (db *DB) NewEngine(opts ...EngineOption) (*Engine, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	seed := db.rng.Split().Uint64()
+	var journal engine.Journal
+	if o.ledgerDir != "" {
+		policy, err := ledger.ParsePolicy(o.ledgerFsync)
+		if err != nil {
+			return nil, fmt.Errorf("cdb: %w", err)
+		}
+		lg, err := ledger.Open(o.ledgerDir, ledger.Options{Seed: seed, Fsync: policy})
+		if err != nil {
+			return nil, fmt.Errorf("cdb: %w", err)
+		}
+		journal = lg
+	}
 	inner, err := engine.New(engine.Config{
 		Catalog:         db.catalog,
 		Oracle:          db.oracle,
@@ -104,15 +141,19 @@ func (db *DB) NewEngine(opts ...EngineOption) (*Engine, error) {
 		Sim:             db.simFunc,
 		Epsilon:         db.epsilon,
 		Redundancy:      db.redundancy,
-		Seed:            db.rng.Split().Uint64(),
+		Seed:            seed,
 		MaxInFlight:     o.maxInFlight,
 		MaxQueue:        o.maxQueue,
 		CacheSize:       o.cacheSize,
 		ResultCacheSize: o.resultCache,
 		Tracing:         o.tracing,
 		Transitive:      o.transitive,
+		Journal:         journal,
 	})
 	if err != nil {
+		if journal != nil {
+			_ = journal.Close()
+		}
 		return nil, err
 	}
 	return &Engine{inner: inner}, nil
@@ -232,6 +273,15 @@ const (
 // repaint as draining).
 func (e *Engine) Queries() QuerySnapshot { return e.inner.Introspect() }
 
+// LedgerStats is the engine's durability snapshot: what the crowd-work
+// ledger holds, what it replayed at boot, and how much of this
+// session's traffic the replayed work served. Enabled is false (and
+// everything zero) without WithLedgerDir.
+type LedgerStats = engine.LedgerStats
+
+// LedgerStats snapshots the engine's ledger counters.
+func (e *Engine) LedgerStats() LedgerStats { return e.inner.LedgerStats() }
+
 // EngineStats snapshots the engine's sharing economics: what the
 // fleet asked for, what actually went to the crowd, and what sharing
 // saved.
@@ -246,6 +296,7 @@ type EngineStats struct {
 	TasksResolved int64 // crowd tasks served
 	Coalesced     int64 // tasks attached to an in-flight HIT
 	Cached        int64 // tasks served from the verdict cache
+	LedgerHits    int64 // tasks served from the durable ledger (paid before a restart)
 
 	AssignmentsIssued int64 // worker answers actually simulated
 	AssignmentsSaved  int64 // answers avoided by sharing
@@ -276,6 +327,7 @@ func (e *Engine) Stats() EngineStats {
 		TasksResolved: s.TasksResolved,
 		Coalesced:     s.Coalesced,
 		Cached:        s.Cached,
+		LedgerHits:    s.LedgerHits,
 
 		AssignmentsIssued: s.AssignmentsIssued,
 		AssignmentsSaved:  s.AssignmentsSaved,

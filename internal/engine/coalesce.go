@@ -8,6 +8,7 @@ import (
 
 	"cdb/internal/crowd"
 	"cdb/internal/exec"
+	"cdb/internal/ledger"
 	"cdb/internal/obs"
 	"cdb/internal/stats"
 )
@@ -43,8 +44,9 @@ var (
 // been without sharing, and the engine's own counters report the real
 // platform work and the savings.
 type coalescer struct {
-	seed uint64
-	pool *crowd.Pool
+	seed    uint64
+	pool    *crowd.Pool
+	journal Journal // nil without a ledger
 
 	mu       sync.Mutex
 	inflight map[string]*flight
@@ -55,6 +57,7 @@ type coalescer struct {
 	saved       atomic.Int64 // assignments avoided by sharing
 	coalesced   atomic.Int64 // tasks attached to an in-flight HIT
 	cached      atomic.Int64 // tasks served from the verdict cache
+	ledgerHit   atomic.Int64 // tasks served from replayed ledger verdicts
 	inferredPub atomic.Int64 // inferred verdicts accepted into the cache
 	inferredHit atomic.Int64 // cache hits served by an inferred verdict
 	inferredRej atomic.Int64 // inferred verdicts rejected by the agreement check
@@ -67,10 +70,11 @@ type flight struct {
 	verdict exec.TaskVerdict
 }
 
-func newCoalescer(seed uint64, pool *crowd.Pool, cacheSize int) *coalescer {
+func newCoalescer(seed uint64, pool *crowd.Pool, cacheSize int, journal Journal) *coalescer {
 	return &coalescer{
 		seed:     seed,
 		pool:     pool,
+		journal:  journal,
 		inflight: make(map[string]*flight),
 		cache:    newVerdictLRU(cacheSize),
 	}
@@ -102,9 +106,32 @@ func (c *coalescer) resolve(ctx context.Context, req exec.TaskRequest) (exec.Tas
 
 	c.mu.Lock()
 	if v, ok := c.cache.get(key); ok {
+		// A replayed ledger verdict answers its first use with the flag
+		// set, then downgrades to an ordinary cache entry. That keeps the
+		// wire-visible Stats of a warm resume bit-identical to an
+		// uninterrupted run: a replayed crowd verdict's first use mirrors
+		// the owner resolve (Cached=false), later uses mirror cache hits;
+		// a replayed inferred verdict mirrors a publish that preceded
+		// every resolve, so even its first use counts Cached. Ledger
+		// provenance is reported out of band (Report.LedgerTasks, engine
+		// counters), never through the sharing telemetry.
+		if v.Ledger {
+			used := v
+			used.Ledger = false
+			c.cache.put(key, used)
+		}
 		c.mu.Unlock()
-		v.Cached = true
-		c.cached.Add(1)
+		if v.Ledger {
+			c.ledgerHit.Add(1)
+			mLedgerHits.Inc()
+			if v.Inferred {
+				v.Cached = true
+				c.cached.Add(1)
+			}
+		} else {
+			v.Cached = true
+			c.cached.Add(1)
+		}
 		c.saved.Add(int64(v.Assignments))
 		mCoalShared.Inc()
 		mCoalSaved.Add(int64(v.Assignments))
@@ -129,12 +156,56 @@ func (c *coalescer) resolve(ctx context.Context, req exec.TaskRequest) (exec.Tas
 		mCoalSaved.Add(int64(v.Assignments))
 		return v, nil
 	}
+	// Second-level lookup: the durable ledger may hold a verdict the
+	// LRU evicted (or never admitted). Serving it re-caches it and
+	// charges the crowd nothing — the work was paid before a restart.
+	if c.journal != nil {
+		if rec, ok := c.journal.Verdict(key); ok {
+			v := exec.TaskVerdict{
+				Value:       rec.Value,
+				Confidence:  rec.Confidence,
+				Assignments: rec.Assignments,
+				Inferred:    rec.Inferred,
+				Ledger:      true,
+			}
+			// Re-cache already downgraded: this lookup IS the first use.
+			used := v
+			used.Ledger = false
+			c.cache.put(key, used)
+			c.mu.Unlock()
+			c.ledgerHit.Add(1)
+			mLedgerHits.Inc()
+			if v.Inferred {
+				v.Cached = true
+				c.cached.Add(1)
+			}
+			c.saved.Add(int64(v.Assignments))
+			mCoalShared.Inc()
+			mCoalSaved.Add(int64(v.Assignments))
+			if v.Inferred {
+				c.inferredHit.Add(1)
+				mInferredHit.Inc()
+			}
+			return v, nil
+		}
+	}
 	fl := &flight{done: make(chan struct{})}
 	c.inflight[key] = fl
 	c.mu.Unlock()
 
 	fl.verdict = c.answer(req)
 	c.issued.Add(int64(fl.verdict.Assignments))
+	// Write-ahead: the verdict becomes durable before any subscriber
+	// can observe it, so under -fsync always an acknowledged verdict
+	// survives even kill -9.
+	if c.journal != nil {
+		c.journal.AppendVerdict(ledger.Verdict{
+			Key:         key,
+			Value:       fl.verdict.Value,
+			Confidence:  fl.verdict.Confidence,
+			Assignments: fl.verdict.Assignments,
+		})
+	}
 
 	c.mu.Lock()
 	c.cache.put(key, fl.verdict)
@@ -219,6 +290,18 @@ func (c *coalescer) PublishInferred(tasks []exec.InferredTask) {
 		c.mu.Unlock()
 		if have || flying {
 			continue
+		}
+		// Accepted inferred verdicts are durable too: after a restart
+		// they answer their task from the ledger exactly as they would
+		// have from the cache.
+		if c.journal != nil {
+			c.journal.AppendVerdict(ledger.Verdict{
+				Key:         key,
+				Value:       v.Value,
+				Confidence:  v.Confidence,
+				Assignments: v.Assignments,
+				Inferred:    true,
+			})
 		}
 		c.inferredPub.Add(1)
 		mInferredPub.Inc()

@@ -109,6 +109,14 @@ type Config struct {
 	// RecentQueries bounds the completed-query ring buffer served by
 	// Introspect (default 64).
 	RecentQueries int
+	// Journal, when set, makes paid crowd work durable: every resolved
+	// verdict, executed statement and completed answer is appended, and
+	// New replays the journal into the verdict, sim-join and answer
+	// caches before the first query is admitted. The engine owns the
+	// journal and closes it in Close, after the last query drains. The
+	// journal must have been opened under this same Seed (ledger.Open
+	// validates).
+	Journal Journal
 }
 
 // Engine is a concurrent query-serving layer over one CDB catalog and
@@ -167,7 +175,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e := &Engine{
 		cfg:         cfg,
-		coal:        newCoalescer(cfg.Seed, cfg.Pool, cfg.CacheSize),
+		coal:        newCoalescer(cfg.Seed, cfg.Pool, cfg.CacheSize, cfg.Journal),
 		joins:       newJoinCache(),
 		intr:        newIntrospection(cfg.RecentQueries),
 		slots:       make(chan struct{}, cfg.MaxInFlight),
@@ -180,6 +188,11 @@ func New(cfg Config) (*Engine, error) {
 			size = 256
 		}
 		e.results = newLRU[*Answer](size)
+	}
+	if cfg.Journal != nil {
+		// Warm before the first Submit can run: replayed crowd work
+		// must be visible to the very first query, or it re-pays.
+		e.warmFromJournal()
 	}
 	return e, nil
 }
@@ -396,6 +409,11 @@ func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress f
 		h.err = err
 		return
 	}
+	if e.cfg.Journal != nil {
+		// The statement is planable against the live catalog: log it so
+		// the next boot replans it and re-primes the sim-join cache.
+		e.cfg.Journal.AppendStatement(key)
+	}
 
 	var strategy cost.Strategy = &cost.Expectation{}
 	if s.Budget > 0 {
@@ -437,6 +455,9 @@ func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress f
 	if fl != nil {
 		fl.ans = ans
 	}
+	if e.cfg.Journal != nil {
+		e.journalAnswer(key, ans)
+	}
 	e.completed.Add(1)
 	mCompleted.Inc()
 	finState = StateDone
@@ -447,6 +468,7 @@ func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress f
 		st.HITs = rep.HITs
 		st.Coalesced = rep.Coalesced
 		st.Cached = rep.CachedTasks
+		st.Ledger = rep.LedgerTasks
 	}
 }
 
@@ -482,18 +504,18 @@ func (e *Engine) Introspect() IntrospectSnapshot {
 	return e.intr.snapshot(closed)
 }
 
-// Close stops admission and waits for every in-flight query to finish.
-// Idempotent.
+// Close stops admission, waits for every in-flight query to finish,
+// then flushes, syncs and closes the journal (when configured) — so
+// the last verdicts of the drain are durable before the process can
+// exit. Idempotent.
 func (e *Engine) Close() {
 	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		e.wg.Wait()
-		return
-	}
 	e.closed = true
 	e.mu.Unlock()
 	e.wg.Wait()
+	if e.cfg.Journal != nil {
+		_ = e.cfg.Journal.Close()
+	}
 }
 
 // Stats is a snapshot of the engine's sharing economics.
@@ -508,6 +530,7 @@ type Stats struct {
 	TasksResolved int64 // crowd tasks served
 	Coalesced     int64 // tasks attached to an in-flight HIT
 	Cached        int64 // tasks served from the verdict cache
+	LedgerHits    int64 // tasks served from replayed ledger verdicts
 
 	AssignmentsIssued int64 // worker answers actually simulated
 	AssignmentsSaved  int64 // answers avoided by sharing
@@ -547,6 +570,7 @@ func (e *Engine) Stats() Stats {
 		TasksResolved: e.coal.resolved.Load(),
 		Coalesced:     e.coal.coalesced.Load(),
 		Cached:        e.coal.cached.Load(),
+		LedgerHits:    e.coal.ledgerHit.Load(),
 
 		AssignmentsIssued: issued,
 		AssignmentsSaved:  saved,

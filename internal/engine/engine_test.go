@@ -275,7 +275,7 @@ func TestRejectsUnsupported(t *testing.T) {
 // rejected; an already-resolved task is never overwritten.
 func TestPublishInferredAgreementFilter(t *testing.T) {
 	pool := crowd.NewPool(50, 0.95, 0.01, stats.NewRNG(3))
-	c := newCoalescer(7, pool, 0)
+	c := newCoalescer(7, pool, 0, nil)
 
 	req := exec.TaskRequest{Edge: 1, Key: "join\x1ftest\x1fa\x1fb", Truth: true, Prior: 0.9, K: 3}
 	truth := c.answer(req) // the deterministic crowd verdict

@@ -66,6 +66,10 @@ type QueryStatus struct {
 	HITs      int
 	Coalesced int
 	Cached    int
+	// Ledger counts tasks served from the durable crowd-work ledger —
+	// paid before a restart, re-issued zero times (completed queries
+	// only; always 0 without a ledger).
+	Ledger int
 	// Err is the failure message (StateFailed only).
 	Err string
 }

@@ -14,6 +14,7 @@ var (
 	mResolved    = obs.Default.Counter("cdb_exec_resolver_tasks_total")
 	mResCoalesce = obs.Default.Counter("cdb_exec_resolver_coalesced_total")
 	mResCached   = obs.Default.Counter("cdb_exec_resolver_cached_total")
+	mResLedger   = obs.Default.Counter("cdb_exec_resolver_ledger_total")
 )
 
 // TaskRequest is one crowd task handed to a TaskResolver: the edge it
@@ -53,6 +54,13 @@ type TaskVerdict struct {
 	// Inferred marks a cached verdict that another query derived by
 	// transitive inference instead of crowd work.
 	Inferred bool
+	// Ledger marks a verdict replayed from the durable crowd-work
+	// ledger: paid for before the last restart, charged nothing now.
+	// Deliberately not folded into Cached — wire-visible Stats must
+	// stay identical between a warm resume and an uninterrupted run,
+	// so ledger provenance travels on the engine's introspection and
+	// counters instead.
+	Ledger bool
 }
 
 // TaskResolver intercepts a round's crowdsourcing. The engine's HIT
@@ -126,6 +134,10 @@ func (rep *Report) crowdsourceResolver(ctx context.Context, p *Plan, batch []int
 		if v.Cached {
 			rep.CachedTasks++
 			mResCached.Inc()
+		}
+		if v.Ledger {
+			rep.LedgerTasks++
+			mResLedger.Inc()
 		}
 		if opts.Meta != nil {
 			pred, l, r := p.TaskDescription(e)

@@ -168,6 +168,12 @@ type Report struct {
 	// Zero off the resolver path.
 	Coalesced   int
 	CachedTasks int
+	// LedgerTasks counts tasks served from the durable crowd-work
+	// ledger (paid before a restart, replayed free). Not part of the
+	// wire Stats: a resumed query's Result stays byte-identical to an
+	// uninterrupted run; the split surfaces via introspection and
+	// engine counters only.
+	LedgerTasks int
 	// Inferred counts edges labeled by transitive inference instead of
 	// crowd work; Provenance breaks each answer's supporting edges down
 	// by origin, aligned with Answers. Both zero/nil unless

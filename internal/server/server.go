@@ -406,6 +406,18 @@ func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
 	for _, st := range snap.Recent {
 		resp.Recent = append(resp.Recent, queryInfo(st))
 	}
+	if ls := s.engine.LedgerStats(); ls.Enabled {
+		resp.Ledger = &client.LedgerInfo{
+			Replayed:      ls.Replayed,
+			TornTruncated: ls.TornTruncations,
+			Appended:      ls.Appended,
+			Compactions:   ls.Compactions,
+			Hits:          ls.Hits,
+			Verdicts:      ls.Verdicts,
+			Statements:    ls.Statements,
+			Answers:       ls.Answers,
+		}
+	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -424,6 +436,7 @@ func queryInfo(st cdb.QueryStatus) client.QueryInfo {
 		HITs:        st.HITs,
 		Coalesced:   st.Coalesced,
 		Cached:      st.Cached,
+		Ledger:      st.Ledger,
 		Error:       st.Err,
 	}
 }

@@ -2,6 +2,7 @@ package cdb
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,27 +14,64 @@ import (
 // <name>.schema sidecar describing column types and CROWD flags, so a
 // database can be reloaded with LoadDir. Existing files are
 // overwritten.
+//
+// Each file is written crash-safely: the content goes to a temp file
+// in the same directory, is synced, and is renamed into place — a
+// crash mid-save can leave a stale table or an orphaned temp file,
+// never a torn one.
 func (db *DB) SaveDir(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("cdb: %w", err)
 	}
 	for _, name := range db.catalog.Names() {
 		tb, _ := db.catalog.Get(name)
-		f, err := os.Create(filepath.Join(dir, name+".csv"))
-		if err != nil {
+		if err := writeFileAtomic(filepath.Join(dir, name+".csv"), tb.WriteCSV); err != nil {
 			return fmt.Errorf("cdb: %w", err)
 		}
-		if err := tb.WriteCSV(f); err != nil {
-			f.Close()
+		schema := encodeSchema(tb.Schema)
+		if err := writeFileAtomic(filepath.Join(dir, name+".schema"), func(w io.Writer) error {
+			_, err := io.WriteString(w, schema)
+			return err
+		}); err != nil {
 			return fmt.Errorf("cdb: %w", err)
 		}
-		if err := f.Close(); err != nil {
-			return fmt.Errorf("cdb: %w", err)
-		}
-		if err := os.WriteFile(filepath.Join(dir, name+".schema"),
-			[]byte(encodeSchema(tb.Schema)), 0o644); err != nil {
-			return fmt.Errorf("cdb: %w", err)
-		}
+	}
+	return nil
+}
+
+// writeFileAtomic streams write's output into a temp file next to path
+// and renames it into place, syncing first so the rename publishes
+// complete content.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := write(tmp); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	// CreateTemp files are 0600; match the 0644 the old os.Create /
+	// os.WriteFile path produced before publishing.
+	if err := tmp.Chmod(0o644); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
 	}
 	return nil
 }
