@@ -1,4 +1,4 @@
-package cdb
+package cdb_test
 
 // One testing.B benchmark per table/figure of the paper (DESIGN.md §4
 // maps each to its experiment). They execute the same code paths as
@@ -9,6 +9,8 @@ package cdb
 import (
 	"context"
 	"testing"
+
+	"cdb"
 
 	"cdb/internal/bench"
 	"cdb/internal/cost"
@@ -363,10 +365,10 @@ func BenchmarkAblationCalibration(b *testing.B) {
 
 // BenchmarkGroupSort measures the crowd GROUP BY / ORDER BY extension.
 func BenchmarkGroupSort(b *testing.B) {
-	db := Open(WithDataset("example", 0, 1), WithPerfectWorkers(30), WithSeed(1))
+	db := cdb.Open(cdb.WithDataset("example", 0, 1), cdb.WithPerfectWorkers(30), cdb.WithSeed(1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		db2 := Open(WithDataset("example", 0, 1), WithPerfectWorkers(30), WithSeed(uint64(i+1)))
+		db2 := cdb.Open(cdb.WithDataset("example", 0, 1), cdb.WithPerfectWorkers(30), cdb.WithSeed(uint64(i+1)))
 		_, err := db2.Exec(`SELECT Paper.conference FROM Paper, Citation
 			WHERE Paper.title CROWDJOIN Citation.title
 			GROUP BY Paper.conference;`)

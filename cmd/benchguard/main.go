@@ -13,12 +13,21 @@
 // below the committed baseline — the direction is inverted relative to
 // ns/op, fewer savings is the regression.
 //
+// With -shard-baseline and -shard-current it guards the horizontal
+// scale-out experiment (BENCH_shard.json): the build fails when the
+// 2-shard aggregate QPS scaling drops below the hard 1.6x floor (or
+// more than the allowed fraction below the committed baseline), when
+// no cross-shard cache hits are observed, or when the off-owner probe
+// has to issue fresh crowd work — replication failing to cover it.
+//
 // Usage:
 //
 //	go run ./cmd/cdbench -costbench -costbenchout BENCH_current.json
 //	go run ./cmd/benchguard -baseline BENCH_baseline.json -current BENCH_current.json
 //	go run ./cmd/cdbench -exp trans -trans-out BENCH_trans_current.json
 //	go run ./cmd/benchguard -trans-baseline BENCH_trans.json -trans-current BENCH_trans_current.json
+//	go run ./cmd/cdbench -exp shard -shard-out BENCH_shard_current.json
+//	go run ./cmd/benchguard -shard-baseline BENCH_shard.json -shard-current BENCH_shard_current.json
 package main
 
 import (
@@ -63,6 +72,64 @@ func checkTrans(basePath, curPath string, allowed float64) {
 		os.Exit(1)
 	}
 	fmt.Printf("benchguard: inference savings within %.0f%% of baseline\n", allowed*100)
+}
+
+// shardScalingFloor is the acceptance bar for 2-shard scaling: a fleet
+// that cannot beat 1.6x aggregate QPS over one node is not scaling.
+const shardScalingFloor = 1.6
+
+// checkShard guards the scale-out report. Exits with the verdict.
+func checkShard(basePath, curPath string, allowed float64) {
+	base, err := loadShard(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := loadShard(curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	floor := shardScalingFloor
+	if f := base.Scaling2x * (1 - allowed); f > floor {
+		floor = f
+	}
+	fmt.Printf("%-34s baseline %6.2fx  current %6.2fx  floor %6.2fx\n",
+		"shard/scaling-2x", base.Scaling2x, cur.Scaling2x, floor)
+	fmt.Printf("%-34s baseline %6d   current %6d\n",
+		"shard/cross-shard-hits", base.CrossShardHits, cur.CrossShardHits)
+	failed := false
+	if cur.Scaling2x < floor {
+		fmt.Fprintf(os.Stderr, "benchguard: 2-shard scaling %.2fx below floor %.2fx; REGRESSED\n", cur.Scaling2x, floor)
+		failed = true
+	}
+	if cur.CrossShardHits <= 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no cross-shard cache hits; replication is not paying for itself; REGRESSED")
+		failed = true
+	}
+	for _, fl := range cur.Fleets {
+		if fl.ProbeAssignments != 0 {
+			fmt.Fprintf(os.Stderr, "benchguard: off-owner probe at %d shards issued %d fresh assignments (want 0: replicated verdicts must cover it); REGRESSED\n",
+				fl.Shards, fl.ProbeAssignments)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: scale-out holds %.2fx at 2 shards with %d cross-shard hits\n", cur.Scaling2x, cur.CrossShardHits)
+}
+
+func loadShard(path string) (*bench.ShardBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r bench.ShardBenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
 }
 
 func loadTrans(path string) (*bench.TransBenchReport, error) {
@@ -114,6 +181,9 @@ func main() {
 
 		transBasePath = flag.String("trans-baseline", "", "committed BENCH_trans.json baseline (with -trans-current, runs the inference-savings guard instead)")
 		transCurPath  = flag.String("trans-current", "", "freshly measured trans report")
+
+		shardBasePath = flag.String("shard-baseline", "", "committed BENCH_shard.json baseline (with -shard-current, runs the scale-out guard instead)")
+		shardCurPath  = flag.String("shard-current", "", "freshly measured shard report")
 	)
 	flag.Parse()
 
@@ -123,6 +193,14 @@ func main() {
 			os.Exit(2)
 		}
 		checkTrans(*transBasePath, *transCurPath, *allowed)
+		return
+	}
+	if *shardBasePath != "" || *shardCurPath != "" {
+		if *shardBasePath == "" || *shardCurPath == "" {
+			fmt.Fprintln(os.Stderr, "benchguard: -shard-baseline and -shard-current must be given together")
+			os.Exit(2)
+		}
+		checkShard(*shardBasePath, *shardCurPath, *allowed)
 		return
 	}
 

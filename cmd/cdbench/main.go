@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment id (fig1, fig8, fig11, fig14, fig17, fig18, fig20, fig21, fig22, fig23, table5) or 'all'")
+		exp        = flag.String("exp", "all", "experiment id (fig1, fig8, fig11, fig14, fig17, fig18, fig20, fig21, fig22, fig23, table5, chaos, serve, trans, shard) or 'all'")
 		dataset    = flag.String("dataset", "paper", "dataset: paper or award")
 		scale      = flag.Float64("scale", 0.12, "dataset scale (1.0 = the paper's Table 2/3 sizes)")
 		reps       = flag.Int("reps", 3, "repetitions per cell (the paper averages 1000)")
@@ -38,6 +38,11 @@ func main() {
 		serveOut     = flag.String("serve-out", "BENCH_engine.json", "serve experiment: report path (empty skips the artifact)")
 
 		transOut = flag.String("trans-out", "BENCH_trans.json", "trans experiment: report path (empty skips the artifact)")
+
+		shardClients = flag.Int("shard-clients", 8, "shard experiment: concurrent clients driving the coordinator")
+		shardQueries = flag.Int("shard-queries", 40, "shard experiment: workload size over the 5 query templates")
+		shardDelay   = flag.Int("shard-delay-ms", 60, "shard experiment: simulated crowd round-trip per completed round")
+		shardOut     = flag.String("shard-out", "BENCH_shard.json", "shard experiment: report path (empty skips the artifact)")
 
 		faultSeed      = flag.Uint64("fault-seed", 1, "chaos engine seed (same seed replays identical faults)")
 		faultDrop      = flag.Float64("fault-drop", 0, "fraction of crowd answers dropped (chaos experiment sweeps its own grid unless set)")
@@ -123,6 +128,10 @@ func main() {
 	cfg.ServeQueries = *serveQueries
 	cfg.ServeOut = *serveOut
 	cfg.TransOut = *transOut
+	cfg.ShardClients = *shardClients
+	cfg.ShardQueries = *shardQueries
+	cfg.ShardDelayMs = *shardDelay
+	cfg.ShardOut = *shardOut
 	if *faultDrop > 0 {
 		// An explicit drop rate pins the chaos experiment's whole grid
 		// to that single intensity.

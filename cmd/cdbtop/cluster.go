@@ -1,0 +1,191 @@
+// Cluster view: with one or more repeated -connect flags cdbtop polls
+// every shard's /metrics and renders them side by side — one column
+// per shard plus a fleet-totals column — reusing the same Prometheus
+// de-cumulation path as the single-node view. A shard that fails to
+// scrape renders as "down" without hiding the survivors.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// connectList collects repeated -connect flags. Each entry is
+// id=host:port, or a bare address whose column is named by the
+// address itself.
+type connectList []string
+
+func (c *connectList) String() string { return strings.Join(*c, ",") }
+
+func (c *connectList) Set(v string) error {
+	*c = append(*c, v)
+	return nil
+}
+
+// shardTarget is one column of the cluster view.
+type shardTarget struct {
+	name string
+	base string
+}
+
+func parseConnects(entries []string) []shardTarget {
+	out := make([]shardTarget, 0, len(entries))
+	for _, e := range entries {
+		name, addr := e, e
+		if eq := strings.IndexByte(e, '='); eq >= 0 {
+			name, addr = e[:eq], e[eq+1:]
+		}
+		base := strings.TrimRight(addr, "/")
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		out = append(out, shardTarget{name: name, base: base})
+	}
+	return out
+}
+
+// clusterRows is the metric set worth a per-shard column: serving
+// pressure, admission state, and the cross-shard cache economy.
+var clusterRows = []struct{ label, metric string }{
+	{"requests", "cdb_server_requests_total"},
+	{"2xx", "cdb_server_requests_2xx_total"},
+	{"429", "cdb_server_requests_429_total"},
+	{"5xx", "cdb_server_requests_5xx_total"},
+	{"shed", "cdb_server_shed_total"},
+	{"in-flight", "cdb_engine_inflight"},
+	{"queued", "cdb_engine_queued"},
+	{"shard execs", "cdb_server_cluster_exec_total"},
+	{"repl applied", "cdb_server_cluster_applied_total"},
+	{"remote hits", "cdb_engine_remote_hits_total"},
+	{"remote imported", "cdb_engine_remote_imported_total"},
+	{"tasks shared", "cdb_engine_tasks_shared_total"},
+	{"assignments", "cdb_transport_assignments_issued_total"},
+}
+
+// runCluster is the poll/render loop for the aggregated view.
+func runCluster(targets []shardTarget, interval time.Duration, once bool) {
+	hc := &http.Client{Timeout: 10 * time.Second}
+	prev := make([]*metricsSnapshot, len(targets))
+	var prevAt time.Time
+	for {
+		cur := make([]*metricsSnapshot, len(targets))
+		errs := make([]error, len(targets))
+		for i, tg := range targets {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			cur[i], errs[i] = scrapeMetrics(ctx, hc, tg.base)
+			cancel()
+		}
+		now := time.Now()
+		if !once {
+			fmt.Print("\x1b[2J\x1b[H")
+		}
+		dt := time.Duration(0)
+		if !prevAt.IsZero() {
+			dt = now.Sub(prevAt)
+		}
+		renderCluster(os.Stdout, targets, prev, cur, errs, dt)
+		if once {
+			for _, err := range errs {
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "cdbtop: %v\n", err)
+					os.Exit(1)
+				}
+			}
+			return
+		}
+		prev, prevAt = cur, now
+		time.Sleep(interval)
+	}
+}
+
+func scrapeMetrics(ctx context.Context, hc *http.Client, base string) (*metricsSnapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("scrape %s/metrics: %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s/metrics: HTTP %d", base, resp.StatusCode)
+	}
+	return parsePrometheus(resp.Body)
+}
+
+func renderCluster(w io.Writer, targets []shardTarget, prev, cur []*metricsSnapshot, errs []error, dt time.Duration) {
+	fmt.Fprintf(w, "cdbtop — cluster (%d shards) — %s\n\n", len(targets), time.Now().Format("15:04:05"))
+
+	fmt.Fprintf(w, "%-16s", "")
+	for _, tg := range targets {
+		fmt.Fprintf(w, " %12s", trunc(tg.name, 12))
+	}
+	fmt.Fprintf(w, " %12s\n", "fleet")
+
+	// Request rate first: the line operators watch.
+	if dt > 0 {
+		fmt.Fprintf(w, "%-16s", "req/s")
+		total := 0.0
+		for i := range targets {
+			if errs[i] != nil || prev[i] == nil {
+				fmt.Fprintf(w, " %12s", "—")
+				continue
+			}
+			d := float64(cur[i].scalar("cdb_server_requests_total") - prev[i].scalar("cdb_server_requests_total"))
+			r := d / dt.Seconds()
+			total += r
+			fmt.Fprintf(w, " %12.1f", r)
+		}
+		fmt.Fprintf(w, " %12.1f\n", total)
+	}
+
+	for _, row := range clusterRows {
+		fmt.Fprintf(w, "%-16s", row.label)
+		var sum int64
+		live := false
+		for i := range targets {
+			if errs[i] != nil {
+				fmt.Fprintf(w, " %12s", "down")
+				continue
+			}
+			v := cur[i].scalar(row.metric)
+			sum += v
+			live = true
+			fmt.Fprintf(w, " %12d", v)
+		}
+		if live {
+			fmt.Fprintf(w, " %12d\n", sum)
+		} else {
+			fmt.Fprintf(w, " %12s\n", "—")
+		}
+	}
+
+	// Latency quantiles are per-shard only: percentiles don't sum.
+	fmt.Fprintf(w, "%-16s", "query p95")
+	for i := range targets {
+		if errs[i] != nil {
+			fmt.Fprintf(w, " %12s", "down")
+			continue
+		}
+		h, ok := cur[i].hist("cdb_server_latency_query_seconds")
+		if !ok || h.Count == 0 {
+			fmt.Fprintf(w, " %12s", "—")
+			continue
+		}
+		fmt.Fprintf(w, " %12s", fmtSec(h.P95))
+	}
+	fmt.Fprintf(w, " %12s\n", "")
+
+	for i, tg := range targets {
+		if errs[i] != nil {
+			fmt.Fprintf(w, "\n%s: %v", tg.name, errs[i])
+		}
+	}
+	fmt.Fprintln(w)
+}

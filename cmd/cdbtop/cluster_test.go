@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseConnects(t *testing.T) {
+	got := parseConnects([]string{"a=localhost:8081", "b=http://10.0.0.2:8082/", "localhost:9090"})
+	want := []shardTarget{
+		{name: "a", base: "http://localhost:8081"},
+		{name: "b", base: "http://10.0.0.2:8082"},
+		{name: "localhost:9090", base: "http://localhost:9090"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d targets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("target %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRenderClusterTotalsAndDownShards(t *testing.T) {
+	snap := func(reqs, hits int64) *metricsSnapshot {
+		return &metricsSnapshot{scalars: map[string]int64{
+			"cdb_server_requests_total":    reqs,
+			"cdb_engine_remote_hits_total": hits,
+		}}
+	}
+	targets := []shardTarget{{name: "a"}, {name: "b"}, {name: "c"}}
+	cur := []*metricsSnapshot{snap(10, 3), snap(32, 4), nil}
+	prev := []*metricsSnapshot{snap(0, 0), snap(2, 0), nil}
+	var sb strings.Builder
+	renderCluster(&sb, targets, prev, cur, []error{nil, nil, errDown{}}, 2*time.Second)
+	// Compare on whitespace-collapsed lines so column padding can
+	// evolve without rewriting the expectations.
+	var lines []string
+	for _, l := range strings.Split(sb.String(), "\n") {
+		lines = append(lines, strings.Join(strings.Fields(l), " "))
+	}
+	out := strings.Join(lines, "\n")
+	for _, want := range []string{
+		"requests 10 32 down 42",
+		"remote hits 3 4 down 7",
+		"req/s 5.0 15.0 — 20.0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cluster view missing %q in:\n%s", want, sb.String())
+		}
+	}
+}
+
+type errDown struct{}
+
+func (errDown) Error() string { return "connection refused" }

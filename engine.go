@@ -248,6 +248,76 @@ func (e *Engine) SubmitWithProgress(ctx context.Context, query string, onRound f
 // Close stops admission and waits for in-flight queries to finish.
 func (e *Engine) Close() { e.inner.Close() }
 
+// ShardInfo is the scatter-gather sidecar of a shard-scoped execution:
+// per-row merge keys plus the owned slice of the ground-truth counts a
+// coordinator needs to recompute precision and recall exactly.
+type ShardInfo = exec.ShardInfo
+
+// ShardRun scopes a submission to the tuple-graph components a cluster
+// shard owns; see Engine.SubmitShard.
+type ShardRun = engine.ShardRun
+
+// CacheEntry is one replicated verdict on the cluster wire.
+type CacheEntry = engine.CacheEntry
+
+// SubmitShard is Submit restricted to the components run.Owned
+// accepts: every other component of the statement's tuple graph is
+// colored red before execution, so this node does exactly its slice of
+// the crowd work while task keys and answer identities stay globally
+// consistent with the rest of the fleet. The Future's ShardInfo
+// carries the merge sidecar. This is the executor half of the cluster
+// layer (internal/cluster owns routing and merging).
+func (e *Engine) SubmitShard(ctx context.Context, query string, run *ShardRun, onRound func(RoundUpdate)) (*Future, error) {
+	h, err := e.inner.SubmitShard(ctx, query, run, onRound)
+	if err != nil {
+		return nil, err
+	}
+	return &Future{h: h}, nil
+}
+
+// ShardInfo blocks like Result and returns the shard sidecar of a
+// SubmitShard execution (nil for whole-statement submissions).
+func (f *Future) ShardInfo(ctx context.Context) (*ShardInfo, error) {
+	ans, err := f.h.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return ans.Shard, nil
+}
+
+// ComponentKeys plans the statement and returns the canonical key of
+// every tuple-graph component, sorted — the routing key space a
+// cluster coordinator assigns to shards.
+func (e *Engine) ComponentKeys(query string) ([]string, error) {
+	return e.inner.ComponentKeys(query)
+}
+
+// CacheDelta returns every replicable verdict recorded after sequence
+// number since, plus the sequence to resume from. Verdicts are pure
+// functions of (seed, task content, redundancy), so the replication
+// stream needs no invalidation and entries never conflict.
+func (e *Engine) CacheDelta(since int64) ([]CacheEntry, int64) {
+	return e.inner.CacheDelta(since)
+}
+
+// ImportVerdicts merges a peer shard's cache delta into this engine's
+// verdict cache and returns how many entries were new here.
+func (e *Engine) ImportVerdicts(entries []CacheEntry) int {
+	return e.inner.ImportVerdicts(entries)
+}
+
+// CacheSeq is the engine's current replication sequence number.
+func (e *Engine) CacheSeq() int64 { return e.inner.CacheSeq() }
+
+// Fingerprint hashes every verdict-determining input (seed,
+// redundancy, epsilon, worker pool). Cluster nodes refuse to replicate
+// caches or merge results across differing fingerprints.
+func (e *Engine) Fingerprint() string { return e.inner.Fingerprint() }
+
+// QueueDepth reports admission pressure (executing and queued
+// queries); coordinators use it for least-loaded shard selection.
+func (e *Engine) QueueDepth() (executing, queued int) { return e.inner.QueueDepth() }
+
 // QueryStatus is one query's live (or recently completed) introspection
 // record; see the engine State* constants for the lifecycle. This is
 // the unit cdbd serves on GET /v1/queries and cdbtop renders.
@@ -310,6 +380,9 @@ type EngineStats struct {
 	InferredHits      int64 // tasks answered by another query's inferred verdict
 	InferredRejected  int64 // inferred labels that disagreed with the crowd verdict and were dropped
 
+	RemoteImported int64 // verdicts replicated in from peer shards
+	RemoteHits     int64 // tasks answered by a replicated remote verdict
+
 	CacheEntries int // live verdict-cache entries
 }
 
@@ -340,6 +413,9 @@ func (e *Engine) Stats() EngineStats {
 		InferredPublished: s.InferredPublished,
 		InferredHits:      s.InferredHits,
 		InferredRejected:  s.InferredRejected,
+
+		RemoteImported: s.RemoteImported,
+		RemoteHits:     s.RemoteHits,
 
 		CacheEntries: s.CacheEntries,
 	}

@@ -65,6 +65,12 @@ type Config struct {
 
 	// Transitive-inference knobs (the "trans" experiment).
 	TransOut string // BENCH_trans.json path ("" skips the artifact)
+
+	// Scale-out knobs (the "shard" experiment and cdbench -shard-* flags).
+	ShardClients int    // concurrent clients driving the coordinator
+	ShardQueries int    // workload size (arrivals over the 5 templates)
+	ShardDelayMs int    // simulated crowd round-trip per completed round
+	ShardOut     string // BENCH_shard.json path ("" skips the artifact)
 }
 
 // DefaultConfig returns settings sized for minutes-scale regeneration.
@@ -86,6 +92,11 @@ func DefaultConfig() Config {
 		ServeOut:     "BENCH_engine.json",
 
 		TransOut: "BENCH_trans.json",
+
+		ShardClients: 8,
+		ShardQueries: 40,
+		ShardDelayMs: 60,
+		ShardOut:     "BENCH_shard.json",
 	}
 }
 
@@ -255,11 +266,12 @@ var Registry = map[string]func(Config) ([]*Table, error){
 	"chaos":  Chaos,
 	"serve":  Serve,
 	"trans":  Trans,
+	"shard":  Shard,
 }
 
 // ExperimentIDs returns the registry keys in canonical order.
 func ExperimentIDs() []string {
-	return []string{"fig1", "fig8", "fig11", "fig14", "fig17", "fig18", "fig20", "fig21", "fig22", "fig23", "table5", "chaos", "serve", "trans"}
+	return []string{"fig1", "fig8", "fig11", "fig14", "fig17", "fig18", "fig20", "fig21", "fig22", "fig23", "table5", "chaos", "serve", "trans", "shard"}
 }
 
 // aliases used by several experiments.

@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cdb"
+	"cdb/internal/cluster"
+)
+
+// ShardFleetResult is one fleet size's outcome over the workload.
+type ShardFleetResult struct {
+	Shards           int     `json:"shards"`
+	Clients          int     `json:"clients"`
+	Queries          int     `json:"queries"`
+	WallMs           float64 `json:"wall_ms"`
+	QPS              float64 `json:"qps"`
+	Scaling          float64 `json:"scaling_vs_one"` // QPS / one-shard QPS
+	P50Ms            float64 `json:"p50_ms"`
+	P95Ms            float64 `json:"p95_ms"`
+	Retries          int64   `json:"client_retries"` // 429s absorbed by client backoff
+	HITsIssued       int     `json:"hits_issued"`
+	HITsSaved        int     `json:"hits_saved"`
+	RemoteImported   int64   `json:"remote_imported"`
+	RemoteHits       int64   `json:"remote_hits"`
+	ProbeRemoteHits  int64   `json:"probe_remote_hits"`
+	ProbeAssignments int64   `json:"probe_assignments"` // fresh crowd work during the off-owner probe (0 = fully replicated)
+}
+
+// ShardBenchReport is the schema of BENCH_shard.json: the same
+// workload pushed through 1-, 2- and 4-shard fleets.
+type ShardBenchReport struct {
+	Date           string             `json:"date"`
+	GoMaxProcs     int                `json:"gomaxprocs"`
+	Dataset        string             `json:"dataset"`
+	Scale          float64            `json:"scale"`
+	RoundDelayMs   int                `json:"round_delay_ms"`
+	Fleets         []ShardFleetResult `json:"fleets"`
+	Scaling2x      float64            `json:"scaling_2x"`
+	Scaling4x      float64            `json:"scaling_4x"`
+	CrossShardHits int64              `json:"cross_shard_hits"` // tasks served by replicated verdicts, fleet-wide
+}
+
+// shardEngine opens one shard's engine. Every shard gets an identical
+// DB (seed, dataset, worker pool) — the fleet fingerprint contract —
+// and a deliberately small admission window (2 executing, 2 queued) so
+// throughput is slot-bound the way a deployed node is, and overflow
+// exercises the coordinator's spill path instead of an infinite queue.
+func shardEngine(cfg Config) (*cdb.Engine, error) {
+	db := cdb.Open(
+		cdb.WithSeed(cfg.Seed),
+		cdb.WithDataset(cfg.Dataset, cfg.Scale, cfg.Seed),
+		cdb.WithWorkers(cfg.PoolSize, cfg.WorkerQ, cfg.WorkerSD),
+	)
+	if err := db.Err(); err != nil {
+		return nil, err
+	}
+	return db.NewEngine(
+		cdb.WithMaxInFlight(2),
+		cdb.WithMaxQueue(2),
+		cdb.WithVerdictCache(1<<20),
+	)
+}
+
+// shardFleetRun measures one fleet size: cfg.ShardClients concurrent
+// clients drain the workload through a coordinator over n shards, with
+// client-side retry on 429 (the distributed admission contract). After
+// the timed run, a probe executes each template whole on a non-owner
+// shard: replicated verdicts must answer it without issuing any fresh
+// crowd work.
+func shardFleetRun(cfg Config, n int) (ShardFleetResult, error) {
+	engines := make([]*cdb.Engine, n)
+	backends := make([]cluster.Backend, n)
+	locals := make([]*cluster.LocalBackend, n)
+	for i := range engines {
+		e, err := shardEngine(cfg)
+		if err != nil {
+			return ShardFleetResult{}, err
+		}
+		defer e.Close()
+		engines[i] = e
+		lb := cluster.NewLocalBackend(fmt.Sprintf("s%d", i), e)
+		locals[i] = lb
+		backends[i] = lb
+	}
+	planner, err := shardEngine(cfg)
+	if err != nil {
+		return ShardFleetResult{}, err
+	}
+	defer planner.Close()
+	fleet, err := cluster.New(cluster.Config{Planner: planner, Backends: backends, SpillQueue: 1})
+	if err != nil {
+		return ShardFleetResult{}, err
+	}
+
+	// Warm the fleet sequentially first: each template pays its crowd
+	// work exactly once on its owning shard, and synchronous piggyback
+	// replication spreads the verdicts before the next statement. The
+	// timed phase then measures serving capacity — concurrent clients
+	// against slot-bound shards — rather than racing first-payers
+	// duplicating crowd spend.
+	delay := time.Duration(cfg.ShardDelayMs) * time.Millisecond
+	for _, lb := range locals {
+		lb.RoundDelay = 0
+	}
+	for _, q := range serveWorkload(cfg.Dataset, 5) {
+		if _, err := fleet.Exec(context.Background(), q, 0); err != nil {
+			return ShardFleetResult{}, fmt.Errorf("warmup: %w", err)
+		}
+	}
+	for _, lb := range locals {
+		lb.RoundDelay = delay
+	}
+
+	queries := serveWorkload(cfg.Dataset, cfg.ShardQueries)
+	lat := make([]float64, len(queries))
+	var retries atomic.Int64
+	var firstErr atomic.Value
+	next := make(chan int, len(queries))
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.ShardClients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				t0 := time.Now()
+				for {
+					_, err := fleet.Exec(context.Background(), queries[i], 0)
+					if err == nil {
+						break
+					}
+					if errors.Is(err, cdb.ErrOverloaded) {
+						retries.Add(1)
+						time.Sleep(10 * time.Millisecond)
+						continue
+					}
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				lat[i] = float64(time.Since(t0).Nanoseconds()) / 1e6
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return ShardFleetResult{}, err
+	}
+
+	res := ShardFleetResult{
+		Shards:  n,
+		Clients: cfg.ShardClients,
+		Queries: len(queries),
+		WallMs:  float64(wall.Nanoseconds()) / 1e6,
+		QPS:     float64(len(queries)) / wall.Seconds(),
+		Retries: retries.Load(),
+	}
+	res.P50Ms, res.P95Ms = latencyStats(lat)
+	var assignments int64
+	for _, e := range engines {
+		st := e.Stats()
+		res.HITsIssued += st.HITsIssued
+		res.HITsSaved += st.HITsSaved
+		res.RemoteImported += st.RemoteImported
+		res.RemoteHits += st.RemoteHits
+		assignments += st.AssignmentsIssued
+	}
+
+	// Off-owner probe: rotate each template onto the next shard over
+	// and execute it whole, bypassing the coordinator's ownership
+	// routing. Every verdict it needs was paid for elsewhere and
+	// replicated in, so the probe must finish on cache alone.
+	if n > 1 {
+		for _, lb := range locals {
+			lb.RoundDelay = 0
+		}
+		templates := serveWorkload(cfg.Dataset, 5)
+		for i, q := range templates {
+			b := locals[(i+1)%n]
+			if _, err := b.Exec(context.Background(), cluster.ExecRequest{Query: q}); err != nil {
+				return ShardFleetResult{}, fmt.Errorf("off-owner probe on %s: %w", b.ID(), err)
+			}
+		}
+		var hits, issued int64
+		for _, e := range engines {
+			st := e.Stats()
+			hits += st.RemoteHits
+			issued += st.AssignmentsIssued
+		}
+		res.ProbeRemoteHits = hits - res.RemoteHits
+		res.ProbeAssignments = issued - assignments
+	}
+	return res, nil
+}
+
+// Shard is the "shard" experiment: horizontal scale-out. The same
+// arrival sequence runs against coordinators over 1, 2 and 4 shards
+// whose per-node capacity is fixed, reporting aggregate throughput,
+// scaling ratios, and the cross-shard verdict-cache economy. Writes
+// BENCH_shard.json (cfg.ShardOut) as the committed artifact.
+func Shard(cfg Config) ([]*Table, error) {
+	sizes := []int{1, 2, 4}
+	report := ShardBenchReport{
+		Date:         time.Now().UTC().Format("2006-01-02"),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Dataset:      cfg.Dataset,
+		Scale:        cfg.Scale,
+		RoundDelayMs: cfg.ShardDelayMs,
+	}
+	for _, n := range sizes {
+		r, err := shardFleetRun(cfg, n)
+		if err != nil {
+			return nil, fmt.Errorf("fleet of %d: %w", n, err)
+		}
+		if base := report.Fleets; len(base) > 0 {
+			r.Scaling = r.QPS / base[0].QPS
+		} else {
+			r.Scaling = 1
+		}
+		report.Fleets = append(report.Fleets, r)
+		report.CrossShardHits += r.RemoteHits + r.ProbeRemoteHits
+	}
+	report.Scaling2x = report.Fleets[1].Scaling
+	report.Scaling4x = report.Fleets[2].Scaling
+
+	if cfg.ShardOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(cfg.ShardOut, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+
+	t := &Table{
+		ID:         "shard",
+		Title:      fmt.Sprintf("horizontal scale-out, %d queries @%d clients: %.2fx at 2 shards, %.2fx at 4", cfg.ShardQueries, cfg.ShardClients, report.Scaling2x, report.Scaling4x),
+		LabelNames: []string{"shards"},
+		ValueNames: []string{"qps", "scaling", "p95_ms", "retries", "hits", "remote_hits", "probe_hits"},
+	}
+	for _, r := range report.Fleets {
+		t.Rows = append(t.Rows, Row{
+			Labels: []string{fmt.Sprintf("%d", r.Shards)},
+			Values: []float64{r.QPS, r.Scaling, r.P95Ms, float64(r.Retries), float64(r.HITsIssued), float64(r.RemoteHits), float64(r.ProbeRemoteHits)},
+		})
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,348 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"cdb"
+	"cdb/client"
+	"cdb/internal/reqid"
+)
+
+// ErrFingerprint marks a fleet whose engines would not produce
+// identical verdicts (seed, redundancy, epsilon or worker pool
+// differ). Execution refuses rather than silently returning rows that
+// depend on which shard ran them.
+var ErrFingerprint = fmt.Errorf("cluster: engine fingerprint mismatch")
+
+// Backend is one shard as the coordinator sees it: execute a (possibly
+// component-restricted) statement, exchange verdict-cache deltas, and
+// report health. Implementations: LocalBackend (in-process, used by
+// benchmarks and tests) and HTTPBackend (a remote cdbd).
+type Backend interface {
+	ID() string
+	Exec(ctx context.Context, req ExecRequest) (*ExecResponse, error)
+	ExecStream(ctx context.Context, req ExecRequest, onRound func(cdb.RoundUpdate)) (*ExecResponse, error)
+	CacheDelta(ctx context.Context, since int64) ([]cdb.CacheEntry, int64, error)
+	CacheApply(ctx context.Context, entries []cdb.CacheEntry) (int, error)
+	Health(ctx context.Context) (*HealthResponse, error)
+}
+
+// LocalBackend serves a shard from an in-process engine. RoundDelay,
+// when set, sleeps that long after every completed crowd round — the
+// benchmark's stand-in for real crowd round-trip latency, making
+// throughput concurrency-bound the way a deployed fleet is.
+type LocalBackend struct {
+	id         string
+	engine     *cdb.Engine
+	RoundDelay time.Duration
+}
+
+// NewLocalBackend wraps an engine as shard id.
+func NewLocalBackend(id string, engine *cdb.Engine) *LocalBackend {
+	return &LocalBackend{id: id, engine: engine}
+}
+
+// ID implements Backend.
+func (b *LocalBackend) ID() string { return b.id }
+
+// Engine exposes the wrapped engine (shard endpoints reuse it).
+func (b *LocalBackend) Engine() *cdb.Engine { return b.engine }
+
+// Exec implements Backend.
+func (b *LocalBackend) Exec(ctx context.Context, req ExecRequest) (*ExecResponse, error) {
+	return b.exec(ctx, req, nil)
+}
+
+// ExecStream implements Backend. onRound runs on the query goroutine.
+func (b *LocalBackend) ExecStream(ctx context.Context, req ExecRequest, onRound func(cdb.RoundUpdate)) (*ExecResponse, error) {
+	return b.exec(ctx, req, onRound)
+}
+
+func (b *LocalBackend) exec(ctx context.Context, req ExecRequest, onRound func(cdb.RoundUpdate)) (*ExecResponse, error) {
+	if req.Fingerprint != "" && req.Fingerprint != b.engine.Fingerprint() {
+		return nil, fmt.Errorf("%w: shard %s has %s, caller sent %s",
+			ErrFingerprint, b.id, b.engine.Fingerprint(), req.Fingerprint)
+	}
+	if req.TimeoutMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+		defer cancel()
+	}
+	progress := onRound
+	if b.RoundDelay > 0 {
+		delay := b.RoundDelay
+		progress = func(u cdb.RoundUpdate) {
+			time.Sleep(delay)
+			if onRound != nil {
+				onRound(u)
+			}
+		}
+	}
+
+	var fut *cdb.Future
+	var err error
+	if req.Target == "" {
+		if progress != nil {
+			fut, err = b.engine.SubmitWithProgress(ctx, req.Query, progress)
+		} else {
+			fut, err = b.engine.Submit(ctx, req.Query)
+		}
+	} else {
+		ring := NewRing(req.Shards)
+		target := req.Target
+		run := &cdb.ShardRun{
+			Fleet:  strings.Join(ring.Members(), ","),
+			Target: target,
+			Owned:  func(key string) bool { return ring.Owner(key) == target },
+		}
+		fut, err = b.engine.SubmitShard(ctx, req.Query, run, progress)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Wait on a background context, like the serving layer: the Submit
+	// ctx still governs the query, but a deadline must yield the
+	// partial result, not a lost race.
+	res, err := fut.Result(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	resp := &ExecResponse{Result: res}
+	if req.Target != "" {
+		resp.Shard, _ = fut.ShardInfo(context.Background())
+	}
+	resp.CacheEntries, resp.CacheSeq = b.engine.CacheDelta(req.CacheSince)
+	return resp, nil
+}
+
+// CacheDelta implements Backend.
+func (b *LocalBackend) CacheDelta(_ context.Context, since int64) ([]cdb.CacheEntry, int64, error) {
+	entries, seq := b.engine.CacheDelta(since)
+	return entries, seq, nil
+}
+
+// CacheApply implements Backend.
+func (b *LocalBackend) CacheApply(_ context.Context, entries []cdb.CacheEntry) (int, error) {
+	return b.engine.ImportVerdicts(entries), nil
+}
+
+// Health implements Backend.
+func (b *LocalBackend) Health(context.Context) (*HealthResponse, error) {
+	executing, queued := b.engine.QueueDepth()
+	return &HealthResponse{
+		ID:          b.id,
+		Fingerprint: b.engine.Fingerprint(),
+		Executing:   executing,
+		Queued:      queued,
+		CacheSeq:    b.engine.CacheSeq(),
+	}, nil
+}
+
+// HTTPBackend talks to a remote cdbd shard over the /v1/cluster and
+// /v1/cache endpoints. Safe for concurrent use.
+type HTTPBackend struct {
+	id   string
+	base string
+	hc   *http.Client
+}
+
+// NewHTTPBackend returns a backend for shard id at addr (host:port or
+// a full http:// URL). hc nil means a default client with no timeout —
+// crowd queries are long-lived; deadlines belong on the context.
+func NewHTTPBackend(id, addr string, hc *http.Client) *HTTPBackend {
+	base := strings.TrimRight(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &HTTPBackend{id: id, base: base, hc: hc}
+}
+
+// ID implements Backend.
+func (b *HTTPBackend) ID() string { return b.id }
+
+// Exec implements Backend.
+func (b *HTTPBackend) Exec(ctx context.Context, req ExecRequest) (*ExecResponse, error) {
+	resp, err := b.post(ctx, "/v1/cluster/exec", req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out ExecResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("cluster: decode exec response from %s: %w", b.id, err)
+	}
+	return &out, nil
+}
+
+// ExecStream implements Backend over NDJSON frames.
+func (b *HTTPBackend) ExecStream(ctx context.Context, req ExecRequest, onRound func(cdb.RoundUpdate)) (*ExecResponse, error) {
+	resp, err := b.post(ctx, "/v1/cluster/exec/stream", req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var fr StreamFrame
+		if err := json.Unmarshal(line, &fr); err != nil {
+			return nil, fmt.Errorf("cluster: decode stream frame from %s: %w", b.id, err)
+		}
+		switch fr.Type {
+		case "round":
+			if onRound != nil && fr.Round != nil {
+				onRound(*fr.Round)
+			}
+		case "final":
+			if fr.Final == nil {
+				return nil, fmt.Errorf("cluster: final frame without payload from %s", b.id)
+			}
+			return fr.Final, nil
+		case "error":
+			return nil, errorFromPayload(0, fr.Error)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cluster: stream from %s: %w", b.id, err)
+	}
+	return nil, fmt.Errorf("cluster: stream from %s ended without a terminal frame", b.id)
+}
+
+// CacheDelta implements Backend.
+func (b *HTTPBackend) CacheDelta(ctx context.Context, since int64) ([]cdb.CacheEntry, int64, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		b.base+"/v1/cache/delta?since="+strconv.FormatInt(since, 10), nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	b.correlate(ctx, hreq)
+	resp, err := b.hc.Do(hreq)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cluster: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, decodeError(resp)
+	}
+	var out DeltaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, 0, fmt.Errorf("cluster: decode delta from %s: %w", b.id, err)
+	}
+	return out.Entries, out.Seq, nil
+}
+
+// CacheApply implements Backend.
+func (b *HTTPBackend) CacheApply(ctx context.Context, entries []cdb.CacheEntry) (int, error) {
+	resp, err := b.post(ctx, "/v1/cache/apply", ApplyRequest{Entries: entries})
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, decodeError(resp)
+	}
+	var out ApplyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, fmt.Errorf("cluster: decode apply response from %s: %w", b.id, err)
+	}
+	return out.Imported, nil
+}
+
+// Health implements Backend.
+func (b *HTTPBackend) Health(ctx context.Context) (*HealthResponse, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/v1/cluster/health", nil)
+	if err != nil {
+		return nil, err
+	}
+	b.correlate(ctx, hreq)
+	resp, err := b.hc.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("cluster: decode health from %s: %w", b.id, err)
+	}
+	return &out, nil
+}
+
+func (b *HTTPBackend) post(ctx context.Context, path string, body any) (*http.Response, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	b.correlate(ctx, hreq)
+	resp, err := b.hc.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	return resp, nil
+}
+
+// correlate forwards the coordinator's request ID so one query's
+// coordinator and shard log lines join on the same key.
+func (b *HTTPBackend) correlate(ctx context.Context, hreq *http.Request) {
+	if cor := reqid.From(ctx); cor.RequestID != "" {
+		hreq.Header.Set(client.HeaderRequestID, cor.RequestID)
+	}
+}
+
+// decodeError turns a non-2xx shard response into a *client.APIError,
+// so errors.Is(err, cdb.ErrOverloaded) etc. work across the hop and
+// the coordinator's failover logic does not string-match.
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var p client.ErrorPayload
+	if err := json.Unmarshal(body, &p); err != nil || p.Code == "" {
+		p = client.ErrorPayload{
+			Code:    client.CodeInternal,
+			Message: fmt.Sprintf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body))),
+		}
+	}
+	return errorFromPayload(resp.StatusCode, &p)
+}
+
+func errorFromPayload(status int, p *client.ErrorPayload) error {
+	if p == nil {
+		p = &client.ErrorPayload{Code: client.CodeInternal, Message: "missing error payload"}
+	}
+	e := &client.APIError{Status: status, Code: p.Code, Message: p.Message, Near: p.Near, Offset: -1}
+	if p.Offset != nil {
+		e.Offset = *p.Offset
+	}
+	if p.RetryAfterMs > 0 {
+		e.RetryAfter = time.Duration(p.RetryAfterMs) * time.Millisecond
+	}
+	return e
+}

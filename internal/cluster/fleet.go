@@ -1,0 +1,611 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"cdb"
+	"cdb/client"
+	"cdb/internal/obs"
+)
+
+// Fleet metrics (coordinator side).
+var (
+	mRouteDirect  = obs.Default.Counter("cdb_cluster_route_direct_total")
+	mRouteScatter = obs.Default.Counter("cdb_cluster_route_scatter_total")
+	mSpills       = obs.Default.Counter("cdb_cluster_spills_total")
+	mFailovers    = obs.Default.Counter("cdb_cluster_failovers_total")
+	mShardDown    = obs.Default.Counter("cdb_cluster_shard_down_total")
+	mReplPushed   = obs.Default.Counter("cdb_cluster_replicated_entries_total")
+)
+
+// ErrDegraded means no live shard could execute a required slice of
+// the query: every candidate is down (or draining). The serving layer
+// maps it to 503.
+var ErrDegraded = errors.New("cluster: no live shard available")
+
+// Config assembles a Fleet.
+type Config struct {
+	// Planner is a local engine over the same dataset/seed as every
+	// shard. The coordinator uses it only to plan statements into
+	// component keys and to fingerprint the configuration — it never
+	// executes queries on it.
+	Planner *cdb.Engine
+	// Backends are the shards, one per ring member.
+	Backends []Backend
+	// SpillQueue is the queue depth at which a scatter part prefers a
+	// less-loaded shard over the component owner (0 disables load
+	// spill; ownership then only moves on failure).
+	SpillQueue int
+	// Logger receives routing and failover lines; nil discards.
+	Logger *log.Logger
+}
+
+// Fleet is the coordinator: it routes whole statements to component
+// owners, scatter-gathers multi-component statements, replicates
+// verdict-cache deltas, and fails over within the ring. Safe for
+// concurrent use.
+type Fleet struct {
+	planner     *cdb.Engine
+	ring        *Ring
+	backends    map[string]Backend
+	fingerprint string
+	spillQueue  int
+	log         *log.Logger
+
+	mu       sync.Mutex
+	cursor   map[string]int64 // replication cursor per source shard
+	down     map[string]bool
+	queued   map[string]int // last observed queue depth per shard
+	inflight map[string]int // parts this coordinator is running per shard
+
+	replStop chan struct{}
+	replOnce sync.Once
+	replWG   sync.WaitGroup
+}
+
+// New builds a Fleet over the planner engine and shard backends.
+func New(cfg Config) (*Fleet, error) {
+	if cfg.Planner == nil || len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("cluster: Config.Planner and at least one Backend are required")
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(nopWriter{}, "", 0)
+	}
+	f := &Fleet{
+		planner:     cfg.Planner,
+		backends:    make(map[string]Backend, len(cfg.Backends)),
+		fingerprint: cfg.Planner.Fingerprint(),
+		spillQueue:  cfg.SpillQueue,
+		log:         cfg.Logger,
+		cursor:      map[string]int64{},
+		down:        map[string]bool{},
+		queued:      map[string]int{},
+		inflight:    map[string]int{},
+	}
+	ids := make([]string, 0, len(cfg.Backends))
+	for _, b := range cfg.Backends {
+		if _, dup := f.backends[b.ID()]; dup {
+			return nil, fmt.Errorf("cluster: duplicate shard id %q", b.ID())
+		}
+		f.backends[b.ID()] = b
+		ids = append(ids, b.ID())
+	}
+	f.ring = NewRing(ids)
+	return f, nil
+}
+
+type nopWriter struct{}
+
+func (nopWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// Ring exposes the fleet's ring (read-only).
+func (f *Fleet) Ring() *Ring { return f.ring }
+
+// Plan validates a statement on the coordinator's planner without
+// executing it: parse, catalog and support errors surface here with
+// the same typed errors a local Submit would return.
+func (f *Fleet) Plan(query string) error {
+	_, err := f.planner.ComponentKeys(query)
+	return err
+}
+
+// Fingerprint is the fleet's required engine fingerprint.
+func (f *Fleet) Fingerprint() string { return f.fingerprint }
+
+// Exec routes one statement: single-component (or component-free)
+// statements go whole to one shard; multi-component statements scatter
+// one slice per owner and merge deterministically. The result is
+// bit-identical to a single-node execution of the same statement under
+// the same seed.
+func (f *Fleet) Exec(ctx context.Context, query string, timeoutMs int64) (*cdb.Result, error) {
+	return f.exec(ctx, query, timeoutMs, nil)
+}
+
+// ExecStream is Exec with a per-round hook. Scatter routes emit merged
+// round events: round r is delivered once every live slice has
+// reported round r (or finished), with cumulative fields summed so the
+// stream a client sees is the one a single node would have sent.
+func (f *Fleet) ExecStream(ctx context.Context, query string, timeoutMs int64, onRound func(cdb.RoundUpdate)) (*cdb.Result, error) {
+	return f.exec(ctx, query, timeoutMs, onRound)
+}
+
+// RoundUpdate re-exported for merge bookkeeping.
+type RoundUpdate = cdb.RoundUpdate
+
+func (f *Fleet) exec(ctx context.Context, query string, timeoutMs int64, onRound func(RoundUpdate)) (*cdb.Result, error) {
+	keys, err := f.planner.ComponentKeys(query)
+	if err != nil {
+		return nil, err
+	}
+	owners := map[string][]string{}
+	for _, k := range keys {
+		o := f.ring.Owner(k)
+		owners[o] = append(owners[o], k)
+	}
+
+	if len(owners) <= 1 {
+		// Direct route: the whole statement runs on one shard, response
+		// returned as-is (modulo the piggybacked cache delta).
+		mRouteDirect.Inc()
+		prefKey := query
+		for _, k := range keys {
+			prefKey = k // single component: prefer its owner
+		}
+		req := ExecRequest{Query: query, TimeoutMs: timeoutMs, Shards: f.ring.Members(), Fingerprint: f.fingerprint}
+		resp, src, err := f.execPart(ctx, req, prefKey, onRound)
+		if err != nil {
+			return nil, err
+		}
+		f.replicate(ctx, src, resp)
+		return resp.Result, nil
+	}
+
+	mRouteScatter.Inc()
+	targets := make([]string, 0, len(owners))
+	for o := range owners {
+		targets = append(targets, o)
+	}
+	sort.Strings(targets)
+
+	parts, err := f.scatter(ctx, query, timeoutMs, targets, owners, onRound)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range parts {
+		f.replicate(ctx, p.src, p.resp)
+	}
+	res, err := mergeParts(parts)
+	if err != nil {
+		return nil, err
+	}
+	res.RequestID = requestIDFrom(ctx)
+	return res, nil
+}
+
+// part is one completed scatter slice.
+type part struct {
+	target string
+	src    string // shard that actually executed (failover may move it)
+	resp   *ExecResponse
+}
+
+// scatter runs one slice per target concurrently. Round events from
+// all slices merge into single-node-shaped round updates when onRound
+// is set.
+func (f *Fleet) scatter(ctx context.Context, query string, timeoutMs int64, targets []string, owners map[string][]string, onRound func(RoundUpdate)) ([]part, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var merger *roundMerger
+	if onRound != nil {
+		merger = newRoundMerger(targets, onRound)
+	}
+
+	parts := make([]part, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, target := range targets {
+		i, target := i, target
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := ExecRequest{
+				Query:       query,
+				TimeoutMs:   timeoutMs,
+				Shards:      f.ring.Members(),
+				Target:      target,
+				Fingerprint: f.fingerprint,
+			}
+			var hook func(RoundUpdate)
+			if merger != nil {
+				hook = func(u RoundUpdate) { merger.deliver(target, u) }
+			}
+			resp, src, err := f.execPart(ctx, req, owners[target][0], hook)
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			if merger != nil {
+				merger.finish(target)
+			}
+			parts[i] = part{target: target, src: src, resp: resp}
+		}()
+	}
+	wg.Wait()
+	// A failing slice cancels its siblings; report the originating
+	// error, not the context.Canceled noise it caused.
+	var slicesErr error
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			slicesErr = err
+			break
+		}
+	}
+	if slicesErr == nil {
+		for _, err := range errs {
+			if err != nil {
+				slicesErr = err
+				break
+			}
+		}
+	}
+	if slicesErr != nil {
+		return nil, slicesErr
+	}
+	if merger != nil {
+		merger.flush()
+	}
+	return parts, nil
+}
+
+// execPart executes one request against the best candidate shard,
+// spilling on overload and failing over on unavailability. prefKey
+// anchors the deterministic candidate order in the ring.
+func (f *Fleet) execPart(ctx context.Context, req ExecRequest, prefKey string, onRound func(RoundUpdate)) (*ExecResponse, string, error) {
+	cands := f.candidates(prefKey)
+	var lastErr error
+	overloaded := false
+	for _, id := range cands {
+		if ctx.Err() != nil {
+			return nil, "", ctx.Err()
+		}
+		b := f.backends[id]
+		r := req
+		r.CacheSince = f.cursorFor(id)
+		var resp *ExecResponse
+		var err error
+		delivered := 0
+		f.noteDispatch(id, 1)
+		if onRound != nil {
+			resp, err = b.ExecStream(ctx, r, func(u RoundUpdate) {
+				delivered++
+				onRound(u)
+			})
+		} else {
+			resp, err = b.Exec(ctx, r)
+		}
+		f.noteDispatch(id, -1)
+		if err == nil {
+			f.markUp(id)
+			return resp, id, nil
+		}
+		if delivered > 0 {
+			// Rounds already reached the caller: retrying elsewhere would
+			// replay them. The stream fails; the client re-issues (and
+			// the replicated cache makes the retry nearly free).
+			f.markDown(id)
+			return nil, "", err
+		}
+		switch classify(err) {
+		case failOverloaded:
+			// Admission control on the shard: spill to the next ring
+			// candidate — execution there returns identical bytes.
+			f.noteQueued(id, f.spillQueue+1)
+			mSpills.Inc()
+			f.log.Printf("cluster: shard %s overloaded, spilling", id)
+			overloaded = true
+			lastErr = err
+		case failUnavailable:
+			f.markDown(id)
+			mFailovers.Inc()
+			f.log.Printf("cluster: shard %s unavailable (%v), failing over", id, err)
+			lastErr = err
+		default:
+			// A real query error (parse, unknown table, timeout):
+			// retrying elsewhere would just repeat it.
+			return nil, "", err
+		}
+	}
+	if overloaded {
+		return nil, "", lastErr
+	}
+	if lastErr != nil {
+		return nil, "", fmt.Errorf("%w: %v", ErrDegraded, lastErr)
+	}
+	return nil, "", ErrDegraded
+}
+
+// candidates orders the live shards for one part. The base order is
+// ring preference (the component owner first — warmest private cache),
+// with overloaded shards (observed queue depth past SpillQueue)
+// demoted behind the rest. With SpillQueue enabled the live set is
+// additionally stable-sorted by the coordinator's own in-flight count
+// per shard: replication keeps every shard's verdict cache warm, so
+// ownership is a cache-locality preference rather than a correctness
+// constraint, and routing a part to an idle shard beats queueing
+// behind a busy owner. An idle fleet has all counts at zero, so
+// sequential traffic still lands on ring owners deterministically.
+func (f *Fleet) candidates(prefKey string) []string {
+	pref := f.ring.Prefer(prefKey)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	live := make([]string, 0, len(pref))
+	busy := make([]string, 0)
+	for _, id := range pref {
+		if f.down[id] {
+			continue
+		}
+		if f.spillQueue > 0 && f.queued[id] > f.spillQueue {
+			busy = append(busy, id)
+			continue
+		}
+		live = append(live, id)
+	}
+	if f.spillQueue > 0 {
+		sort.SliceStable(live, func(i, j int) bool {
+			return f.inflight[live[i]] < f.inflight[live[j]]
+		})
+	}
+	return append(live, busy...)
+}
+
+// noteDispatch tracks parts in flight per shard for load-aware
+// candidate ordering.
+func (f *Fleet) noteDispatch(id string, d int) {
+	f.mu.Lock()
+	f.inflight[id] += d
+	f.mu.Unlock()
+}
+
+type failClass int
+
+const (
+	failHard failClass = iota
+	failOverloaded
+	failUnavailable
+)
+
+// classify sorts a shard error into spill / failover / propagate.
+func classify(err error) failClass {
+	if errors.Is(err, cdb.ErrOverloaded) {
+		return failOverloaded
+	}
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		switch {
+		case ae.Code == client.CodeDraining:
+			return failUnavailable
+		case ae.Status >= 500 && ae.Code == client.CodeInternal && ae.Status != 504:
+			return failUnavailable
+		}
+		return failHard
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return failHard
+	}
+	// Transport-level failure: connection refused, reset, torn stream.
+	return failUnavailable
+}
+
+// replicate advances the replication cursor for src and pushes its
+// piggybacked delta to every other live shard before the caller's
+// response is returned — sequential workloads therefore observe
+// synchronous replication, which is what keeps wire-visible Stats of a
+// clustered run identical to a single node's.
+func (f *Fleet) replicate(ctx context.Context, src string, resp *ExecResponse) {
+	if resp == nil {
+		return
+	}
+	f.mu.Lock()
+	if resp.CacheSeq > f.cursor[src] {
+		f.cursor[src] = resp.CacheSeq
+	}
+	f.mu.Unlock()
+	f.push(ctx, src, resp.CacheEntries)
+}
+
+// push applies entries to every live shard except the source.
+func (f *Fleet) push(ctx context.Context, src string, entries []cdb.CacheEntry) {
+	if len(entries) == 0 {
+		return
+	}
+	for id, b := range f.backends {
+		if id == src || f.isDown(id) {
+			continue
+		}
+		if _, err := b.CacheApply(ctx, entries); err != nil {
+			f.log.Printf("cluster: cache apply to %s failed: %v", id, err)
+			f.markDown(id)
+			continue
+		}
+		mReplPushed.Add(int64(len(entries)))
+	}
+}
+
+// StartReplication runs the background anti-entropy loop: every
+// interval, pull each live shard's verdict delta since the fleet's
+// cursor and push it to the others, and probe down shards back into
+// rotation (fingerprint-checked). The piggybacked path keeps
+// sequential traffic consistent on its own; this loop covers
+// concurrent traffic and recovered shards. Stop with StopReplication.
+func (f *Fleet) StartReplication(interval time.Duration) {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	f.replStop = make(chan struct{})
+	f.replWG.Add(1)
+	go func() {
+		defer f.replWG.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-f.replStop:
+				return
+			case <-tick.C:
+				f.replicateOnce(context.Background())
+			}
+		}
+	}()
+}
+
+// StopReplication stops the loop started by StartReplication.
+func (f *Fleet) StopReplication() {
+	f.replOnce.Do(func() {
+		if f.replStop != nil {
+			close(f.replStop)
+		}
+	})
+	f.replWG.Wait()
+}
+
+// replicateOnce is one anti-entropy pass.
+func (f *Fleet) replicateOnce(ctx context.Context) {
+	for _, id := range f.ring.Members() {
+		b := f.backends[id]
+		h, err := b.Health(ctx)
+		if err != nil {
+			f.markDown(id)
+			continue
+		}
+		if h.Fingerprint != f.fingerprint {
+			f.log.Printf("cluster: shard %s fingerprint %s != fleet %s; keeping out of rotation", id, h.Fingerprint, f.fingerprint)
+			f.markDown(id)
+			continue
+		}
+		wasDown := f.isDown(id)
+		if h.Draining {
+			f.markDown(id)
+			continue
+		}
+		f.markUp(id)
+		f.noteQueued(id, h.Queued)
+		if wasDown {
+			f.log.Printf("cluster: shard %s back in rotation", id)
+			// A restarted shard lost its imported verdicts: reset the
+			// cursor so the next pull re-sends from its new log head
+			// (CacheDelta handles the full-dump fallback for us) and
+			// push it everything the fleet knows.
+			f.mu.Lock()
+			f.cursor[id] = 0
+			f.mu.Unlock()
+			f.refill(ctx, id)
+		}
+		entries, seq, err := b.CacheDelta(ctx, f.cursorFor(id))
+		if err != nil {
+			f.markDown(id)
+			continue
+		}
+		f.mu.Lock()
+		if seq > f.cursor[id] {
+			f.cursor[id] = seq
+		}
+		f.mu.Unlock()
+		f.push(ctx, id, entries)
+	}
+}
+
+// refill pushes every other live shard's full settled cache to a shard
+// that just rejoined.
+func (f *Fleet) refill(ctx context.Context, target string) {
+	tb := f.backends[target]
+	for id, b := range f.backends {
+		if id == target || f.isDown(id) {
+			continue
+		}
+		entries, _, err := b.CacheDelta(ctx, 0)
+		if err != nil || len(entries) == 0 {
+			continue
+		}
+		if _, err := tb.CacheApply(ctx, entries); err != nil {
+			f.markDown(target)
+			return
+		}
+		mReplPushed.Add(int64(len(entries)))
+	}
+}
+
+// Health snapshots every shard's health (down shards report an error
+// string); used by the coordinator's cluster health endpoint.
+type ShardHealth struct {
+	ID       string `json:"id"`
+	Live     bool   `json:"live"`
+	Queued   int    `json:"queued"`
+	CacheSeq int64  `json:"cache_seq"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Health probes all shards.
+func (f *Fleet) Health(ctx context.Context) []ShardHealth {
+	out := make([]ShardHealth, 0, len(f.backends))
+	for _, id := range f.ring.Members() {
+		h, err := f.backends[id].Health(ctx)
+		sh := ShardHealth{ID: id}
+		if err != nil {
+			sh.Error = err.Error()
+			f.markDown(id)
+		} else {
+			sh.Live = !h.Draining
+			sh.Queued = h.Queued
+			sh.CacheSeq = h.CacheSeq
+			if h.Draining {
+				f.markDown(id)
+			} else {
+				f.markUp(id)
+			}
+		}
+		out = append(out, sh)
+	}
+	return out
+}
+
+func (f *Fleet) cursorFor(id string) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cursor[id]
+}
+
+func (f *Fleet) isDown(id string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.down[id]
+}
+
+func (f *Fleet) markDown(id string) {
+	f.mu.Lock()
+	if !f.down[id] {
+		f.down[id] = true
+		mShardDown.Inc()
+	}
+	f.mu.Unlock()
+}
+
+func (f *Fleet) markUp(id string) {
+	f.mu.Lock()
+	f.down[id] = false
+	f.queued[id] = 0
+	f.mu.Unlock()
+}
+
+func (f *Fleet) noteQueued(id string, depth int) {
+	f.mu.Lock()
+	f.queued[id] = depth
+	f.mu.Unlock()
+}

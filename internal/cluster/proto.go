@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"cdb"
+	"cdb/client"
+)
+
+// Cluster wire schema, shared by the coordinator's HTTP backend and
+// the shard endpoints in internal/server (same pattern as the public
+// /v1 schema living in package client).
+
+// ExecRequest is the body of POST /v1/cluster/exec(/stream): one
+// statement plus the fleet layout that scopes this shard's slice of
+// it. The executing shard rebuilds the same plan the coordinator saw
+// and restricts itself to the components the ring assigns to Target,
+// so the request is self-describing — any shard can execute any
+// target.
+type ExecRequest struct {
+	// Query is one CQL SELECT statement.
+	Query string `json:"query"`
+	// TimeoutMs optionally bounds execution shard-side, exactly like
+	// the public endpoint's field.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Shards is the fleet's full member list; every node derives the
+	// same consistent-hash ring from it.
+	Shards []string `json:"shards"`
+	// Target is the shard whose components this execution owns. Empty
+	// means the whole statement (the coordinator's direct route for
+	// single-component queries).
+	Target string `json:"target,omitempty"`
+	// CacheSince is the caller's replication cursor for this shard:
+	// the response piggybacks every verdict the shard settled after it.
+	CacheSince int64 `json:"cache_since"`
+	// Fingerprint is the caller's engine fingerprint; the shard
+	// refuses to execute under a mismatch (different seed, redundancy,
+	// epsilon or worker pool would silently break bit-identity).
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// ExecResponse is one shard's completed slice.
+type ExecResponse struct {
+	// Result is the ordinary wire result of the (possibly restricted)
+	// execution.
+	Result *cdb.Result `json:"result"`
+	// Shard is the scatter-gather sidecar (nil on the direct route).
+	Shard *cdb.ShardInfo `json:"shard,omitempty"`
+	// CacheEntries / CacheSeq piggyback the shard's verdict-cache delta
+	// since the request's CacheSince, so sequential workloads replicate
+	// synchronously — a verdict paid here is visible fleet-wide before
+	// the next statement runs.
+	CacheEntries []cdb.CacheEntry `json:"cache_entries,omitempty"`
+	CacheSeq     int64            `json:"cache_seq"`
+}
+
+// StreamFrame is one NDJSON line of POST /v1/cluster/exec/stream:
+// round events in order, terminated by exactly one final or error
+// frame.
+type StreamFrame struct {
+	Type string `json:"type"` // "round" | "final" | "error"
+	// Round carries the per-round snapshot (Type "round").
+	Round *cdb.RoundUpdate `json:"round,omitempty"`
+	// Final carries the completed slice (Type "final").
+	Final *ExecResponse `json:"final,omitempty"`
+	// Error carries the terminal failure (Type "error").
+	Error *client.ErrorPayload `json:"error,omitempty"`
+}
+
+// DeltaResponse is the body of GET /v1/cache/delta?since=N: the
+// shard's settled verdicts after sequence N (or a full dump when N
+// precedes the log horizon) and the cursor to resume from.
+type DeltaResponse struct {
+	Entries []cdb.CacheEntry `json:"entries"`
+	Seq     int64            `json:"seq"`
+}
+
+// ApplyRequest is the body of POST /v1/cache/apply: verdicts
+// replicated from a peer shard.
+type ApplyRequest struct {
+	Entries []cdb.CacheEntry `json:"entries"`
+}
+
+// ApplyResponse reports how many applied entries were new.
+type ApplyResponse struct {
+	Imported int `json:"imported"`
+}
+
+// HealthResponse is the body of GET /v1/cluster/health: identity,
+// compatibility and load, the inputs of routing decisions.
+type HealthResponse struct {
+	ID          string `json:"id"`
+	Fingerprint string `json:"fingerprint"`
+	// Executing / Queued report admission pressure (see
+	// Engine.QueueDepth).
+	Executing int `json:"executing"`
+	Queued    int `json:"queued"`
+	// CacheSeq is the shard's replication cursor head.
+	CacheSeq int64 `json:"cache_seq"`
+	// Draining marks a shard past SIGTERM: still finishing accepted
+	// queries, not accepting new ones.
+	Draining bool `json:"draining,omitempty"`
+}

@@ -1,0 +1,131 @@
+// Package cluster is the horizontal scale-out layer: a coordinator
+// that partitions each statement's tuple graph by connected component
+// across a fleet of cdbd shards, scatter-gathers multi-component
+// queries with a deterministic merge, and replicates the grow-only
+// verdict cache so crowd work paid on one shard is never re-bought on
+// another.
+//
+// The partitioning unit is the connected component (see
+// internal/exec/shard.go): components never interact — not through
+// optimization, not through enumeration, not through crowd tasks — so
+// executing each on its owning shard and merging reproduces the
+// single-node answer bit for bit. Verdicts are pure functions of
+// (seed, task content, redundancy), which buys the two properties a
+// distributed cache usually has to fight for: replication needs no
+// invalidation (entries can never disagree), and any shard can execute
+// any component (failover and load-spill preserve byte-identity).
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// vnodesPerShard spreads each shard over the hash space; 64 virtual
+// nodes keep the per-shard key share within a few percent of fair at
+// realistic fleet sizes (see TestRingDistribution).
+const vnodesPerShard = 64
+
+// Ring is a consistent-hash ring over shard ids. Deterministic: the
+// same member set yields the same ring on every node, which is what
+// lets coordinator and shards derive identical component placement
+// from the request alone.
+type Ring struct {
+	ids    []string
+	vnodes []vnode
+}
+
+type vnode struct {
+	hash uint64
+	id   string
+}
+
+// hashKey is fnv-64a with a splitmix64 finalizer: raw FNV of short,
+// similar strings (vnode labels, canonical task keys) leaves the high
+// bits correlated, which shows up as wildly uneven ring arcs; the
+// finalizer's avalanche restores a uniform spread.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// NewRing builds a ring over the given shard ids (order-insensitive,
+// duplicates collapsed).
+func NewRing(ids []string) *Ring {
+	seen := map[string]bool{}
+	r := &Ring{}
+	for _, id := range ids {
+		if id == "" || seen[id] {
+			continue
+		}
+		seen[id] = true
+		r.ids = append(r.ids, id)
+	}
+	sort.Strings(r.ids)
+	r.vnodes = make([]vnode, 0, len(r.ids)*vnodesPerShard)
+	for _, id := range r.ids {
+		for i := 0; i < vnodesPerShard; i++ {
+			r.vnodes = append(r.vnodes, vnode{hash: hashKey(id + "#" + strconv.Itoa(i)), id: id})
+		}
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		if r.vnodes[i].hash != r.vnodes[j].hash {
+			return r.vnodes[i].hash < r.vnodes[j].hash
+		}
+		return r.vnodes[i].id < r.vnodes[j].id
+	})
+	return r
+}
+
+// Members returns the shard ids, sorted.
+func (r *Ring) Members() []string { return append([]string(nil), r.ids...) }
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.ids) }
+
+// at locates the first vnode at or clockwise of the key's hash.
+func (r *Ring) at(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	if i == len(r.vnodes) {
+		i = 0
+	}
+	return i
+}
+
+// Owner returns the shard owning key ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	if len(r.vnodes) == 0 {
+		return ""
+	}
+	return r.vnodes[r.at(key)].id
+}
+
+// Prefer returns every shard in deterministic failover order for key:
+// the owner first, then each distinct shard met walking the ring
+// clockwise. Coordinators try the list in order when the owner is down
+// or overloaded; execution on any member returns identical bytes, so
+// the order only decides who does the work.
+func (r *Ring) Prefer(key string) []string {
+	if len(r.vnodes) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(r.ids))
+	seen := make(map[string]bool, len(r.ids))
+	for i, start := 0, r.at(key); i < len(r.vnodes) && len(out) < len(r.ids); i++ {
+		v := r.vnodes[(start+i)%len(r.vnodes)]
+		if !seen[v.id] {
+			seen[v.id] = true
+			out = append(out, v.id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func syntheticKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("join\x1fp\x1fvalue-%d\x1fother-%d", i, i*7)
+	}
+	return keys
+}
+
+// TestRingDistribution bounds placement skew: over 1k component keys
+// no shard's share may stray past 2x fair (vnode hashing keeps real
+// skew far below that; the bound catches a broken hash or a collapsed
+// vnode set).
+func TestRingDistribution(t *testing.T) {
+	for _, shards := range []int{2, 4, 8} {
+		ids := make([]string, shards)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("shard-%c", 'a'+i)
+		}
+		r := NewRing(ids)
+		counts := map[string]int{}
+		for _, k := range syntheticKeys(1000) {
+			counts[r.Owner(k)]++
+		}
+		if len(counts) != shards {
+			t.Fatalf("%d shards: only %d received keys: %v", shards, len(counts), counts)
+		}
+		fair := 1000 / shards
+		for id, n := range counts {
+			if n > 2*fair || n < fair/2 {
+				t.Fatalf("%d shards: %s owns %d keys (fair %d): %v", shards, id, n, fair, counts)
+			}
+		}
+	}
+}
+
+// TestRingDeterministic: same members (any order) produce identical
+// placement and failover preference on every node.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"a", "b", "c"})
+	b := NewRing([]string{"c", "a", "b", "a"})
+	for _, k := range syntheticKeys(200) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %q: owner %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+		if !reflect.DeepEqual(a.Prefer(k), b.Prefer(k)) {
+			t.Fatalf("key %q: preference %v vs %v", k, a.Prefer(k), b.Prefer(k))
+		}
+	}
+	if !reflect.DeepEqual(a.Members(), []string{"a", "b", "c"}) {
+		t.Fatalf("members = %v", a.Members())
+	}
+}
+
+// TestRingMinimalMovement: adding or removing one shard may only move
+// keys onto (or off) that shard — every key whose owner survives in
+// both rings must keep it. This is the consistent-hashing contract
+// that keeps shard-local result caches warm across resizes.
+func TestRingMinimalMovement(t *testing.T) {
+	keys := syntheticKeys(1000)
+	three := NewRing([]string{"a", "b", "c"})
+	four := NewRing([]string{"a", "b", "c", "d"})
+
+	moved := 0
+	for _, k := range keys {
+		was, is := three.Owner(k), four.Owner(k)
+		if was != is {
+			if is != "d" {
+				t.Fatalf("key %q moved %s -> %s, not to the new shard", k, was, is)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("new shard received nothing")
+	}
+	if moved > 1000/2 {
+		t.Fatalf("adding one shard moved %d/1000 keys", moved)
+	}
+
+	// Removal is the mirror image: only the removed shard's keys move.
+	for _, k := range keys {
+		if three.Owner(k) != "b" && NewRing([]string{"a", "c"}).Owner(k) != three.Owner(k) {
+			t.Fatalf("key %q moved off a surviving shard on removal", k)
+		}
+	}
+
+	// Failover preference: first entry is the owner; entries are the
+	// full member set.
+	for _, k := range keys[:50] {
+		pref := four.Prefer(k)
+		if pref[0] != four.Owner(k) {
+			t.Fatalf("key %q: preference %v does not start at owner %s", k, pref, four.Owner(k))
+		}
+		if len(pref) != 4 {
+			t.Fatalf("key %q: preference %v misses members", k, pref)
+		}
+	}
+}

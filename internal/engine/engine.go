@@ -208,6 +208,10 @@ type Answer struct {
 	// under (empty without one); per handle even when the Answer rows
 	// are shared.
 	RequestID string
+	// Shard is the scatter-gather sidecar of a SubmitShard execution
+	// (nil for whole-statement runs): merge keys per row plus the owned
+	// slice of the ground-truth accounting.
+	Shard *exec.ShardInfo
 }
 
 // Handle is the future for one submitted query.
@@ -258,6 +262,13 @@ func (e *Engine) Submit(ctx context.Context, query string) (*Handle, error) {
 // unobserved run. progress runs on the query's goroutine; hand off to
 // a channel if the consumer can stall.
 func (e *Engine) SubmitProgress(ctx context.Context, query string, progress func(exec.RoundUpdate)) (*Handle, error) {
+	return e.submit(ctx, query, progress, nil)
+}
+
+// submit is the shared admission path behind Submit, SubmitProgress
+// and SubmitShard; sr (nil for whole-statement runs) scopes execution
+// to a shard's owned components.
+func (e *Engine) submit(ctx context.Context, query string, progress func(exec.RoundUpdate), sr *ShardRun) (*Handle, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -295,7 +306,7 @@ func (e *Engine) SubmitProgress(ctx context.Context, query string, progress func
 	mSubmitted.Inc()
 	h := &Handle{Query: query, done: make(chan struct{})}
 	entry := e.intr.admit(reqid.From(ctx).RequestID, query)
-	go e.serve(ctx, s, h, progress, entry)
+	go e.serve(ctx, s, h, progress, entry, sr)
 	return h, nil
 }
 
@@ -303,7 +314,7 @@ func (e *Engine) SubmitProgress(ctx context.Context, query string, progress func
 // whole answers with identical statements (cache or in-flight
 // attach), otherwise plan with the shared join cache, execute with
 // the coalescer as resolver, and project the answers.
-func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress func(exec.RoundUpdate), entry *queryEntry) {
+func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress func(exec.RoundUpdate), entry *queryEntry, sr *ShardRun) {
 	defer e.wg.Done()
 	defer func() { <-e.admit }()
 	defer close(h.done)
@@ -336,10 +347,17 @@ func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress f
 	// execution slot before registering, so waiting cannot deadlock.
 	var fl *queryFlight
 	key := s.String()
+	// Shard-scoped executions answer a different question than the whole
+	// statement (and than any other ownership split), so they share whole
+	// answers only within their exact fleet layout and target.
+	cacheKey := key
+	if sr != nil {
+		cacheKey = key + "\x1f#shard\x1f" + sr.Fleet + "\x1f" + sr.Target
+	}
 	if e.results != nil && progress == nil {
 		for {
 			e.resMu.Lock()
-			if ans, ok := e.results.get(key); ok {
+			if ans, ok := e.results.get(cacheKey); ok {
 				e.resMu.Unlock()
 				e.shareAnswer(h, ans, entry.req)
 				e.qCached.Add(1)
@@ -347,10 +365,10 @@ func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress f
 				finState = StateShared
 				return
 			}
-			owner, ok := e.resInflight[key]
+			owner, ok := e.resInflight[cacheKey]
 			if !ok {
 				fl = &queryFlight{done: make(chan struct{})}
-				e.resInflight[key] = fl
+				e.resInflight[cacheKey] = fl
 				e.resMu.Unlock()
 				break
 			}
@@ -374,9 +392,9 @@ func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress f
 		defer func() {
 			e.resMu.Lock()
 			if fl.ans != nil {
-				e.results.put(key, fl.ans)
+				e.results.put(cacheKey, fl.ans)
 			}
-			delete(e.resInflight, key)
+			delete(e.resInflight, cacheKey)
 			e.resMu.Unlock()
 			close(fl.done)
 		}()
@@ -408,6 +426,10 @@ func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress f
 	if err != nil {
 		h.err = err
 		return
+	}
+	var scope *exec.ShardScope
+	if sr != nil && sr.Owned != nil {
+		scope = exec.RestrictToOwned(plan, sr.Owned)
 	}
 	if e.cfg.Journal != nil {
 		// The statement is planable against the live catalog: log it so
@@ -451,11 +473,24 @@ func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress f
 		}
 		ans.Rows = append(ans.Rows, row)
 	}
+	if scope != nil {
+		tt, tc := scope.TruthCounts(plan)
+		ans.Shard = &exec.ShardInfo{
+			Components:      scope.OwnedComponents,
+			TotalComponents: scope.TotalComponents,
+			MergeKeys:       exec.MergeKeys(plan, rep.Answers),
+			TruthTotal:      tt,
+			TruthCorrect:    tc,
+		}
+	}
 	h.ans = ans
 	if fl != nil {
 		fl.ans = ans
 	}
-	if e.cfg.Journal != nil {
+	if e.cfg.Journal != nil && sr == nil {
+		// Shard-scoped answers never enter the durable answer cache: the
+		// journal keys answers by bare statement, and a replayed partial
+		// answer would poison the whole-statement cache after a restart.
 		e.journalAnswer(key, ans)
 	}
 	e.completed.Add(1)
@@ -548,6 +583,11 @@ type Stats struct {
 	InferredHits      int64
 	InferredRejected  int64
 
+	// Cluster replication: verdicts imported from peer shards and
+	// cache hits those imports served.
+	RemoteImported int64
+	RemoteHits     int64
+
 	CacheEntries int // live verdict-cache entries
 }
 
@@ -583,6 +623,9 @@ func (e *Engine) Stats() Stats {
 		InferredPublished: e.coal.inferredPub.Load(),
 		InferredHits:      e.coal.inferredHit.Load(),
 		InferredRejected:  e.coal.inferredRej.Load(),
+
+		RemoteImported: e.coal.imported.Load(),
+		RemoteHits:     e.coal.remoteHit.Load(),
 
 		CacheEntries: entries,
 	}

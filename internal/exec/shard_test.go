@@ -1,0 +1,260 @@
+package exec
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"cdb/internal/cost"
+	"cdb/internal/crowd"
+	"cdb/internal/dataset"
+	"cdb/internal/stats"
+)
+
+// pureResolver answers every task as a pure function of (seed, task
+// key, redundancy) — the same deterministic scheme the engine's
+// coalescer uses. Component-sharded execution is only sound on this
+// path: a stateful arrival RNG would leak scheduling into verdicts.
+type pureResolver struct {
+	seed uint64
+	pool *crowd.Pool
+}
+
+func (r pureResolver) Resolve(_ context.Context, reqs []TaskRequest) (map[int]TaskVerdict, error) {
+	out := make(map[int]TaskVerdict, len(reqs))
+	for _, req := range reqs {
+		workers := r.pool.Workers()
+		k := req.K
+		if k > len(workers) {
+			k = len(workers)
+		}
+		rng := stats.HashRNG(r.seed, stats.HashString(req.Key), uint64(req.K))
+		idx := make([]int, len(workers))
+		for i := range idx {
+			idx[i] = i
+		}
+		yes := 0
+		for i := 0; i < k; i++ {
+			j := i + rng.Intn(len(idx)-i)
+			idx[i], idx[j] = idx[j], idx[i]
+			w := workers[idx[i]]
+			ans := req.Truth
+			if rng.Float64() >= w.LatentAccuracy() {
+				ans = !ans
+			}
+			if ans {
+				yes++
+			}
+		}
+		value := 2*yes > k
+		conf := float64(yes) / float64(k)
+		if !value {
+			conf = 1 - conf
+		}
+		out[req.Edge] = TaskVerdict{Value: value, Confidence: conf, Assignments: k}
+	}
+	return out, nil
+}
+
+type shardRun struct {
+	plan    *Plan
+	scope   *ShardScope
+	rep     *Report
+	updates []RoundUpdate
+}
+
+func runScoped(t *testing.T, d *dataset.Data, query string, res TaskResolver, owned func(string) bool) *shardRun {
+	t.Helper()
+	p, err := BuildPlan(mustSelect(t, query), d.Catalog, d.Oracle, DefaultPlanConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc *ShardScope
+	if owned != nil {
+		sc = RestrictToOwned(p, owned)
+	}
+	run := &shardRun{plan: p, scope: sc}
+	rep, err := Run(context.Background(), p, Options{
+		Strategy:   &cost.Expectation{},
+		Redundancy: 5,
+		Pool:       crowd.NewPool(30, 0.9, 0.05, stats.NewRNG(11)),
+		Resolver:   res,
+		Progress:   func(u RoundUpdate) { run.updates = append(run.updates, u) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.rep = rep
+	return run
+}
+
+// TestShardedUnionBitIdentical is the load-bearing property of the
+// cluster layer: executing each component partition on its own fresh
+// plan and merging — rows ordered by merge key, per-round updates and
+// raw truth counts summed, rounds maxed — must reproduce the
+// single-graph execution bit for bit. Verified over the paper
+// dataset's query shapes and 2- and 3-way partitions.
+func TestShardedUnionBitIdentical(t *testing.T) {
+	d := dataset.GenPaper(dataset.Config{Seed: 7, Scale: 0.1})
+	res := pureResolver{seed: 99, pool: crowd.NewPool(30, 0.9, 0.05, stats.NewRNG(11))}
+	for label, query := range dataset.Queries("paper") {
+		for _, shards := range []int{2, 3} {
+			whole := runScoped(t, d, query, res, nil)
+
+			keys := ComponentKeys(whole.plan)
+			if len(keys) < 2 {
+				t.Fatalf("%s: only %d components; partition test is vacuous", label, len(keys))
+			}
+			keyShard := map[string]int{}
+			for i, k := range keys {
+				keyShard[k] = i % shards
+			}
+
+			var runs []*shardRun
+			for s := 0; s < shards; s++ {
+				s := s
+				runs = append(runs, runScoped(t, d, query, res, func(k string) bool { return keyShard[k] == s }))
+			}
+
+			checkMergedAnswers(t, label, whole, runs)
+			checkMergedStats(t, label, whole, runs)
+			checkMergedUpdates(t, label, whole.updates, runs)
+		}
+	}
+}
+
+// checkMergedAnswers merges the per-shard answers by merge-key order
+// and compares rows, assignments and confidences positionally against
+// the whole run.
+func checkMergedAnswers(t *testing.T, label string, whole *shardRun, runs []*shardRun) {
+	t.Helper()
+	type row struct {
+		key    []int
+		assign []int
+		conf   float64
+	}
+	var merged []row
+	for _, r := range runs {
+		keys := MergeKeys(r.plan, r.rep.Answers)
+		for i, a := range r.rep.Answers {
+			conf := 1.0
+			if r.rep.Confidence != nil {
+				conf = r.rep.Confidence[i]
+			}
+			merged = append(merged, row{key: keys[i], assign: a.Assign, conf: conf})
+		}
+	}
+	// Insertion sort by merge key: small n, and it keeps the comparison
+	// logic in one obvious place.
+	less := func(a, b []int) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return a[i] < b[i]
+			}
+		}
+		return false
+	}
+	for i := 1; i < len(merged); i++ {
+		for j := i; j > 0 && less(merged[j].key, merged[j-1].key); j-- {
+			merged[j], merged[j-1] = merged[j-1], merged[j]
+		}
+	}
+
+	if len(merged) != len(whole.rep.Answers) {
+		t.Fatalf("%s: merged %d answers, whole run %d", label, len(merged), len(whole.rep.Answers))
+	}
+	for i, a := range whole.rep.Answers {
+		if !reflect.DeepEqual(merged[i].assign, a.Assign) {
+			t.Fatalf("%s: row %d assign = %v, whole %v", label, i, merged[i].assign, a.Assign)
+		}
+		want := 1.0
+		if whole.rep.Confidence != nil {
+			want = whole.rep.Confidence[i]
+		}
+		if merged[i].conf != want {
+			t.Fatalf("%s: row %d confidence = %v, whole %v", label, i, merged[i].conf, want)
+		}
+	}
+}
+
+// checkMergedStats verifies the scalar merge rules: tasks/assignments
+// and truth counts sum, rounds max.
+func checkMergedStats(t *testing.T, label string, whole *shardRun, runs []*shardRun) {
+	t.Helper()
+	tasks, asks, rounds := 0, 0, 0
+	truthTotal, truthCorrect := 0, 0
+	for _, r := range runs {
+		tasks += r.rep.Metrics.Tasks
+		asks += r.rep.Assignments
+		if r.rep.Metrics.Rounds > rounds {
+			rounds = r.rep.Metrics.Rounds
+		}
+		tt, tc := r.scope.TruthCounts(r.plan)
+		truthTotal += tt
+		truthCorrect += tc
+	}
+	if tasks != whole.rep.Metrics.Tasks || asks != whole.rep.Assignments {
+		t.Fatalf("%s: merged tasks/assignments = %d/%d, whole %d/%d",
+			label, tasks, asks, whole.rep.Metrics.Tasks, whole.rep.Assignments)
+	}
+	if rounds != whole.rep.Metrics.Rounds {
+		t.Fatalf("%s: merged rounds = %d, whole %d", label, rounds, whole.rep.Metrics.Rounds)
+	}
+	wholeTruth := whole.plan.TrueAnswerKeys()
+	wholeCorrect := 0
+	for k := range whole.plan.AnswerKeys() {
+		if wholeTruth[k] {
+			wholeCorrect++
+		}
+	}
+	if truthTotal != len(wholeTruth) || truthCorrect != wholeCorrect {
+		t.Fatalf("%s: merged truth %d/%d, whole %d/%d",
+			label, truthCorrect, truthTotal, wholeCorrect, len(wholeTruth))
+	}
+}
+
+// checkMergedUpdates verifies wave alignment: summing the shards'
+// round-r updates (finished shards contributing their final cumulative
+// state) reproduces the single-graph per-round stream exactly. This is
+// what lets a coordinator stream merged round events bit-identical to
+// one node's.
+func checkMergedUpdates(t *testing.T, label string, whole []RoundUpdate, runs []*shardRun) {
+	t.Helper()
+	rounds := 0
+	for _, r := range runs {
+		if len(r.updates) > rounds {
+			rounds = len(r.updates)
+		}
+	}
+	if rounds != len(whole) {
+		t.Fatalf("%s: merged %d round updates, whole %d", label, rounds, len(whole))
+	}
+	for ri := 0; ri < rounds; ri++ {
+		var m RoundUpdate
+		m.Round = ri + 1
+		for _, r := range runs {
+			if ri < len(r.updates) {
+				u := r.updates[ri]
+				m.Tasks += u.Tasks
+				m.Assignments += u.Assignments
+				m.Blue += u.Blue
+				m.Red += u.Red
+				m.Inferred += u.Inferred
+				m.Open += u.Open
+			} else if len(r.updates) > 0 {
+				// A shard that finished earlier holds its final state.
+				m.Open += r.updates[len(r.updates)-1].Open
+			}
+			if ri < len(r.updates) {
+				m.TasksTotal += r.updates[ri].TasksTotal
+				m.AssignmentsTotal += r.updates[ri].AssignmentsTotal
+			} else if len(r.updates) > 0 {
+				m.TasksTotal += r.updates[len(r.updates)-1].TasksTotal
+				m.AssignmentsTotal += r.updates[len(r.updates)-1].AssignmentsTotal
+			}
+		}
+		if m != whole[ri] {
+			t.Fatalf("%s: merged round %d update = %+v, whole %+v", label, ri+1, m, whole[ri])
+		}
+	}
+}

@@ -52,6 +52,13 @@ func (s *Structure) predOrder() []int {
 	return order
 }
 
+// PredOrder exposes the connected predicate order enumeration walks
+// predicates in. Answer emission is lexicographic in the chosen-edge
+// vector laid out along this order (each recursion level tries edges in
+// ascending id order), which is what lets a scatter-gather merge
+// re-establish the single-graph row order from per-shard answer sets.
+func (s *Structure) PredOrder() []int { return s.predOrder() }
+
 // enumerate walks all embeddings over edges accepted by keep,
 // pre-pinning the given edges, and calls yield for each complete
 // embedding. yield returning false stops the walk. keep must reject

@@ -1,0 +1,289 @@
+// Cluster endpoints: the shard side of the scatter-gather protocol
+// (execute a component slice, serve and accept verdict-cache deltas,
+// report health) plus the coordinator's fleet routing and
+// introspection. Every cdbd exposes the shard endpoints — any node
+// can be drafted into a fleet — while /v1/query transparently routes
+// through the Fleet when the server runs in coordinator mode.
+
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"cdb"
+	"cdb/client"
+	"cdb/internal/cluster"
+	"cdb/internal/obs"
+)
+
+var (
+	mClusterExec    = obs.Default.Counter("cdb_server_cluster_exec_total")
+	mClusterApplied = obs.Default.Counter("cdb_server_cluster_applied_total")
+)
+
+// registerCluster mounts the cluster routes; called from New.
+func (s *Server) registerCluster() {
+	s.mux.HandleFunc("/v1/cluster/exec", s.handleClusterExec)
+	s.mux.HandleFunc("/v1/cluster/exec/stream", s.handleClusterExecStream)
+	s.mux.HandleFunc("/v1/cache/delta", s.handleCacheDelta)
+	s.mux.HandleFunc("/v1/cache/apply", s.handleCacheApply)
+	s.mux.HandleFunc("/v1/cluster/health", s.handleClusterHealth)
+	if s.fleet != nil {
+		s.mux.HandleFunc("/v1/cluster/shards", s.handleClusterShards)
+	}
+}
+
+// queryFleet serves /v1/query in coordinator mode: route through the
+// fleet instead of the local engine. TimeoutMs travels to the shards,
+// so deadline-partial results come back as results, not errors.
+func (s *Server) queryFleet(w http.ResponseWriter, r *http.Request, req client.QueryRequest) {
+	start := time.Now()
+	res, err := s.fleet.Exec(r.Context(), req.Query, req.TimeoutMs)
+	if err != nil {
+		s.writeMappedError(w, err)
+		s.logQuery("query", r, req.Query, nil, err, time.Since(start))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, res)
+	s.logQuery("query", r, req.Query, res, nil, time.Since(start))
+}
+
+// streamFleet serves /v1/query/stream in coordinator mode: merged
+// round events from the scattered slices, then the merged result. The
+// statement is validated on the planner first so submission errors
+// still map to their status codes instead of arriving in-band.
+func (s *Server) streamFleet(w http.ResponseWriter, r *http.Request, req client.QueryRequest, flusher http.Flusher) {
+	start := time.Now()
+	if err := s.fleet.Plan(req.Query); err != nil {
+		s.writeMappedError(w, err)
+		s.logQuery("stream", r, req.Query, nil, err, time.Since(start))
+		return
+	}
+	ctx := r.Context()
+	updates := make(chan cdb.RoundUpdate, 16)
+	type outcome struct {
+		res *cdb.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := s.fleet.ExecStream(ctx, req.Query, req.TimeoutMs, func(u cdb.RoundUpdate) {
+			select {
+			case updates <- u:
+			case <-ctx.Done():
+			}
+		})
+		done <- outcome{res, err}
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	enc := json.NewEncoder(w)
+	emit := func(ev client.StreamEvent) {
+		_ = enc.Encode(ev)
+		flusher.Flush()
+	}
+	for {
+		select {
+		case u := <-updates:
+			emit(client.StreamEvent{Type: client.EventRound, Round: &u})
+		case out := <-done:
+			// Merged round deliveries happen before ExecStream returns:
+			// once done fires the rest are buffered, drain in order.
+			for {
+				select {
+				case u := <-updates:
+					emit(client.StreamEvent{Type: client.EventRound, Round: &u})
+					continue
+				default:
+				}
+				break
+			}
+			if out.err != nil {
+				_, p := mapError(out.err, s.retryAfter)
+				emit(client.StreamEvent{Type: client.EventError, Error: p})
+			} else {
+				emit(client.StreamEvent{Type: client.EventResult, Result: out.res})
+			}
+			s.logQuery("stream", r, req.Query, out.res, out.err, time.Since(start))
+			return
+		}
+	}
+}
+
+// handleClusterExec executes one (possibly component-restricted)
+// statement for a coordinator and returns the slice plus the verdict
+// delta since the caller's cursor.
+func (s *Server) handleClusterExec(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.readClusterExec(w, r)
+	if !ok {
+		return
+	}
+	resp, err := s.local.Exec(r.Context(), req)
+	if err != nil {
+		s.writeMappedError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleClusterExecStream is handleClusterExec over NDJSON frames:
+// round events as they complete, then one final (or error) frame.
+func (s *Server) handleClusterExecStream(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.readClusterExec(w, r)
+	if !ok {
+		return
+	}
+	flusher, fok := w.(http.Flusher)
+	if !fok {
+		s.writeError(w, http.StatusInternalServerError, &client.ErrorPayload{Code: client.CodeInternal, Message: "response writer cannot stream"})
+		return
+	}
+	ctx := r.Context()
+	updates := make(chan cdb.RoundUpdate, 16)
+	type outcome struct {
+		resp *cluster.ExecResponse
+		err  error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		resp, err := s.local.ExecStream(ctx, req, func(u cdb.RoundUpdate) {
+			select {
+			case updates <- u:
+			case <-ctx.Done():
+			}
+		})
+		done <- outcome{resp, err}
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	enc := json.NewEncoder(w)
+	emit := func(fr cluster.StreamFrame) {
+		_ = enc.Encode(fr)
+		flusher.Flush()
+	}
+	for {
+		select {
+		case u := <-updates:
+			emit(cluster.StreamFrame{Type: "round", Round: &u})
+		case out := <-done:
+			// Progress sends happen before completion: drain the
+			// buffered tail in order, then terminate the stream.
+			for {
+				select {
+				case u := <-updates:
+					emit(cluster.StreamFrame{Type: "round", Round: &u})
+					continue
+				default:
+				}
+				break
+			}
+			if out.err != nil {
+				_, p := mapError(out.err, s.retryAfter)
+				emit(cluster.StreamFrame{Type: "error", Error: p})
+			} else {
+				emit(cluster.StreamFrame{Type: "final", Final: out.resp})
+			}
+			return
+		}
+	}
+}
+
+// readClusterExec decodes and admission-checks a cluster exec request.
+func (s *Server) readClusterExec(w http.ResponseWriter, r *http.Request) (cluster.ExecRequest, bool) {
+	var req cluster.ExecRequest
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, &client.ErrorPayload{Code: client.CodeBadRequest, Message: "POST only"})
+		return req, false
+	}
+	mClusterExec.Inc()
+	if s.shedIfDraining(w) {
+		return req, false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, &client.ErrorPayload{Code: client.CodeBadRequest, Message: fmt.Sprintf("bad request body: %v", err)})
+		return req, false
+	}
+	if req.Query == "" {
+		s.writeError(w, http.StatusBadRequest, &client.ErrorPayload{Code: client.CodeBadRequest, Message: "empty query"})
+		return req, false
+	}
+	return req, true
+}
+
+// handleCacheDelta serves the shard's settled verdicts after ?since=N
+// (a full dump when N precedes the retained log).
+func (s *Server) handleCacheDelta(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, &client.ErrorPayload{Code: client.CodeBadRequest, Message: "GET only"})
+		return
+	}
+	var since int64
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, &client.ErrorPayload{Code: client.CodeBadRequest, Message: "bad since parameter"})
+			return
+		}
+		since = v
+	}
+	entries, seq := s.engine.CacheDelta(since)
+	s.writeJSON(w, http.StatusOK, cluster.DeltaResponse{Entries: entries, Seq: seq})
+}
+
+// handleCacheApply imports verdicts replicated from a peer shard.
+// Draining deliberately does not shed it: accepting replication while
+// finishing in-flight queries only makes the eventual restart warmer.
+func (s *Server) handleCacheApply(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, &client.ErrorPayload{Code: client.CodeBadRequest, Message: "POST only"})
+		return
+	}
+	var req cluster.ApplyRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 32<<20))
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, &client.ErrorPayload{Code: client.CodeBadRequest, Message: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	n := s.engine.ImportVerdicts(req.Entries)
+	mClusterApplied.Add(int64(n))
+	s.writeJSON(w, http.StatusOK, cluster.ApplyResponse{Imported: n})
+}
+
+// handleClusterHealth reports this node's shard identity, engine
+// fingerprint and admission pressure — the inputs of a coordinator's
+// routing decisions.
+func (s *Server) handleClusterHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, &client.ErrorPayload{Code: client.CodeBadRequest, Message: "GET only"})
+		return
+	}
+	executing, queued := s.engine.QueueDepth()
+	s.writeJSON(w, http.StatusOK, cluster.HealthResponse{
+		ID:          s.shardID,
+		Fingerprint: s.engine.Fingerprint(),
+		Executing:   executing,
+		Queued:      queued,
+		CacheSeq:    s.engine.CacheSeq(),
+		Draining:    s.draining.Load(),
+	})
+}
+
+// handleClusterShards reports the coordinator's view of the fleet.
+func (s *Server) handleClusterShards(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, &client.ErrorPayload{Code: client.CodeBadRequest, Message: "GET only"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"shards": s.fleet.Health(r.Context())})
+}

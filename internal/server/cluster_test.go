@@ -1,0 +1,219 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"cdb"
+	"cdb/client"
+	"cdb/internal/cluster"
+	"cdb/internal/dataset"
+)
+
+// newClusterDB opens the multi-component test universe: the paper
+// dataset at a scale where every paper query spans several tuple-graph
+// components, so scatter routing actually scatters.
+func newClusterDB(t *testing.T) *cdb.DB {
+	t.Helper()
+	db := cdb.Open(cdb.WithDataset("paper", 0.1, 7), cdb.WithWorkers(50, 0.8, 0.1), cdb.WithSeed(7))
+	if err := db.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// newShard boots one cdbd shard over HTTP. The verdict cache is
+// sized past the workload so eviction cannot skew the CachedTasks
+// telemetry between one node and a fleet (a fleet holds strictly more
+// aggregate cache; under eviction pressure only the sharing counters
+// may differ — rows, assignments and economics never do).
+func newShard(t *testing.T, id string) (*cdb.Engine, *httptest.Server) {
+	t.Helper()
+	db := newClusterDB(t)
+	eng, err := db.NewEngine(cdb.WithVerdictCache(1 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	srv, err := New(Config{DB: db, Engine: eng, ShardID: id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return eng, hs
+}
+
+// newCoordinator boots a coordinator over the given shard URLs.
+func newCoordinator(t *testing.T, shards map[string]string) *httptest.Server {
+	t.Helper()
+	db := newClusterDB(t)
+	planner, err := db.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(planner.Close)
+	backends := make([]cluster.Backend, 0, len(shards))
+	for id, url := range shards {
+		backends = append(backends, cluster.NewHTTPBackend(id, url, nil))
+	}
+	fleet, err := cluster.New(cluster.Config{Planner: planner, Backends: backends})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{DB: db, Engine: planner, ShardID: "coord", Fleet: fleet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+// clusterWorkload is a slice of the paper mix: enough statements to
+// exercise direct and scatter routes plus cache reuse, small enough to
+// keep the test quick.
+func clusterWorkload() []string {
+	qs := dataset.Queries("paper")
+	labels := dataset.QueryLabels()
+	out := make([]string, 0, 3)
+	for _, l := range labels[:3] {
+		out = append(out, qs[l])
+	}
+	return out
+}
+
+// normalize strips the per-request correlation ID so two requests for
+// the same statement compare equal.
+func normalize(t *testing.T, res *cdb.Result) string {
+	t.Helper()
+	res.RequestID = ""
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestClusterHTTPByteIdentical is the tentpole smoke at the HTTP
+// layer: a coordinator scattering over two real cdbd shards answers
+// /v1/query byte-identically to a standalone cdbd, for both the unary
+// and the streaming endpoint.
+func TestClusterHTTPByteIdentical(t *testing.T) {
+	_, single := newShard(t, "single")
+	sc := client.New(single.URL)
+
+	// Record the single node's unary and stream responses separately:
+	// a repeated unary statement is served whole from the result cache
+	// (original sharing telemetry preserved), while a stream re-run
+	// re-executes against the now-warm verdict cache — the cluster must
+	// reproduce each behavior, not mix them.
+	var want, wantStream []string
+	var wantRounds [][]cdb.RoundUpdate
+	for _, q := range clusterWorkload() {
+		res, err := sc.Query(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, normalize(t, res))
+	}
+	for _, q := range clusterWorkload() {
+		var rounds []cdb.RoundUpdate
+		res, err := sc.QueryStream(context.Background(), q, func(u cdb.RoundUpdate) {
+			rounds = append(rounds, u)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRounds = append(wantRounds, rounds)
+		wantStream = append(wantStream, normalize(t, res))
+	}
+
+	_, shardA := newShard(t, "a")
+	_, shardB := newShard(t, "b")
+	coord := newCoordinator(t, map[string]string{"a": shardA.URL, "b": shardB.URL})
+	cc := client.New(coord.URL)
+
+	for i, q := range clusterWorkload() {
+		res, err := cc.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("statement %d via cluster: %v", i, err)
+		}
+		if got := normalize(t, res); got != want[i] {
+			t.Fatalf("statement %d diverged over the cluster:\ncluster: %s\nsingle:  %s", i, got, want[i])
+		}
+	}
+	for i, q := range clusterWorkload() {
+		var rounds []cdb.RoundUpdate
+		res, err := cc.QueryStream(context.Background(), q, func(u cdb.RoundUpdate) {
+			rounds = append(rounds, u)
+		})
+		if err != nil {
+			t.Fatalf("stream %d via cluster: %v", i, err)
+		}
+		if !reflect.DeepEqual(rounds, wantRounds[i]) {
+			t.Fatalf("stream %d rounds diverged:\ncluster: %+v\nsingle:  %+v", i, rounds, wantRounds[i])
+		}
+		if got := normalize(t, res); got != wantStream[i] {
+			t.Fatalf("stream %d result diverged:\ncluster: %s\nsingle:  %s", i, got, wantStream[i])
+		}
+	}
+}
+
+// TestClusterShardEndpoints exercises the shard protocol directly:
+// health reports identity and fingerprint, deltas round-trip into a
+// peer, and a fingerprint mismatch is refused with 409.
+func TestClusterShardEndpoints(t *testing.T) {
+	engA, shardA := newShard(t, "a")
+	engB, shardB := newShard(t, "b")
+
+	ba := cluster.NewHTTPBackend("a", shardA.URL, nil)
+	bb := cluster.NewHTTPBackend("b", shardB.URL, nil)
+
+	ha, err := ba.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha.ID != "a" || ha.Fingerprint != engA.Fingerprint() || ha.Draining {
+		t.Fatalf("shard a health = %+v", ha)
+	}
+
+	// Pay for crowd work on a, replicate to b over the wire.
+	q := clusterWorkload()[0]
+	if _, err := client.New(shardA.URL).Query(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	entries, seq, err := ba.CacheDelta(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 || seq == 0 {
+		t.Fatalf("no delta after a paid run: %d entries, seq %d", len(entries), seq)
+	}
+	n, err := bb.CacheApply(context.Background(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(entries) {
+		t.Fatalf("imported %d of %d", n, len(entries))
+	}
+	if engB.Stats().RemoteImported == 0 {
+		t.Fatal("import did not reach the engine")
+	}
+
+	// A caller with the wrong fingerprint must be refused loudly.
+	body, _ := json.Marshal(cluster.ExecRequest{Query: q, Shards: []string{"a", "b"}, Fingerprint: "deadbeefdeadbeef"})
+	resp, err := http.Post(shardA.URL+"/v1/cluster/exec", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("fingerprint mismatch returned %d, want 409", resp.StatusCode)
+	}
+}

@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Smoke-test the component-sharded cluster end to end:
+#   1. the same three statements piped through `cdbsh -connect` against
+#      a standalone cdbd and against a coordinator over two shards must
+#      produce byte-identical transcripts (rounds, rows, stats —
+#      everything after the connect banner),
+#   2. the coordinator must actually scatter (multi-component
+#      statements split across both shards, not pass-through),
+#   3. verdict-cache replication must reach both shards,
+#   4. SIGTERMing one shard mid-stream must degrade gracefully: the
+#      in-flight stream finishes, the fleet marks the shard dead, and
+#      follow-up queries keep working off the survivor's replicated
+#      cache (or shed with a clean 503 — never a hang or a 500).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR_SINGLE=${CDB_SINGLE_ADDR:-127.0.0.1:8110}
+ADDR_COORD=${CDB_COORD_ADDR:-127.0.0.1:8113}
+ADDR_A=${CDB_SHARD_A_ADDR:-127.0.0.1:8111}
+ADDR_B=${CDB_SHARD_B_ADDR:-127.0.0.1:8112}
+SMOKE_DIR=$(mktemp -d "${TMPDIR:-/tmp}/cdbd-cluster.XXXXXX")
+BIN=${CDBD_BIN:-./bin}
+
+mkdir -p "$BIN"
+go build -o "$BIN/cdbd" ./cmd/cdbd
+go build -o "$BIN/cdbsh" ./cmd/cdbsh
+go build -o "$BIN/cdbtop" ./cmd/cdbtop
+
+# Identical engine flags everywhere: the fleet fingerprint contract.
+ENGINE_FLAGS=(-dataset paper -scale 0.3 -seed 7 -workers 30 -accuracy 0.9 -redundancy 5)
+
+STATEMENTS='SELECT Paper.title, Researcher.name FROM Paper, Researcher WHERE Paper.author CROWDJOIN Researcher.name;
+SELECT Paper.title, Researcher.name FROM Paper, Researcher, Citation WHERE Paper.author CROWDJOIN Researcher.name AND Paper.title CROWDJOIN Citation.title;
+SELECT Paper.title, Researcher.name FROM Paper, Researcher WHERE Paper.author CROWDJOIN Researcher.name;'
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    curl -sf "http://$1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  return 1
+}
+
+PIDS=()
+cleanup() { for p in "${PIDS[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done; }
+trap cleanup EXIT
+
+echo "== single node: reference transcript =="
+"$BIN/cdbd" -addr "$ADDR_SINGLE" "${ENGINE_FLAGS[@]}" 2>"$SMOKE_DIR/single.log" &
+PIDS+=($!)
+wait_healthy "$ADDR_SINGLE" || { echo "single cdbd never became healthy"; cat "$SMOKE_DIR/single.log"; exit 1; }
+echo "$STATEMENTS" | "$BIN/cdbsh" -connect "$ADDR_SINGLE" | grep -v '^cdbsh — connected' >"$SMOKE_DIR/single.txt"
+
+echo "== cluster: coordinator over two shards =="
+"$BIN/cdbd" -addr "$ADDR_A" -shard-id a "${ENGINE_FLAGS[@]}" 2>"$SMOKE_DIR/shard-a.log" &
+PIDS+=($!)
+"$BIN/cdbd" -addr "$ADDR_B" -shard-id b "${ENGINE_FLAGS[@]}" 2>"$SMOKE_DIR/shard-b.log" &
+SHARD_B=$!
+PIDS+=($SHARD_B)
+wait_healthy "$ADDR_A" || { echo "shard a never became healthy"; cat "$SMOKE_DIR/shard-a.log"; exit 1; }
+wait_healthy "$ADDR_B" || { echo "shard b never became healthy"; cat "$SMOKE_DIR/shard-b.log"; exit 1; }
+"$BIN/cdbd" -addr "$ADDR_COORD" -coordinator -shards "a=$ADDR_A,b=$ADDR_B" "${ENGINE_FLAGS[@]}" 2>"$SMOKE_DIR/coord.log" &
+PIDS+=($!)
+wait_healthy "$ADDR_COORD" || { echo "coordinator never became healthy"; cat "$SMOKE_DIR/coord.log"; exit 1; }
+
+echo "$STATEMENTS" | "$BIN/cdbsh" -connect "$ADDR_COORD" | grep -v '^cdbsh — connected' >"$SMOKE_DIR/cluster.txt"
+
+if ! cmp -s "$SMOKE_DIR/single.txt" "$SMOKE_DIR/cluster.txt"; then
+  echo "cluster transcript diverged from the single node"
+  diff "$SMOKE_DIR/single.txt" "$SMOKE_DIR/cluster.txt" | head -40 || true
+  exit 1
+fi
+
+SCATTERS=$(curl -sf "http://$ADDR_COORD/metrics" | grep '^cdb_cluster_route_scatter_total' | awk '{print $2}')
+[ "${SCATTERS:-0}" -gt 0 ] || { echo "coordinator never scattered; the byte-compare was vacuous"; exit 1; }
+for S in "$ADDR_A" "$ADDR_B"; do
+  IMPORTED=$(curl -sf "http://$S/metrics" | grep '^cdb_engine_remote_imported_total' | awk '{print $2}')
+  [ "${IMPORTED:-0}" -gt 0 ] || { echo "shard $S imported no replicated verdicts"; exit 1; }
+done
+
+"$BIN/cdbtop" -connect "coord=$ADDR_COORD" -connect "a=$ADDR_A" -connect "b=$ADDR_B" -once >"$SMOKE_DIR/top.txt"
+grep -q 'remote imported' "$SMOKE_DIR/top.txt" || { echo "cdbtop cluster view missing replication rows"; cat "$SMOKE_DIR/top.txt"; exit 1; }
+
+echo "== SIGTERM shard b mid-stream: graceful degradation =="
+STREAM_Q='{"query":"SELECT Paper.title, Researcher.name FROM Paper, Researcher, Citation WHERE Paper.author CROWDJOIN Researcher.name AND Paper.title CROWDJOIN Citation.title;"}'
+curl -sN -XPOST "http://$ADDR_COORD/v1/query/stream" -d "$STREAM_Q" >"$SMOKE_DIR/stream.ndjson" &
+CURL=$!
+sleep 0.3
+kill -TERM "$SHARD_B"
+if ! wait "$CURL"; then
+  echo "mid-stream curl failed outright (connection torn instead of in-band handling)"; exit 1
+fi
+tail -n 1 "$SMOKE_DIR/stream.ndjson" | grep -Eq '"type":"(result|error)"' || {
+  echo "stream ended without a terminal frame"; tail -3 "$SMOKE_DIR/stream.ndjson"; exit 1; }
+wait "$SHARD_B" 2>/dev/null || true
+
+# The fleet must notice the death and keep answering: 200 off the
+# survivor's replicated cache, or a clean 503 while it converges.
+OK=0
+for _ in $(seq 1 20); do
+  CODE=$(curl -s -o "$SMOKE_DIR/failover.json" -w '%{http_code}' -XPOST "http://$ADDR_COORD/v1/query" -d "$STREAM_Q")
+  if [ "$CODE" = 200 ]; then OK=1; break; fi
+  if [ "$CODE" != 503 ] && [ "$CODE" != 429 ]; then
+    echo "post-kill query returned HTTP $CODE (want 200, 429 or 503)"; cat "$SMOKE_DIR/failover.json"; exit 1
+  fi
+  sleep 0.3
+done
+[ "$OK" = 1 ] || { echo "fleet never recovered to 200 after losing one shard"; exit 1; }
+grep -q '"columns"' "$SMOKE_DIR/failover.json" || { echo "failover result carries no rows"; cat "$SMOKE_DIR/failover.json"; exit 1; }
+curl -sf "http://$ADDR_COORD/v1/cluster/shards" | grep -q '"live":false' || {
+  echo "coordinator still reports every shard live after SIGTERM"; exit 1; }
+
+echo "cluster-smoke: OK (logs in $SMOKE_DIR)"
