@@ -35,6 +35,7 @@ import (
 	"cdb/internal/faults"
 	"cdb/internal/meta"
 	"cdb/internal/obs"
+	qplan "cdb/internal/plan"
 	"cdb/internal/quality"
 	"cdb/internal/sim"
 	"cdb/internal/stats"
@@ -86,6 +87,7 @@ type DB struct {
 	calibrate  bool
 	transitive bool
 	observer   obs.Observer
+	planner    plannerState
 	tracing    bool
 	faults     *faults.Injector
 	reliable   *exec.Reliability
@@ -174,6 +176,10 @@ func WithDataset(name string, scale float64, seed uint64) Option {
 
 // WithSimilarity selects the matching-probability estimator:
 // "2gram" (default), "token", "edit", "cosine" or "none".
+//
+// Deprecated: use WithPlanner (PlannerConfig.Similarity) or
+// Config.Planner, which consolidate the optimizer knobs in one place.
+// This option keeps working.
 func WithSimilarity(name string) Option {
 	return func(db *DB) {
 		f, err := simByName(name)
@@ -206,6 +212,10 @@ func simByName(name string) (sim.Func, error) {
 // WithEpsilon sets the similarity pruning threshold (default 0.3).
 // Values outside (0, 1] are recorded as validation errors (see Err)
 // and ignored.
+//
+// Deprecated: use WithPlanner (PlannerConfig.Epsilon) or
+// Config.Planner, which consolidate the optimizer knobs in one place.
+// This option keeps working.
 func WithEpsilon(eps float64) Option {
 	return func(db *DB) {
 		if eps <= 0 || eps > 1 {
@@ -251,6 +261,10 @@ func WithTransitivity(on bool) Option {
 // WithStrategy selects the task-selection strategy (see the Strategy*
 // constants). Unknown names fall back to the CDB default and record a
 // validation error on the DB (see Err).
+//
+// Deprecated: use WithPlanner (PlannerConfig.Strategy) or
+// Config.Planner, which consolidate the optimizer knobs in one place.
+// This option keeps working.
 func WithStrategy(name string) Option {
 	return func(db *DB) {
 		s := strings.ToLower(name)
@@ -504,6 +518,11 @@ type Result struct {
 	// and query-log lines of one request all join on the same key.
 	// Empty for queries executed without one.
 	RequestID string `json:"request_id,omitempty"`
+	// Plan is the executed (or, for EXPLAIN, the would-be) query plan.
+	// Populated when the greedy planner is enabled (WithPlanner /
+	// Config.Planner) or the statement was an EXPLAIN; nil otherwise,
+	// so legacy wire fixtures are unaffected.
+	Plan *Plan `json:"plan,omitempty"`
 }
 
 // AnswerProvenance breaks one answer's supporting edges down by how
@@ -547,6 +566,8 @@ func (db *DB) ExecContext(ctx context.Context, q string) (*Result, error) {
 		res, err = db.execFill(s)
 	case *cql.Collect:
 		res, err = db.execCollect(s)
+	case *cql.Explain:
+		res, err = db.execExplain(s)
 	default:
 		err = fmt.Errorf("cdb: unsupported statement %T", st)
 	}
@@ -716,6 +737,24 @@ func (db *DB) execSelect(ctx context.Context, s *cql.Select, tr *obs.Tracer) (*R
 			opts.Reliability = *db.reliable
 		}
 	}
+	var decision *qplan.Decision
+	if db.plannerOn() && s.Budget == 0 && opts.Transport == nil {
+		if db.planner.Greedy {
+			decision = qplan.Greedy(plan, db.planner.Bins)
+		} else {
+			decision = qplan.Fixed(plan, db.planner.Bins)
+		}
+		opts.Strategy = &qplan.Ordered{Order: decision.Order}
+		// Content-pure verdicts are what make reordering
+		// answer-preserving; the resolver seed is drawn the same way on
+		// the greedy and fixed-order paths so equal DB seeds compare the
+		// two orders over identical crowds.
+		opts.Resolver = &qplan.PureResolver{Seed: db.rng.Split().Uint64(), Pool: db.pool}
+		// Transitive deferral schedules rounds by entailment order, which
+		// fights the planned predicate order; the planned path keeps it
+		// off.
+		opts.Transitive = false
+	}
 	rep, err := exec.Run(ctx, plan, opts)
 	if err != nil {
 		return nil, err
@@ -756,6 +795,9 @@ func (db *DB) execSelect(ctx context.Context, s *cql.Select, tr *obs.Tracer) (*R
 	}
 	res.Confidence = rep.Confidence
 	res.Provenance = rep.Provenance
+	if decision != nil {
+		res.Plan = qplan.Describe(plan, decision, db.planner.Greedy)
+	}
 	if err := db.applyGroupSort(s, res); err != nil {
 		return nil, err
 	}

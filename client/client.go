@@ -178,6 +178,27 @@ func (c *Client) QueryStream(ctx context.Context, query string, onRound func(cdb
 	return nil, fmt.Errorf("client: stream ended without a terminal event")
 }
 
+// Explain plans one CQL SELECT (or EXPLAIN SELECT) on the server
+// without executing it — zero crowd assignments — and returns the
+// cdb.Plan: join order, per-step predicted candidate edges, and
+// early-exit points. Non-SELECT targets come back as a typed 400 that
+// unwraps to cdb.ErrEngineUnsupported.
+func (c *Client) Explain(ctx context.Context, query string) (*cdb.Plan, error) {
+	resp, err := c.post(ctx, "/v1/explain", QueryRequest{Query: query})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	var p cdb.Plan
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		return nil, fmt.Errorf("client: decode plan: %w", err)
+	}
+	return &p, nil
+}
+
 // Tables lists the tables in the server's catalog.
 func (c *Client) Tables(ctx context.Context) ([]string, error) {
 	var tr TablesResponse

@@ -68,6 +68,11 @@ type QueryInfo struct {
 	// paid for before a restart, re-issued zero times (completed
 	// queries only; absent when the server runs without -ledger-dir).
 	Ledger int `json:"ledger,omitempty"`
+	// Plan is the planned join order ("p2→p0→p1", with "→∅" marking a
+	// plan-time early exit) and PlanEarlyExits its early-exit count;
+	// absent when the server runs without the greedy planner.
+	Plan           string `json:"plan,omitempty"`
+	PlanEarlyExits int    `json:"plan_early_exits,omitempty"`
 	// Error is the failure message (state "failed" only).
 	Error string `json:"error,omitempty"`
 }
@@ -131,9 +136,13 @@ type ErrorPayload struct {
 }
 
 // Stream event types for POST /v1/query/stream. The stream is NDJSON:
-// one StreamEvent per line, zero or more "round" events in round
-// order, terminated by exactly one "result" or "error" event.
+// one StreamEvent per line — at most one "plan" event first (servers
+// running the greedy planner), zero or more "round" events in round
+// order, terminated by exactly one "result" or "error" event. Readers
+// must skip unknown event types, which is how pre-plan clients stay
+// compatible.
 const (
+	EventPlan   = "plan"
 	EventRound  = "round"
 	EventResult = "result"
 	EventError  = "error"
@@ -142,6 +151,9 @@ const (
 // StreamEvent is one NDJSON line of a streamed query.
 type StreamEvent struct {
 	Type string `json:"type"`
+	// Plan carries the join order the rounds will follow (Type "plan",
+	// emitted before any round on planner-enabled servers).
+	Plan *cdb.Plan `json:"plan,omitempty"`
 	// Round carries the per-round progress snapshot (Type "round").
 	Round *cdb.RoundUpdate `json:"round,omitempty"`
 	// Result carries the final outcome (Type "result").

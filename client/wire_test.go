@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"cdb"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
@@ -20,28 +22,32 @@ func TestQueriesWireSchema(t *testing.T) {
 	// file shows the complete schema.
 	resp := QueriesResponse{
 		InFlight: []QueryInfo{{
-			ID:          3,
-			RequestID:   "req-0123456789abcdef",
-			Query:       "SELECT * FROM Paper, Researcher WHERE Paper.author CROWDJOIN Researcher.name;",
-			State:       "running",
-			ElapsedMs:   1250,
-			Rounds:      2,
-			Tasks:       13,
-			Assignments: 65,
-			Open:        4,
+			ID:             3,
+			RequestID:      "req-0123456789abcdef",
+			Query:          "SELECT * FROM Paper, Researcher WHERE Paper.author CROWDJOIN Researcher.name;",
+			State:          "running",
+			ElapsedMs:      1250,
+			Rounds:         2,
+			Tasks:          13,
+			Assignments:    65,
+			Open:           4,
+			Plan:           "p1→p0→p2",
+			PlanEarlyExits: 0,
 		}},
 		Recent: []QueryInfo{{
-			ID:          2,
-			RequestID:   "req-fedcba9876543210",
-			Query:       "SELECT Paper.title FROM Paper WHERE Paper.conference CROWDEQUAL 'SIGMOD';",
-			State:       "done",
-			ElapsedMs:   890,
-			Rounds:      3,
-			Tasks:       9,
-			Assignments: 45,
-			HITs:        5,
-			Coalesced:   2,
-			Cached:      1,
+			ID:             2,
+			RequestID:      "req-fedcba9876543210",
+			Query:          "SELECT Paper.title FROM Paper WHERE Paper.conference CROWDEQUAL 'SIGMOD';",
+			State:          "done",
+			ElapsedMs:      890,
+			Rounds:         3,
+			Tasks:          9,
+			Assignments:    45,
+			HITs:           5,
+			Coalesced:      2,
+			Cached:         1,
+			Plan:           "p0→∅",
+			PlanEarlyExits: 1,
 		}, {
 			ID:        1,
 			Query:     "SELECT * FROM Nope;",
@@ -82,5 +88,59 @@ func TestQueriesWireSchema(t *testing.T) {
 	const wantLean = `{"id":1,"query":"SELECT 1","state":"queued","elapsed_ms":0,"rounds":0}`
 	if string(lean) != wantLean {
 		t.Errorf("lean QueryInfo wire form drifted:\ngot  %s\nwant %s", lean, wantLean)
+	}
+}
+
+// TestExplainWireSchema pins the JSON schema of POST /v1/explain (and
+// of Result.Plan / "plan" stream events): the cdb.Plan value with every
+// field populated, including an early-exit step. EXPLAIN clients and
+// dashboards parse this shape; changing it requires -update.
+func TestExplainWireSchema(t *testing.T) {
+	plan := cdb.Plan{
+		Statement: "SELECT * FROM Paper, Researcher, University WHERE Paper.author CROWDJOIN Researcher.name AND Researcher.affiliation CROWDJOIN University.name;",
+		Structure: "chain",
+		Tables:    []string{"Paper", "Researcher", "University"},
+		Greedy:    true,
+		JoinOrder: "p1→p0→∅",
+		Steps: []cdb.PlanStep{{
+			Pred:           1,
+			Predicate:      "Researcher.affiliation CROWDJOIN University.name",
+			CandidateEdges: 18,
+			PredictedEdges: 18,
+			Histogram:      []int{2, 4, 6, 4, 2, 0, 0, 0},
+		}, {
+			Pred:           0,
+			Predicate:      "Paper.author CROWDJOIN Researcher.name",
+			CandidateEdges: 42,
+			PredictedEdges: 0,
+			EarlyExit:      true,
+		}},
+		EarlyExit:      true,
+		EarlyExitStep:  1,
+		PredictedTasks: 0,
+		FixedTasks:     60,
+		PlanningMicros: 87,
+	}
+	got, err := json.MarshalIndent(&plan, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "explain_wire.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (run `go test -run TestExplainWireSchema -update ./client` after a deliberate schema change)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("explain wire schema drifted from %s.\ngot:\n%s\nwant:\n%s", path, got, want)
 	}
 }

@@ -20,6 +20,12 @@
 // no cross-shard cache hits are observed, or when the off-owner probe
 // has to issue fresh crowd work — replication failing to cover it.
 //
+// With -plan-baseline and -plan-current it guards the greedy-planner
+// experiment (BENCH_plan.json): the build fails when the HITs saved by
+// greedy ordering drop more than the allowed fraction below the
+// committed baseline, when planning p95 exceeds 1ms, or when EXPLAIN
+// is observed issuing any crowd assignment.
+//
 // Usage:
 //
 //	go run ./cmd/cdbench -costbench -costbenchout BENCH_current.json
@@ -28,6 +34,8 @@
 //	go run ./cmd/benchguard -trans-baseline BENCH_trans.json -trans-current BENCH_trans_current.json
 //	go run ./cmd/cdbench -exp shard -shard-out BENCH_shard_current.json
 //	go run ./cmd/benchguard -shard-baseline BENCH_shard.json -shard-current BENCH_shard_current.json
+//	go run ./cmd/cdbench -exp plan -plan-out BENCH_plan_current.json
+//	go run ./cmd/benchguard -plan-baseline BENCH_plan.json -plan-current BENCH_plan_current.json
 package main
 
 import (
@@ -72,6 +80,70 @@ func checkTrans(basePath, curPath string, allowed float64) {
 		os.Exit(1)
 	}
 	fmt.Printf("benchguard: inference savings within %.0f%% of baseline\n", allowed*100)
+}
+
+// planP95FloorMicros is the absolute planning-latency bar: the greedy
+// planner must stay under 1ms at p95 regardless of the baseline.
+const planP95FloorMicros = 1000
+
+// checkPlan guards the greedy-planner report. Exits with the verdict.
+func checkPlan(basePath, curPath string, allowed float64) {
+	base, err := loadPlan(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := loadPlan(curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	if base.HITsSaved <= 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: baseline %s reports no HITs saved (%d); nothing to guard\n",
+			basePath, base.HITsSaved)
+		os.Exit(2)
+	}
+	floor := float64(base.HITsSaved) * (1 - allowed)
+	fmt.Printf("%-34s baseline %6d HITs saved  current %6d  floor %8.1f\n",
+		"plan/hits-saved", base.HITsSaved, cur.HITsSaved, floor)
+	fmt.Printf("%-34s current %6dµs (floor %dµs)\n", "plan/p95-planning", cur.PlanP95Micros, planP95FloorMicros)
+	fmt.Printf("%-34s current %6d (want 0)\n", "plan/explain-assignments", cur.ExplainAssignments)
+	failed := false
+	if cur.HITsSaved <= 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: greedy planning saves nothing (%d HITs); REGRESSED\n", cur.HITsSaved)
+		failed = true
+	} else if float64(cur.HITsSaved) < floor {
+		fmt.Fprintf(os.Stderr, "benchguard: HITs saved dropped %.1f%% below baseline (allowed %.0f%%); REGRESSED\n",
+			(1-float64(cur.HITsSaved)/float64(base.HITsSaved))*100, allowed*100)
+		failed = true
+	}
+	if cur.PlanP95Micros > planP95FloorMicros {
+		fmt.Fprintf(os.Stderr, "benchguard: planning p95 %dµs exceeds %dµs; REGRESSED\n",
+			cur.PlanP95Micros, planP95FloorMicros)
+		failed = true
+	}
+	if cur.ExplainAssignments != 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: EXPLAIN issued %d crowd assignments (want 0); REGRESSED\n",
+			cur.ExplainAssignments)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: greedy planning saves %d HITs (%d early exits) within %.0f%% of baseline\n",
+		cur.HITsSaved, cur.EarlyExitQueries, allowed*100)
+}
+
+func loadPlan(path string) (*bench.PlanBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r bench.PlanBenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
 }
 
 // shardScalingFloor is the acceptance bar for 2-shard scaling: a fleet
@@ -184,6 +256,9 @@ func main() {
 
 		shardBasePath = flag.String("shard-baseline", "", "committed BENCH_shard.json baseline (with -shard-current, runs the scale-out guard instead)")
 		shardCurPath  = flag.String("shard-current", "", "freshly measured shard report")
+
+		planBasePath = flag.String("plan-baseline", "", "committed BENCH_plan.json baseline (with -plan-current, runs the planner guard instead)")
+		planCurPath  = flag.String("plan-current", "", "freshly measured plan report")
 	)
 	flag.Parse()
 
@@ -201,6 +276,14 @@ func main() {
 			os.Exit(2)
 		}
 		checkShard(*shardBasePath, *shardCurPath, *allowed)
+		return
+	}
+	if *planBasePath != "" || *planCurPath != "" {
+		if *planBasePath == "" || *planCurPath == "" {
+			fmt.Fprintln(os.Stderr, "benchguard: -plan-baseline and -plan-current must be given together")
+			os.Exit(2)
+		}
+		checkPlan(*planBasePath, *planCurPath, *allowed)
 		return
 	}
 

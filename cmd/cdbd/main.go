@@ -79,6 +79,15 @@ func parseShards(spec string) ([]cluster.Backend, error) {
 	return backends, nil
 }
 
+// plannerConfig maps the -planner flag to a Config.Planner value (nil
+// keeps the default fixed-order executor).
+func plannerConfig(on bool) *cdb.PlannerConfig {
+	if !on {
+		return nil
+	}
+	return &cdb.PlannerConfig{Greedy: true}
+}
+
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
@@ -91,6 +100,7 @@ func main() {
 		similarity = flag.String("similarity", "2gram", "similarity estimator: 2gram, token, edit, cosine or none")
 		epsilon    = flag.Float64("epsilon", 0.3, "similarity pruning threshold")
 		redundancy = flag.Int("redundancy", 5, "answers per crowd task")
+		planner    = flag.Bool("planner", false, "greedy multi-join planning: SELECTs run joins cheapest-first with plan-time early exit, /v1/explain and streams report the plan")
 
 		maxInFlight = flag.Int("max-inflight", 8, "concurrently executing queries")
 		maxQueue    = flag.Int("max-queue", 64, "queries queued behind the in-flight set")
@@ -135,6 +145,7 @@ func main() {
 		Similarity:     *similarity,
 		Epsilon:        *epsilon,
 		Redundancy:     *redundancy,
+		Planner:        plannerConfig(*planner),
 	})
 	if err != nil {
 		logger.Fatalf("config: %v", err)

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment id (fig1, fig8, fig11, fig14, fig17, fig18, fig20, fig21, fig22, fig23, table5, chaos, serve, trans, shard) or 'all'")
+		exp        = flag.String("exp", "all", "experiment id (fig1, fig8, fig11, fig14, fig17, fig18, fig20, fig21, fig22, fig23, table5, chaos, serve, trans, shard, plan) or 'all'")
 		dataset    = flag.String("dataset", "paper", "dataset: paper or award")
 		scale      = flag.Float64("scale", 0.12, "dataset scale (1.0 = the paper's Table 2/3 sizes)")
 		reps       = flag.Int("reps", 3, "repetitions per cell (the paper averages 1000)")
@@ -38,6 +38,8 @@ func main() {
 		serveOut     = flag.String("serve-out", "BENCH_engine.json", "serve experiment: report path (empty skips the artifact)")
 
 		transOut = flag.String("trans-out", "BENCH_trans.json", "trans experiment: report path (empty skips the artifact)")
+
+		planOut = flag.String("plan-out", "BENCH_plan.json", "plan experiment: report path (empty skips the artifact)")
 
 		shardClients = flag.Int("shard-clients", 8, "shard experiment: concurrent clients driving the coordinator")
 		shardQueries = flag.Int("shard-queries", 40, "shard experiment: workload size over the 5 query templates")
@@ -128,6 +130,7 @@ func main() {
 	cfg.ServeQueries = *serveQueries
 	cfg.ServeOut = *serveOut
 	cfg.TransOut = *transOut
+	cfg.PlanOut = *planOut
 	cfg.ShardClients = *shardClients
 	cfg.ShardQueries = *shardQueries
 	cfg.ShardDelayMs = *shardDelay

@@ -10,6 +10,7 @@
 //
 //	\tables          list tables
 //	\dump <table>    print a table (local mode)
+//	\explain <sel>   plan a SELECT without executing it (zero crowd spend)
 //	\metrics         print the process metrics (quantile summary)
 //	\ledger          durable crowd-work ledger counters (remote mode)
 //	\quit            exit
@@ -166,10 +167,45 @@ func command(db *cdb.DB, cmd string) bool {
 			break
 		}
 		printGrid(rows)
+	case "\\explain":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\explain SELECT ... ;")
+			break
+		}
+		p, err := db.Explain(strings.TrimSpace(strings.TrimPrefix(cmd, fields[0])))
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		printPlan(p)
 	default:
-		fmt.Println("unknown command; try \\tables, \\dump <table>, \\meta, \\metrics, \\ledger, \\quit")
+		fmt.Println("unknown command; try \\tables, \\dump <table>, \\explain <select>, \\meta, \\metrics, \\ledger, \\quit")
 	}
 	return true
+}
+
+// printPlan renders an EXPLAIN result: the join order, each step's
+// predicted crowd work, and the planner's zero-spend guarantee.
+func printPlan(p *cdb.Plan) {
+	mode := "fixed order"
+	if p.Greedy {
+		mode = "greedy"
+	}
+	fmt.Printf("plan %s (%s, %s)\n", p.JoinOrder, p.Structure, mode)
+	rows := [][]string{{"step", "predicate", "candidates", "predicted", "note"}}
+	for i, s := range p.Steps {
+		note := ""
+		if s.EarlyExit {
+			note = "early exit: provably empty, 0 further HITs"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i+1), s.Predicate,
+			fmt.Sprintf("%d", s.CandidateEdges), fmt.Sprintf("%d", s.PredictedEdges), note,
+		})
+	}
+	printGrid(rows)
+	fmt.Printf("[predicted %d tasks (fixed order %d), planned in %dµs, 0 crowd assignments]\n",
+		p.PredictedTasks, p.FixedTasks, p.PlanningMicros)
 }
 
 func execute(db *cdb.DB, stmt string) {
@@ -180,6 +216,11 @@ func execute(db *cdb.DB, stmt string) {
 	}
 	if len(res.Rows) > 0 {
 		printGrid(append([][]string{res.Columns}, res.Rows...))
+	}
+	if res.Plan != nil && len(res.Rows) == 0 {
+		// The EXPLAIN verb: render the plan instead of an empty grid.
+		printPlan(res.Plan)
+		return
 	}
 	if res.Message != "" {
 		fmt.Println(res.Message)
@@ -254,6 +295,17 @@ func remoteCommand(ctx context.Context, c *client.Client, cmd string) bool {
 			break
 		}
 		fmt.Println(strings.Join(tables, ", "))
+	case "\\explain":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\explain SELECT ... ;")
+			break
+		}
+		p, err := c.Explain(ctx, strings.TrimSpace(strings.TrimPrefix(cmd, fields[0])))
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		printPlan(p)
 	case "\\ledger":
 		resp, err := c.Queries(ctx)
 		if err != nil {
@@ -270,13 +322,24 @@ func remoteCommand(ctx context.Context, c *client.Client, cmd string) bool {
 		fmt.Printf("        appended %d this session, %d compactions, %d replay hits (paid HIT work not re-issued)\n",
 			l.Appended, l.Compactions, l.Hits)
 	default:
-		fmt.Println("unknown remote command; try \\tables, \\ledger, \\quit")
+		fmt.Println("unknown remote command; try \\tables, \\explain <select>, \\ledger, \\quit")
 	}
 	return true
 }
 
-// remoteExecute streams one statement and reports success.
+// remoteExecute streams one statement and reports success. EXPLAIN
+// statements route to the dedicated /v1/explain endpoint, everything
+// else to the streaming query path.
 func remoteExecute(ctx context.Context, c *client.Client, stmt string) bool {
+	if strings.HasPrefix(strings.ToUpper(strings.TrimSpace(stmt)), "EXPLAIN") {
+		p, err := c.Explain(ctx, stmt)
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		printPlan(p)
+		return true
+	}
 	res, err := c.QueryStream(ctx, stmt, func(u cdb.RoundUpdate) {
 		fmt.Printf("[round %d: %d tasks, %d↑ %d↓, %d edges open]\n", u.Round, u.Tasks, u.Blue, u.Red, u.Open)
 	})

@@ -183,10 +183,10 @@ func render(w io.Writer, base string, prev, cur *metricsSnapshot, q *client.Quer
 
 	fmt.Fprintf(w, "\nin-flight queries (%d)\n", len(q.InFlight))
 	if len(q.InFlight) > 0 {
-		fmt.Fprintf(w, "%4s %-9s %9s %6s %6s %-18s %s\n", "id", "state", "elapsed", "rounds", "open", "request", "query")
+		fmt.Fprintf(w, "%4s %-9s %9s %6s %6s %-14s %-18s %s\n", "id", "state", "elapsed", "rounds", "open", "plan", "request", "query")
 		for _, qi := range q.InFlight {
-			fmt.Fprintf(w, "%4d %-9s %9s %6d %6d %-18s %s\n",
-				qi.ID, qi.State, fmtMs(qi.ElapsedMs), qi.Rounds, qi.Open, trunc(qi.RequestID, 18), trunc(qi.Query, 48))
+			fmt.Fprintf(w, "%4d %-9s %9s %6d %6d %-14s %-18s %s\n",
+				qi.ID, qi.State, fmtMs(qi.ElapsedMs), qi.Rounds, qi.Open, planCol(qi), trunc(qi.RequestID, 18), trunc(qi.Query, 48))
 		}
 	}
 
@@ -197,12 +197,27 @@ func render(w io.Writer, base string, prev, cur *metricsSnapshot, q *client.Quer
 	}
 	fmt.Fprintf(w, "\nrecent queries (%d)\n", len(q.Recent))
 	if len(recent) > 0 {
-		fmt.Fprintf(w, "%4s %-9s %9s %6s %6s %6s %-18s %s\n", "id", "state", "elapsed", "rounds", "hits", "ledger", "request", "query")
+		fmt.Fprintf(w, "%4s %-9s %9s %6s %6s %6s %-14s %-18s %s\n", "id", "state", "elapsed", "rounds", "hits", "ledger", "plan", "request", "query")
 		for _, qi := range recent {
-			fmt.Fprintf(w, "%4d %-9s %9s %6d %6d %6d %-18s %s\n",
-				qi.ID, qi.State, fmtMs(qi.ElapsedMs), qi.Rounds, qi.HITs, qi.Ledger, trunc(qi.RequestID, 18), trunc(qi.Query, 48))
+			fmt.Fprintf(w, "%4d %-9s %9s %6d %6d %6d %-14s %-18s %s\n",
+				qi.ID, qi.State, fmtMs(qi.ElapsedMs), qi.Rounds, qi.HITs, qi.Ledger, planCol(qi), trunc(qi.RequestID, 18), trunc(qi.Query, 48))
 		}
 	}
+}
+
+// planCol renders the planned join order for the query tables: the
+// order string already carries the "→∅" early-exit marker; a non-zero
+// exit count is appended for multi-exit statements. "-" means the
+// server ran without the greedy planner.
+func planCol(qi client.QueryInfo) string {
+	if qi.Plan == "" {
+		return "-"
+	}
+	s := qi.Plan
+	if qi.PlanEarlyExits > 1 {
+		s = fmt.Sprintf("%s ×%d", s, qi.PlanEarlyExits)
+	}
+	return trunc(s, 14)
 }
 
 // fmtSec renders a quantile estimate (seconds) as a compact duration.

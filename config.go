@@ -47,6 +47,13 @@ type Config struct {
 	QualityControl bool
 	Transitive     bool
 
+	// Planner consolidates the optimizer knobs (see PlannerConfig):
+	// greedy join ordering, histogram bins, and the similarity /
+	// epsilon / strategy settings that supersede the standalone fields
+	// above. Nil keeps every default; non-empty Planner fields win over
+	// the standalone Similarity / Epsilon / Strategy fields.
+	Planner *PlannerConfig
+
 	// Oracle overrides the simulation ground truth (the dataset's
 	// oracle, when one is loaded, is installed first).
 	Oracle MatchOracle
@@ -127,6 +134,9 @@ func OpenConfig(cfg Config) (*DB, error) {
 	}
 	if cfg.Strategy != "" {
 		opts = append(opts, WithStrategy(cfg.Strategy))
+	}
+	if cfg.Planner != nil {
+		opts = append(opts, WithPlanner(*cfg.Planner))
 	}
 	if cfg.QualityControl {
 		opts = append(opts, WithQualityControl(true))

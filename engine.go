@@ -7,6 +7,7 @@ import (
 	"cdb/internal/engine"
 	"cdb/internal/exec"
 	"cdb/internal/ledger"
+	"cdb/internal/plan"
 )
 
 // Engine serves concurrent CQL queries over one DB's catalog and
@@ -148,6 +149,7 @@ func (db *DB) NewEngine(opts ...EngineOption) (*Engine, error) {
 		ResultCacheSize: o.resultCache,
 		Tracing:         o.tracing,
 		Transitive:      o.transitive,
+		Planner:         plan.Config{Greedy: db.planner.Greedy, Bins: db.planner.Bins},
 		Journal:         journal,
 	})
 	if err != nil {
@@ -202,6 +204,7 @@ func (f *Future) Result(ctx context.Context) (*Result, error) {
 	}
 	res.Trace = ans.Trace
 	res.RequestID = ans.RequestID
+	res.Plan = ans.Plan
 	res.Message = fmt.Sprintf("%d answers, %d tasks, %d rounds", len(res.Rows), res.Stats.Tasks, res.Stats.Rounds)
 	if res.Stats.Coalesced+res.Stats.CachedTasks > 0 {
 		res.Message += fmt.Sprintf(" (%d shared)", res.Stats.Coalesced+res.Stats.CachedTasks)
@@ -247,6 +250,19 @@ func (e *Engine) SubmitWithProgress(ctx context.Context, query string, onRound f
 
 // Close stops admission and waits for in-flight queries to finish.
 func (e *Engine) Close() { e.inner.Close() }
+
+// PlannerEnabled reports whether served SELECTs execute the greedy
+// planned order (set by opening the DB with WithPlanner /
+// Config.Planner before NewEngine).
+func (e *Engine) PlannerEnabled() bool { return e.inner.PlannerEnabled() }
+
+// Explain plans query without executing it — zero crowd assignments —
+// and returns the Plan: join order, per-step predicted candidate
+// edges, and early-exit points. query may be a SELECT or an EXPLAIN
+// SELECT; any other statement fails with ErrEngineUnsupported.
+func (e *Engine) Explain(query string) (*Plan, error) {
+	return e.inner.Explain(query)
+}
 
 // ShardInfo is the scatter-gather sidecar of a shard-scoped execution:
 // per-row merge keys plus the owned slice of the ground-truth counts a

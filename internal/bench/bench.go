@@ -66,6 +66,9 @@ type Config struct {
 	// Transitive-inference knobs (the "trans" experiment).
 	TransOut string // BENCH_trans.json path ("" skips the artifact)
 
+	// Greedy-planner knobs (the "plan" experiment).
+	PlanOut string // BENCH_plan.json path ("" skips the artifact)
+
 	// Scale-out knobs (the "shard" experiment and cdbench -shard-* flags).
 	ShardClients int    // concurrent clients driving the coordinator
 	ShardQueries int    // workload size (arrivals over the 5 templates)
@@ -92,6 +95,8 @@ func DefaultConfig() Config {
 		ServeOut:     "BENCH_engine.json",
 
 		TransOut: "BENCH_trans.json",
+
+		PlanOut: "BENCH_plan.json",
 
 		ShardClients: 8,
 		ShardQueries: 40,
@@ -267,11 +272,12 @@ var Registry = map[string]func(Config) ([]*Table, error){
 	"serve":  Serve,
 	"trans":  Trans,
 	"shard":  Shard,
+	"plan":   PlanBench,
 }
 
 // ExperimentIDs returns the registry keys in canonical order.
 func ExperimentIDs() []string {
-	return []string{"fig1", "fig8", "fig11", "fig14", "fig17", "fig18", "fig20", "fig21", "fig22", "fig23", "table5", "chaos", "serve", "trans", "shard"}
+	return []string{"fig1", "fig8", "fig11", "fig14", "fig17", "fig18", "fig20", "fig21", "fig22", "fig23", "table5", "chaos", "serve", "trans", "shard", "plan"}
 }
 
 // aliases used by several experiments.

@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"cdb/internal/cql"
+	"cdb/internal/crowd"
+	"cdb/internal/exec"
+	"cdb/internal/graph"
+	"cdb/internal/plan"
+	"cdb/internal/stats"
+)
+
+// PlanBenchReport is the schema of BENCH_plan.json: randomized 3–6-table
+// multi-join workloads executed in greedy versus statement order with
+// equal crowd seeds. Early-termination wins are reported separately:
+// both executors spend zero HITs on a provably empty join (graph
+// validity prunes every edge), so EarlyExitHITsSaved counts the
+// fixed-model cost a planner-less executor would have paid.
+type PlanBenchReport struct {
+	Date    string `json:"date"`
+	Queries int    `json:"queries"`
+	Cells   int    `json:"cells"` // executed (query, mode) cells
+
+	FixedHITs  int `json:"fixed_hits"`
+	GreedyHITs int `json:"greedy_hits"`
+	HITsSaved  int `json:"hits_saved"`
+
+	EarlyExitQueries   int `json:"early_exit_queries"`
+	EarlyExitHITsSaved int `json:"early_exit_hits_saved"`
+
+	// Planning-time percentiles over every greedy planning call.
+	PlanP50Micros int64 `json:"plan_p50_us"`
+	PlanP95Micros int64 `json:"plan_p95_us"`
+
+	// ExplainAssignments counts crowd work observed during EXPLAIN-only
+	// planning (edges colored on the plan's graph); the gate requires 0.
+	ExplainAssignments int `json:"explain_assignments"`
+}
+
+// planCell executes one generated query under the given join order with
+// content-pure verdicts, so answers depend only on (seed, edge content)
+// and both orders of a pair are directly comparable.
+func planCell(c plan.Case, order []int, cfg Config, verdictSeed, poolSeed uint64) (*exec.Report, *exec.Plan, error) {
+	p, err := buildCasePlan(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	pool := crowd.NewPool(cfg.PoolSize, cfg.WorkerQ, cfg.WorkerSD, stats.NewRNG(poolSeed))
+	rep, err := exec.Run(context.Background(), p, exec.Options{
+		Strategy:   &plan.Ordered{Order: order},
+		Redundancy: cfg.Redundancy,
+		Pool:       pool,
+		Resolver:   &plan.PureResolver{Seed: verdictSeed, Pool: pool},
+	})
+	return rep, p, err
+}
+
+func buildCasePlan(c plan.Case) (*exec.Plan, error) {
+	st, err := cql.Parse(c.Query)
+	if err != nil {
+		return nil, err
+	}
+	return exec.BuildPlan(st.(*cql.Select), c.Catalog, exec.ExactOracle{}, exec.PlanConfig{Sim: defaultSim, Epsilon: 0.3})
+}
+
+// coloredEdges counts edges no longer Unknown — crowd work that touched
+// the graph. EXPLAIN-only planning must leave it at zero.
+func coloredEdges(g *graph.Graph) int {
+	n := 0
+	for id := 0; id < g.NumEdges(); id++ {
+		if g.Edge(id).Color != graph.Unknown {
+			n++
+		}
+	}
+	return n
+}
+
+// PlanBench is the "plan" experiment: the greedy planner against
+// statement order over randomized chain/star schemas (the same
+// generator the property tests run). Writes BENCH_plan.json
+// (cfg.PlanOut) as the committed artifact benchguard gates on.
+func PlanBench(cfg Config) ([]*Table, error) {
+	rng := stats.NewRNG(cfg.Seed)
+	queries := 12 * cfg.Reps
+	if queries < 24 {
+		queries = 24
+	}
+
+	var report PlanBenchReport
+	report.Queries = queries
+	var planTimes []int64
+
+	for q := 0; q < queries; q++ {
+		c := plan.RandomCase(rng, 3+rng.Intn(4))
+		verdictSeed := rng.Uint64()
+		poolSeed := rng.Uint64()
+
+		// EXPLAIN first, against a workerless pool: planning that tried
+		// to crowdsource anything would have nobody to ask, and any
+		// coloring it caused is counted against the zero-spend gate.
+		ep, err := buildCasePlan(c)
+		if err != nil {
+			return nil, err
+		}
+		decision := plan.Greedy(ep, 0)
+		plan.Describe(ep, decision, true)
+		report.ExplainAssignments += coloredEdges(ep.G)
+		planTimes = append(planTimes, decision.PlanningMicros)
+		if decision.EarlyExit {
+			report.EarlyExitQueries++
+			report.EarlyExitHITsSaved += decision.FixedTasks
+		}
+
+		rg, pg, err := planCell(c, decision.Order, cfg, verdictSeed, poolSeed)
+		if err != nil {
+			return nil, err
+		}
+		fixed := plan.Fixed(ep, 0)
+		rf, pf, err := planCell(c, fixed.Order, cfg, verdictSeed, poolSeed)
+		if err != nil {
+			return nil, err
+		}
+		report.Cells += 2
+		report.GreedyHITs += rg.HITs
+		report.FixedHITs += rf.HITs
+
+		// Bit-identity is the planner's correctness contract; a diverging
+		// cell means the content-pure verdict layer broke.
+		gk, fk := pg.AnswerKeys(), pf.AnswerKeys()
+		if len(gk) != len(fk) {
+			return nil, fmt.Errorf("plan bench query %d: %d greedy answers vs %d fixed", q, len(gk), len(fk))
+		}
+		for k := range gk {
+			if !fk[k] {
+				return nil, fmt.Errorf("plan bench query %d: greedy answer %q missing from fixed order", q, k)
+			}
+		}
+	}
+
+	report.HITsSaved = report.FixedHITs - report.GreedyHITs
+	sort.Slice(planTimes, func(i, j int) bool { return planTimes[i] < planTimes[j] })
+	report.PlanP50Micros = planTimes[len(planTimes)/2]
+	report.PlanP95Micros = planTimes[len(planTimes)*95/100]
+	report.Date = time.Now().UTC().Format("2006-01-02")
+
+	if cfg.PlanOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(cfg.PlanOut, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+
+	t := &Table{
+		ID: "plan",
+		Title: fmt.Sprintf("greedy multi-join planning over %d queries: %d HITs saved vs statement order, %d early exits worth %d predicted HITs, planning p95 %dµs",
+			queries, report.HITsSaved, report.EarlyExitQueries, report.EarlyExitHITsSaved, report.PlanP95Micros),
+		LabelNames: []string{"mode"},
+		ValueNames: []string{"hits", "early_exits", "plan_p95_us"},
+		Rows: []Row{
+			{Labels: []string{"fixed"}, Values: []float64{float64(report.FixedHITs), 0, 0}},
+			{Labels: []string{"greedy"}, Values: []float64{float64(report.GreedyHITs), float64(report.EarlyExitQueries), float64(report.PlanP95Micros)}},
+		},
+	}
+	return []*Table{t}, nil
+}

@@ -179,6 +179,20 @@ func (s *Select) String() string {
 	return b.String()
 }
 
+// Explain is EXPLAIN <statement>: plan the target without issuing any
+// crowd work and report the plan. Only SELECT targets are plannable;
+// the engine rejects others with an unsupported error.
+type Explain struct {
+	Target Statement
+}
+
+func (*Explain) stmt() {}
+
+// String implements Statement.
+func (e *Explain) String() string {
+	return "EXPLAIN " + e.Target.String()
+}
+
 // Fill is FILL Table.Col [WHERE preds] [BUDGET n]: crowd-fill missing
 // (CNULL) values of a CROWD column.
 type Fill struct {

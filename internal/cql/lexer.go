@@ -29,7 +29,7 @@ var keywords = map[string]bool{
 	"CREATE": true, "TABLE": true, "CROWD": true,
 	"SELECT": true, "FROM": true, "WHERE": true, "AND": true,
 	"CROWDJOIN": true, "CROWDEQUAL": true,
-	"FILL": true, "COLLECT": true, "BUDGET": true,
+	"FILL": true, "COLLECT": true, "BUDGET": true, "EXPLAIN": true,
 	"GROUP": true, "ORDER": true, "BY": true,
 	"VARCHAR": true, "INT": true, "FLOAT": true,
 }

@@ -105,6 +105,16 @@ func (p *parser) statement() (Statement, error) {
 		return p.fillStmt()
 	case p.atKeyword("COLLECT"):
 		return p.collectStmt()
+	case p.atKeyword("EXPLAIN"):
+		p.next()
+		target, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if _, nested := target.(*Explain); nested {
+			return nil, perr(-1, "", "EXPLAIN cannot be nested")
+		}
+		return &Explain{Target: target}, nil
 	default:
 		return nil, p.perrAt("unexpected token")
 	}

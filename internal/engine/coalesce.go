@@ -10,7 +10,6 @@ import (
 	"cdb/internal/exec"
 	"cdb/internal/ledger"
 	"cdb/internal/obs"
-	"cdb/internal/stats"
 )
 
 // Coalescer metrics (process-wide, across all engines).
@@ -239,45 +238,16 @@ func (c *coalescer) resolve(ctx context.Context, req exec.TaskRequest) (exec.Tas
 	return fl.verdict, nil
 }
 
-// answer simulates one HIT deterministically: k distinct workers drawn
-// by a partial Fisher–Yates over the pool, each judging correctly with
-// its latent accuracy, all randomness from a content-keyed hash RNG.
-// The pool's own RNG streams are never touched, so engine queries do
-// not perturb (and are not perturbed by) DB.Exec traffic.
+// answer simulates one HIT deterministically through the shared
+// content-pure verdict function (crowd.PureVerdict): k distinct
+// workers drawn by a partial Fisher–Yates over the pool, each judging
+// correctly with its latent accuracy, all randomness from a
+// content-keyed hash RNG. The pool's own RNG streams are never
+// touched, so engine queries do not perturb (and are not perturbed by)
+// DB.Exec traffic.
 func (c *coalescer) answer(req exec.TaskRequest) exec.TaskVerdict {
-	workers := c.pool.Workers()
-	k := req.K
-	if k > len(workers) {
-		k = len(workers)
-	}
-	if k <= 0 {
-		// No crowd to ask: fall back to the optimizer's prior.
-		return exec.TaskVerdict{Value: req.Prior >= 0.5, Confidence: 0.5}
-	}
-	r := stats.HashRNG(c.seed, stats.HashString(req.Key), uint64(req.K))
-	idx := make([]int, len(workers))
-	for i := range idx {
-		idx[i] = i
-	}
-	yes := 0
-	for i := 0; i < k; i++ {
-		j := i + r.Intn(len(idx)-i)
-		idx[i], idx[j] = idx[j], idx[i]
-		w := workers[idx[i]]
-		ans := req.Truth
-		if r.Float64() >= w.LatentAccuracy() {
-			ans = !ans
-		}
-		if ans {
-			yes++
-		}
-	}
-	value := 2*yes > k
-	conf := float64(yes) / float64(k)
-	if !value {
-		conf = 1 - conf
-	}
-	return exec.TaskVerdict{Value: value, Confidence: conf, Assignments: k}
+	value, conf, asks := crowd.PureVerdict(c.seed, c.pool, req.Key, req.Truth, req.Prior, req.K)
+	return exec.TaskVerdict{Value: value, Confidence: conf, Assignments: asks}
 }
 
 // PublishInferred implements exec.InferredPublisher: a transitive

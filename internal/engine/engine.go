@@ -37,6 +37,7 @@ import (
 	"cdb/internal/crowd"
 	"cdb/internal/exec"
 	"cdb/internal/obs"
+	"cdb/internal/plan"
 	"cdb/internal/reqid"
 	"cdb/internal/sim"
 	"cdb/internal/table"
@@ -106,6 +107,12 @@ type Config struct {
 	// Transitive) for every served query, and publishes the inferred
 	// verdicts into the shared cache for cross-query reuse.
 	Transitive bool
+	// Planner configures the greedy multi-join planner. With
+	// Planner.Greedy set, unbudgeted whole-statement SELECTs execute in
+	// the planner's cheapest-first predicate order (answers stay
+	// bit-identical — verdicts are content-pure) and each Answer
+	// carries its executed Plan. Explain works either way.
+	Planner plan.Config
 	// RecentQueries bounds the completed-query ring buffer served by
 	// Introspect (default 64).
 	RecentQueries int
@@ -212,6 +219,9 @@ type Answer struct {
 	// (nil for whole-statement runs): merge keys per row plus the owned
 	// slice of the ground-truth accounting.
 	Shard *exec.ShardInfo
+	// Plan is the executed plan when the greedy planner drove this
+	// query (Config.Planner.Greedy); nil otherwise.
+	Plan *plan.Explained
 }
 
 // Handle is the future for one submitted query.
@@ -416,7 +426,7 @@ func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress f
 
 	planStart := time.Now()
 	planSpan := tr.Begin(obs.SpanPlan)
-	plan, err := exec.BuildPlan(s, e.cfg.Catalog, e.cfg.Oracle, exec.PlanConfig{
+	p, err := exec.BuildPlan(s, e.cfg.Catalog, e.cfg.Oracle, exec.PlanConfig{
 		Sim:     e.cfg.Sim,
 		Epsilon: e.cfg.Epsilon,
 		Joiner:  e.joins.Join,
@@ -429,7 +439,7 @@ func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress f
 	}
 	var scope *exec.ShardScope
 	if sr != nil && sr.Owned != nil {
-		scope = exec.RestrictToOwned(plan, sr.Owned)
+		scope = exec.RestrictToOwned(p, sr.Owned)
 	}
 	if e.cfg.Journal != nil {
 		// The statement is planable against the live catalog: log it so
@@ -438,13 +448,23 @@ func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress f
 	}
 
 	var strategy cost.Strategy = &cost.Expectation{}
-	if s.Budget > 0 {
+	var decision *plan.Decision
+	switch {
+	case s.Budget > 0:
 		strategy = cost.NewBudget(s.Budget)
+	case e.cfg.Planner.Greedy && sr == nil:
+		// Reordering is answer-preserving because the coalescer's
+		// verdicts are content-pure; shard-scoped runs keep the default
+		// strategy so their round structure matches the rest of the
+		// fleet.
+		decision = plan.Greedy(p, e.cfg.Planner.Bins)
+		strategy = &plan.Ordered{Order: decision.Order}
+		e.intr.setPlan(entry, decision.JoinOrder(), decision.EarlyExits())
 	}
 	// The registry sees every completed round regardless of whether the
 	// submitter asked for progress; the caller's hook (if any) still
 	// runs on the query goroutine afterwards.
-	rep, err := exec.Run(ctx, plan, exec.Options{
+	rep, err := exec.Run(ctx, p, exec.Options{
 		Strategy:   strategy,
 		Redundancy: e.cfg.Redundancy,
 		Quality:    exec.MajorityVoting,
@@ -464,9 +484,9 @@ func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress f
 		return
 	}
 
-	ans := &Answer{Columns: plan.ProjectionColumns(), Report: rep, RequestID: entry.req}
+	ans := &Answer{Columns: p.ProjectionColumns(), Report: rep, RequestID: entry.req}
 	for _, a := range rep.Answers {
-		row, perr := plan.ProjectAnswer(a)
+		row, perr := p.ProjectAnswer(a)
 		if perr != nil {
 			h.err = perr
 			return
@@ -474,14 +494,17 @@ func (e *Engine) serve(ctx context.Context, s *cql.Select, h *Handle, progress f
 		ans.Rows = append(ans.Rows, row)
 	}
 	if scope != nil {
-		tt, tc := scope.TruthCounts(plan)
+		tt, tc := scope.TruthCounts(p)
 		ans.Shard = &exec.ShardInfo{
 			Components:      scope.OwnedComponents,
 			TotalComponents: scope.TotalComponents,
-			MergeKeys:       exec.MergeKeys(plan, rep.Answers),
+			MergeKeys:       exec.MergeKeys(p, rep.Answers),
 			TruthTotal:      tt,
 			TruthCorrect:    tc,
 		}
+	}
+	if decision != nil {
+		ans.Plan = plan.Describe(p, decision, true)
 	}
 	h.ans = ans
 	if fl != nil {
@@ -525,6 +548,40 @@ func (e *Engine) shareAnswer(h *Handle, ans *Answer, req string) {
 		e.coal.saved.Add(int64(rep.Assignments))
 		mCoalSaved.Add(int64(rep.Assignments))
 	}
+}
+
+// PlannerEnabled reports whether served SELECTs execute the greedy
+// planned order (and therefore whether streams carry a plan event).
+func (e *Engine) PlannerEnabled() bool { return e.cfg.Planner.Greedy }
+
+// Explain plans query without executing it and returns the wire-ready
+// plan. It issues zero crowd assignments: planning reads the
+// instantiated query graph (built through the shared sim-join cache,
+// so repeated table pairs are free) and never touches the coalescer.
+// query may be a SELECT or an EXPLAIN SELECT; anything else fails with
+// ErrUnsupported — the typed 400 of POST /v1/explain.
+func (e *Engine) Explain(query string) (*plan.Explained, error) {
+	st, err := cql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if ex, ok := st.(*cql.Explain); ok {
+		st = ex.Target
+	}
+	s, ok := st.(*cql.Select)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T is not plannable; EXPLAIN takes a SELECT", ErrUnsupported, st)
+	}
+	p, err := exec.BuildPlan(s, e.cfg.Catalog, e.cfg.Oracle, exec.PlanConfig{
+		Sim:     e.cfg.Sim,
+		Epsilon: e.cfg.Epsilon,
+		Joiner:  e.joins.Join,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := plan.Greedy(p, e.cfg.Planner.Bins)
+	return plan.Describe(p, d, e.cfg.Planner.Greedy), nil
 }
 
 // Introspect snapshots the engine's query registry: every in-flight

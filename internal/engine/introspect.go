@@ -70,6 +70,11 @@ type QueryStatus struct {
 	// paid before a restart, re-issued zero times (completed queries
 	// only; always 0 without a ledger).
 	Ledger int
+	// Plan is the planned join order ("p2→p0→p1", "→∅" marking an
+	// early exit) and PlanEarlyExits its early-exit count; empty/zero
+	// when the query ran without the greedy planner.
+	Plan           string
+	PlanEarlyExits int
 	// Err is the failure message (StateFailed only).
 	Err string
 }
@@ -98,6 +103,8 @@ type queryEntry struct {
 	tasks       int
 	assignments int
 	open        int
+	plan        string
+	planExits   int
 }
 
 // introspection is the engine's in-flight query registry plus the
@@ -148,6 +155,16 @@ func (in *introspection) start(e *queryEntry) {
 	mInFlightG.Add(1)
 }
 
+// setPlan stamps the planned join order on the live entry as soon as
+// planning completes, so /v1/queries shows the order while the rounds
+// are still running.
+func (in *introspection) setPlan(e *queryEntry, order string, exits int) {
+	e.mu.Lock()
+	e.plan = order
+	e.planExits = exits
+	e.mu.Unlock()
+}
+
 // roundDone folds one completed crowd round into the live entry.
 func (in *introspection) roundDone(e *queryEntry, rounds, tasksTotal, asksTotal, open int) {
 	e.mu.Lock()
@@ -174,6 +191,9 @@ func (in *introspection) finish(e *queryEntry, state string, fill func(*QuerySta
 		Rounds:      e.rounds,
 		Tasks:       e.tasks,
 		Assignments: e.assignments,
+
+		Plan:           e.plan,
+		PlanEarlyExits: e.planExits,
 	}
 	e.mu.Unlock()
 	if wasRunning {
@@ -229,6 +249,9 @@ func (in *introspection) snapshot(draining bool) IntrospectSnapshot {
 			Tasks:       e.tasks,
 			Assignments: e.assignments,
 			Open:        e.open,
+
+			Plan:           e.plan,
+			PlanEarlyExits: e.planExits,
 		}
 		e.mu.Unlock()
 		if draining && st.State == StateRunning {

@@ -1,0 +1,85 @@
+package plan
+
+import (
+	"context"
+
+	"cdb/internal/crowd"
+	"cdb/internal/exec"
+	"cdb/internal/graph"
+)
+
+// Ordered executes a planned predicate order: each round asks every
+// valid uncolored edge of the current predicate, advancing once the
+// predicate has none left. Run-time validity pruning composes with the
+// plan — red answers on an early predicate invalidate edges of later
+// ones before they are ever asked, and when validity empties the graph
+// the strategy finishes without touching the remaining predicates.
+// Like every cost.Strategy it drives one execution at a time.
+type Ordered struct {
+	// Order is the predicate execution order (Decision.Order).
+	Order []int
+
+	idx int
+	all []int
+	buf []int
+}
+
+// Name implements cost.Strategy.
+func (o *Ordered) Name() string { return "Planned" }
+
+// NextRound implements cost.Strategy: the valid uncolored edges of the
+// first predicate in the order that still has any.
+func (o *Ordered) NextRound(g *graph.Graph) []int {
+	for o.idx < len(o.Order) {
+		batch := o.collect(g, o.Order[o.idx])
+		if len(batch) > 0 {
+			return batch
+		}
+		o.idx++
+	}
+	return nil
+}
+
+// Flush implements cost.Strategy: everything the plan still intends to
+// ask, flattened across the remaining predicates in order.
+func (o *Ordered) Flush(g *graph.Graph) []int {
+	var out []int
+	for i := o.idx; i < len(o.Order); i++ {
+		out = append(out, o.collect(g, o.Order[i])...)
+	}
+	return out
+}
+
+func (o *Ordered) collect(g *graph.Graph, pred int) []int {
+	o.all = g.ValidUncoloredInto(o.all)
+	batch := o.buf[:0]
+	for _, id := range o.all {
+		if g.Edge(id).Pred == pred {
+			batch = append(batch, id)
+		}
+	}
+	o.buf = batch
+	return batch
+}
+
+// PureResolver resolves every task through crowd.PureVerdict, making
+// verdicts a pure function of (seed, task key, redundancy) — the same
+// content-pure discipline the serving engine's coalescer follows, minus
+// the sharing machinery. It is what lets DB.Exec compare a greedy plan
+// against the fixed order bit-identically: asking the same question in
+// a different round, or never needing to ask it at all, cannot perturb
+// any other verdict. Stateless and safe for concurrent use.
+type PureResolver struct {
+	Seed uint64
+	Pool *crowd.Pool
+}
+
+// Resolve implements exec.TaskResolver.
+func (r *PureResolver) Resolve(_ context.Context, reqs []exec.TaskRequest) (map[int]exec.TaskVerdict, error) {
+	out := make(map[int]exec.TaskVerdict, len(reqs))
+	for _, req := range reqs {
+		value, conf, asks := crowd.PureVerdict(r.Seed, r.Pool, req.Key, req.Truth, req.Prior, req.K)
+		out[req.Edge] = exec.TaskVerdict{Value: value, Confidence: conf, Assignments: asks}
+	}
+	return out, nil
+}

@@ -45,11 +45,13 @@ var (
 	mReq5xx    = obs.Default.Counter("cdb_server_requests_5xx_total")
 	mQueries   = obs.Default.Counter("cdb_server_queries_total")
 	mStreams   = obs.Default.Counter("cdb_server_streams_total")
+	mExplains  = obs.Default.Counter("cdb_server_explains_total")
 	mShed      = obs.Default.Counter("cdb_server_shed_total")
 	mDrainShed = obs.Default.Counter("cdb_server_drain_shed_total")
 
 	mLatQuery   = obs.Default.Histogram("cdb_server_latency_query_seconds", obs.DurationBuckets)
 	mLatStream  = obs.Default.Histogram("cdb_server_latency_stream_seconds", obs.DurationBuckets)
+	mLatExplain = obs.Default.Histogram("cdb_server_latency_explain_seconds", obs.DurationBuckets)
 	mLatTables  = obs.Default.Histogram("cdb_server_latency_tables_seconds", obs.DurationBuckets)
 	mLatQueries = obs.Default.Histogram("cdb_server_latency_queries_seconds", obs.DurationBuckets)
 	mLatOther   = obs.Default.Histogram("cdb_server_latency_other_seconds", obs.DurationBuckets)
@@ -74,6 +76,8 @@ func latencyFor(path string) *obs.Histogram {
 		return mLatQuery
 	case "/v1/query/stream":
 		return mLatStream
+	case "/v1/explain":
+		return mLatExplain
 	case "/v1/tables":
 		return mLatTables
 	case "/v1/queries":
@@ -152,6 +156,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/query/stream", s.handleStream)
+	s.mux.HandleFunc("/v1/explain", s.handleExplain)
 	s.mux.HandleFunc("/v1/tables", s.handleTables)
 	s.mux.HandleFunc("/v1/queries", s.handleQueries)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
@@ -377,6 +382,18 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		flusher.Flush()
 	}
 
+	// With the greedy planner on, the stream opens with the plan the
+	// rounds will follow — before any round event, so a watching client
+	// knows the join order and early-exit points up front. Old clients
+	// skip the unknown event type. Best-effort: a plan that fails to
+	// build will fail identically inside the query, which reports the
+	// error in-band.
+	if s.engine.PlannerEnabled() {
+		if p, perr := s.engine.Explain(req.Query); perr == nil {
+			emit(client.StreamEvent{Type: client.EventPlan, Plan: p})
+		}
+	}
+
 	for {
 		select {
 		case u := <-updates:
@@ -406,6 +423,33 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleExplain serves POST /v1/explain: plan the query without
+// executing it and return the wire-ready cdb.Plan. EXPLAIN issues zero
+// crowd assignments, so — like /v1/queries — it stays available while
+// the server drains. Non-SELECT targets map to a typed 400
+// (CodeUnsupported) through the usual error mapping.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, &client.ErrorPayload{Code: client.CodeBadRequest, Message: "POST only"})
+		return
+	}
+	mExplains.Inc()
+	req, err := readRequest(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, &client.ErrorPayload{Code: client.CodeBadRequest, Message: err.Error()})
+		return
+	}
+	start := time.Now()
+	plan, err := s.engine.Explain(req.Query)
+	if err != nil {
+		s.writeMappedError(w, err)
+		s.logQuery("explain", r, req.Query, nil, err, time.Since(start))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, plan)
+	s.logQuery("explain", r, req.Query, nil, nil, time.Since(start))
 }
 
 func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
@@ -466,7 +510,11 @@ func queryInfo(st cdb.QueryStatus) client.QueryInfo {
 		Coalesced:   st.Coalesced,
 		Cached:      st.Cached,
 		Ledger:      st.Ledger,
-		Error:       st.Err,
+
+		Plan:           st.Plan,
+		PlanEarlyExits: st.PlanEarlyExits,
+
+		Error: st.Err,
 	}
 }
 

@@ -1,9 +1,13 @@
 package server
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
@@ -383,4 +387,106 @@ func TestServerSharedIdentical(t *testing.T) {
 	if eng.Stats().QueriesCached+eng.Stats().QueriesAttached == 0 {
 		t.Errorf("second identical query did not share the whole answer")
 	}
+}
+
+// TestServerExplain pins POST /v1/explain and the EXPLAIN-first query
+// API over the wire: the plan round-trips (directly and via the
+// EXPLAIN verb), spends zero crowd work, non-SELECT targets map to a
+// typed 400, and planner-enabled streams lead with a "plan" event.
+func TestServerExplain(t *testing.T) {
+	ctx := context.Background()
+	_, eng, hs := newTestServer(t, newTestDB(t, cdb.WithPlanner(cdb.PlannerConfig{Greedy: true})))
+	defer eng.Close()
+	c := client.New(hs.URL)
+
+	p, err := c.Explain(ctx, testQueries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Greedy || p.JoinOrder == "" || len(p.Steps) == 0 {
+		t.Fatalf("explain plan = %+v, want a populated greedy plan", p)
+	}
+	if p.PredictedTasks <= 0 {
+		t.Errorf("predicted tasks = %d, want > 0", p.PredictedTasks)
+	}
+
+	// The EXPLAIN verb unwraps to the same plan.
+	pv, err := c.Explain(ctx, "EXPLAIN "+testQueries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv.JoinOrder != p.JoinOrder || pv.PredictedTasks != p.PredictedTasks {
+		t.Errorf("EXPLAIN verb plan %q/%d differs from direct %q/%d",
+			pv.JoinOrder, pv.PredictedTasks, p.JoinOrder, p.PredictedTasks)
+	}
+
+	// Zero crowd spend: explaining registers no query and issues no work.
+	qs, err := c.Queries(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs.InFlight)+len(qs.Recent) != 0 {
+		t.Errorf("explain registered queries: in-flight %d, recent %d", len(qs.InFlight), len(qs.Recent))
+	}
+	if st := eng.Stats(); st.AssignmentsIssued != 0 {
+		t.Errorf("explain issued %d crowd assignments, want 0", st.AssignmentsIssued)
+	}
+
+	// Non-SELECT target → typed 400 unwrapping to ErrEngineUnsupported.
+	_, err = c.Explain(ctx, "CREATE TABLE X (a varchar(8));")
+	if !errors.Is(err, cdb.ErrEngineUnsupported) {
+		t.Fatalf("explain DDL = %v, want cdb.ErrEngineUnsupported", err)
+	}
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != 400 || ae.Code != client.CodeUnsupported {
+		t.Errorf("explain DDL error = %+v, want status 400 code %q", ae, client.CodeUnsupported)
+	}
+
+	// Planner-enabled streams emit the plan before any round, and the
+	// executed query's Result carries the same plan.
+	var sawPlan *cdb.Plan
+	rounds := 0
+	res, err := c.QueryStream(ctx, testQueries[0], func(cdb.RoundUpdate) { rounds++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil || res.Plan.JoinOrder != p.JoinOrder {
+		t.Fatalf("streamed result plan = %+v, want join order %q", res.Plan, p.JoinOrder)
+	}
+	sawPlan = streamPlanEvent(t, hs.URL, testQueries[0])
+	if sawPlan == nil || sawPlan.JoinOrder != p.JoinOrder {
+		t.Errorf("first stream event plan = %+v, want join order %q", sawPlan, p.JoinOrder)
+	}
+	_ = rounds
+}
+
+// streamPlanEvent posts one streaming query and returns the plan from
+// its first event, failing if the first event is not a "plan".
+func streamPlanEvent(t *testing.T, baseURL, query string) *cdb.Plan {
+	t.Helper()
+	resp, err := http.Post(baseURL+"/v1/query/stream", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"query":%q}`, query)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev client.StreamEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Type != client.EventPlan {
+			t.Fatalf("first stream event type %q, want %q", ev.Type, client.EventPlan)
+		}
+		io.Copy(io.Discard, resp.Body)
+		return ev.Plan
+	}
+	t.Fatal("stream ended without events")
+	return nil
 }

@@ -24,7 +24,7 @@ go build -o "$BIN/cdbtop" ./cmd/cdbtop
 # ~1s over 3 crowd rounds, a wide enough window for the mid-stream
 # introspection poll to observe it in flight.
 "$BIN/cdbd" -addr "$ADDR" -dataset paper -scale 0.8 -seed 7 -workers 30 -accuracy 0.9 \
-  -redundancy 15 -query-log "$QLOG" -slow-query-ms 0 2>"$LOG" &
+  -redundancy 15 -planner -query-log "$QLOG" -slow-query-ms 0 2>"$LOG" &
 SRV=$!
 cleanup() { kill "$SRV" 2>/dev/null || true; }
 trap cleanup EXIT
@@ -48,13 +48,18 @@ grep -qi "x-cdb-request-id: $RID" "$HDRS" || { echo "response did not echo the r
 echo "$RES" | grep -q "\"request_id\":\"$RID\"" || { echo "result body missing request_id"; echo "$RES" | head -c 400; exit 1; }
 grep -q "$RID" "$QLOG" || { echo "query log missing the request ID"; cat "$QLOG"; exit 1; }
 
-echo "== three queries over cdbsh -connect (typed client + streaming) =="
-"$BIN/cdbsh" -connect "$ADDR" <<'EOF'
+echo "== three queries plus an \\explain round trip over cdbsh -connect =="
+SH_OUT=$("$BIN/cdbsh" -connect "$ADDR" <<'EOF'
 SELECT * FROM Paper, Researcher WHERE Paper.author CROWDJOIN Researcher.name;
 SELECT * FROM Paper, Citation WHERE Paper.title CROWDJOIN Citation.title;
 SELECT Paper.author FROM Paper WHERE Paper.conference CROWDEQUAL "icde";
+\explain SELECT * FROM Paper, Researcher WHERE Paper.author CROWDJOIN Researcher.name;
 \quit
 EOF
+)
+echo "$SH_OUT"
+grep -q "0 crowd assignments" <<<"$SH_OUT" || { echo "cdbsh \\explain produced no plan"; exit 1; }
+grep -q "predicted" <<<"$SH_OUT" || { echo "cdbsh \\explain missing predicted-task summary"; exit 1; }
 
 echo "== cdbtop -once against the live server =="
 TOP=$("$BIN/cdbtop" -addr "$ADDR" -once)
